@@ -1,0 +1,60 @@
+// Command blubench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	blubench [-sf 0.05] [-seed N] [-devices 2] [-degree 24] [all|table1|fig5|fig6|fig7|table2|table3|fig8|fig9]...
+//
+// With no experiment arguments it runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blugpu/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	devices := flag.Int("devices", 2, "number of simulated GPUs")
+	degree := flag.Int("degree", 24, "intra-query parallelism")
+	race := flag.Bool("race", false, "let the GPU moderator race a second kernel")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: blubench [flags] [experiment]...\nexperiments: all %s\nflags:\n",
+			strings.Join(bench.Experiments(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("generating dataset (sf=%g, seed=%d)...\n", *sf, *seed)
+	h, err := bench.NewHarness(bench.Config{
+		SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree, Race: *race,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blubench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset ready: %.1f MB across %d tables (%.1fs)\n",
+		float64(h.Data.TotalBytes())/(1<<20), len(h.Data.Tables), time.Since(start).Seconds())
+
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		if err := h.All(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "blubench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range args {
+		if err := h.Run(name, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "blubench:", err)
+			os.Exit(1)
+		}
+	}
+}

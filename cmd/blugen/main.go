@@ -1,0 +1,90 @@
+// Command blugen generates the TPC-DS-derived dataset and reports its
+// shape: table sizes, column statistics, and the workload query sets.
+//
+// Usage:
+//
+//	blugen [-sf 0.05] [-seed N] [-stats table] [-queries bd|rolap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blugpu/internal/optimizer"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	statsTable := flag.String("stats", "", "print column statistics for one table")
+	queries := flag.String("queries", "", "print a query set: bd | rolap")
+	flag.Parse()
+
+	if *queries != "" {
+		printQueries(*queries)
+		return
+	}
+
+	start := time.Now()
+	d := workload.Generate(*sf, *seed)
+	fmt.Printf("generated sf=%g in %.2fs: %.1f MB total\n\n",
+		*sf, time.Since(start).Seconds(), float64(d.TotalBytes())/(1<<20))
+
+	if *statsTable != "" {
+		t := d.Table(*statsTable)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *statsTable)
+			os.Exit(1)
+		}
+		ts := optimizer.Analyze(t)
+		fmt.Printf("%s: %d rows\n", ts.Table, ts.Rows)
+		fmt.Printf("%-28s %-9s %-12s %-8s %-14s %s\n", "column", "type", "ndv", "nulls", "min", "max")
+		for _, c := range t.Columns() {
+			cs := ts.Columns[c.Name()]
+			min, max := "", ""
+			switch cs.Type.String() {
+			case "int64":
+				min, max = fmt.Sprint(cs.MinI), fmt.Sprint(cs.MaxI)
+			case "float64":
+				min, max = fmt.Sprintf("%.2f", cs.MinF), fmt.Sprintf("%.2f", cs.MaxF)
+			}
+			fmt.Printf("%-28s %-9s %-12d %-8d %-14s %s\n",
+				cs.Name, cs.Type, cs.NDV, cs.Nulls, min, max)
+		}
+		return
+	}
+
+	fmt.Println("fact tables:")
+	for _, n := range workload.FactNames() {
+		t := d.Table(n)
+		fmt.Printf("  %-20s %10d rows  %10.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
+	}
+	fmt.Println("dimension tables:")
+	for _, n := range workload.DimensionNames() {
+		t := d.Table(n)
+		fmt.Printf("  %-24s %8d rows  %10.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
+	}
+}
+
+func printQueries(set string) {
+	var qs []workload.Query
+	switch set {
+	case "bd":
+		qs = workload.BDInsights()
+	case "rolap":
+		qs = workload.CognosROLAP()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown query set %q (want bd or rolap)\n", set)
+		os.Exit(1)
+	}
+	for _, q := range qs {
+		heavy := ""
+		if q.MemoryHeavy {
+			heavy = "  [memory-heavy]"
+		}
+		fmt.Printf("-- %s (%s)%s\n%s\n\n", q.ID, q.Class, heavy, q.SQL)
+	}
+}

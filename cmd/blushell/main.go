@@ -1,0 +1,169 @@
+// Command blushell is an interactive SQL shell over a generated
+// TPC-DS-like database, executing on the hybrid CPU/GPU engine.
+//
+// Usage:
+//
+//	blushell [-sf 0.02] [-devices 2] [-gpu=true]
+//
+// Meta commands:
+//
+//	\tables        list tables with row counts
+//	\describe T    show table T's columns
+//	\gpu on|off    toggle device offload
+//	\monitor       print the performance monitor report
+//	\quit          exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/engine"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "dataset scale factor")
+	devices := flag.Int("devices", 2, "number of simulated GPUs")
+	gpuOn := flag.Bool("gpu", true, "start with GPU offload enabled")
+	flag.Parse()
+
+	fmt.Printf("generating dataset (sf=%g)...\n", *sf)
+	data := workload.Generate(*sf, 20160626)
+	eng, err := engine.New(engine.Config{Devices: *devices, Degree: 24})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := data.RegisterAll(eng); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng.SetGPUEnabled(*gpuOn)
+	fmt.Printf("ready: %d tables, %.1f MB, GPU %s. Type SQL or \\tables.\n",
+		len(data.Tables), float64(data.TotalBytes())/(1<<20), onOff(eng.GPUEnabled()))
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("blu> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if meta(eng, data, line) {
+				return
+			}
+			continue
+		}
+		run(eng, line)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// meta handles \commands; returns true on quit.
+func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q", "\\exit":
+		return true
+	case "\\tables":
+		for _, n := range append(workload.DimensionNames(), workload.FactNames()...) {
+			t := data.Table(n)
+			fmt.Printf("  %-24s %10d rows  %8.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
+		}
+	case "\\describe":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\describe <table>")
+			return false
+		}
+		t := eng.Table(fields[1])
+		if t == nil {
+			fmt.Printf("unknown table %q\n", fields[1])
+			return false
+		}
+		for _, c := range t.Columns() {
+			fmt.Printf("  %-28s %s\n", c.Name(), c.Type())
+		}
+	case "\\gpu":
+		if len(fields) == 2 {
+			eng.SetGPUEnabled(fields[1] == "on")
+		}
+		fmt.Printf("GPU offload: %s\n", onOff(eng.GPUEnabled()))
+	case "\\monitor":
+		eng.Monitor().Report(os.Stdout)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		if sql == "" {
+			fmt.Println("usage: \\explain <sql>")
+			return false
+		}
+		out, err := eng.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(out)
+	default:
+		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\quit")
+	}
+	return false
+}
+
+func run(eng *engine.Engine, sql string) {
+	res, err := eng.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+	fmt.Printf("(%d rows, modeled %v, gpu=%v)\n", res.Table.Rows(), res.Modeled, res.GPUUsed)
+	for _, op := range res.Ops {
+		if op.Op == "groupby" || op.Op == "sort" {
+			fmt.Printf("  %s: %s [%v]\n", op.Op, op.Detail, op.Modeled)
+		}
+	}
+}
+
+func printResult(res *engine.Result) {
+	const maxRows = 25
+	for _, c := range res.Columns {
+		fmt.Printf("%-18s", c)
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 18*len(res.Columns)))
+	n := res.Table.Rows()
+	if n > maxRows {
+		n = maxRows
+	}
+	for r := 0; r < n; r++ {
+		for _, v := range res.Table.Row(r) {
+			switch {
+			case v.Null:
+				fmt.Printf("%-18s", "NULL")
+			case v.Type == columnar.Float64:
+				fmt.Printf("%-18.2f", v.F)
+			default:
+				fmt.Printf("%-18v", v)
+			}
+		}
+		fmt.Println()
+	}
+	if res.Table.Rows() > maxRows {
+		fmt.Printf("... (%d more rows)\n", res.Table.Rows()-maxRows)
+	}
+}

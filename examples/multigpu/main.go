@@ -1,0 +1,137 @@
+// Multi-GPU: a heterogeneous fleet behind the scheduler. Demonstrates
+// admission by up-front memory demand, waiting vs CPU fallback when the
+// fleet is busy, partitioning a task too large for any single device
+// across the fleet (Section 2.2), and the learning feedback moderator
+// picking kernels from observed outcomes (the paper's future-work item).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/groupby"
+	"blugpu/internal/sched"
+	"blugpu/internal/vtime"
+)
+
+func main() {
+	model := vtime.Default()
+
+	// A heterogeneous fleet: one full K40 plus a 4 GB card.
+	big := vtime.TeslaK40()
+	small := vtime.TeslaK40()
+	small.Name = "K40 (4GB variant)"
+	small.DeviceMemory = 4 << 30
+	d0 := gpu.NewDevice(0, big, gpu.WithModel(model))
+	d1 := gpu.NewDevice(1, small, gpu.WithModel(model))
+	s, err := sched.New(d0, d1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %v, %v\n\n", d0, d1)
+
+	// --- 1. Placement follows memory demand ---
+	p, err := s.TryPlace(6 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6GB task placed on device %d (only the 12GB card fits it)\n", p.Device().ID())
+
+	// --- 2. Busy fleet: wait-or-fallback ---
+	p2, err := s.TryPlace(8 << 30)
+	if errors.Is(err, sched.ErrNoDevice) {
+		fmt.Println("8GB task rejected while the fleet is busy -> CPU fallback (Section 2.1.1 option 2)")
+	} else if err == nil {
+		p2.Release()
+	}
+	p.Release()
+
+	// --- 3. Too large for any device: partition across the fleet ---
+	placements, sizes, err := s.PlacePartitioned(14 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("14GB demand spread across %d devices: %v bytes per chunk\n", len(placements), sizes)
+	for _, pl := range placements {
+		pl.Release()
+	}
+
+	// --- 4. Partitioned group-by across both devices ---
+	in := syntheticTask(400_000, 30_000)
+	r0, err := d0.Reserve(groupby.MemoryDemand(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, err := d1.Reserve(groupby.MemoryDemand(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := groupby.RunGPUPartitioned(in, []*gpu.Reservation{r0, r1}, model, groupby.GPUOptions{Pinned: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npartitioned group-by: %d groups via %s, modeled %v\n",
+		out.Groups, out.Stats.Kernel, out.Stats.Modeled)
+	r0.Release()
+	r1.Release()
+
+	// --- 5. Feedback moderator learns the best kernel ---
+	fb := groupby.NewFeedbackModerator()
+	fb.Epsilon = 0
+	task := syntheticTask(120_000, 12) // kernel-2 territory
+	for round := 1; round <= 3; round++ {
+		res, err := d0.Reserve(groupby.MemoryDemand(task))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := groupby.RunGPU(task, res, model, groupby.GPUOptions{
+			Pinned: true, Feedback: fb, Race: round == 1, // first round races to seed the learner
+		})
+		res.Release()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: kernel=%s raced=%v modeled=%v\n",
+			round, out.Stats.Kernel, out.Stats.Raced, out.Stats.Modeled)
+	}
+	fmt.Printf("learned state: %v, observations: %v\n", fb, fb.Observations(task))
+}
+
+// syntheticTask builds a narrow-key group-by input with the given size.
+func syntheticTask(rows, groups int) *groupby.Input {
+	in := &groupby.Input{
+		NumRows:  rows,
+		Keys:     make([]uint64, rows),
+		Hashes:   make([]uint64, rows),
+		KeyBytes: 8,
+		KeyBits:  20,
+		Aggs: []groupby.AggSpec{
+			{Kind: groupby.Sum, Type: 0},
+			{Kind: groupby.Count},
+		},
+		Payloads:  make([][]uint64, 2),
+		EstGroups: uint64(groups),
+	}
+	in.Payloads[0] = make([]uint64, rows)
+	state := uint64(12345)
+	for i := 0; i < rows; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		k := (state >> 33) % uint64(groups)
+		in.Keys[i] = k
+		in.Hashes[i] = hashMix(k)
+		in.Payloads[0][i] = uint64(i % 100)
+	}
+	return in
+}
+
+// hashMix mirrors the HASH evaluator's mixing.
+func hashMix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

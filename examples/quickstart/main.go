@@ -1,0 +1,85 @@
+// Quickstart: build a columnar table, run a hybrid group-by query with
+// the GPU enabled and disabled, and inspect where it executed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/engine"
+)
+
+func main() {
+	// An engine with two simulated Tesla K40s, like the paper's testbed.
+	eng, err := engine.New(engine.Config{Devices: 2, Degree: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a 200k-row sales table: month, store, quantity, price.
+	month := columnar.NewInt64Builder("month")
+	store := columnar.NewInt64Builder("store")
+	qty := columnar.NewInt64Builder("qty")
+	price := columnar.NewFloat64Builder("price")
+	for i := 0; i < 200_000; i++ {
+		month.Append(int64(i%12 + 1))
+		store.Append(int64((i / 12) % 40))
+		qty.Append(int64(i%9 + 1))
+		price.Append(float64(i%500)/10 + 0.99)
+	}
+	sales := columnar.MustNewTable("sales",
+		month.Build(), store.Build(), qty.Build(), price.Build())
+	if err := eng.Register(sales); err != nil {
+		log.Fatal(err)
+	}
+
+	const sql = `SELECT month, SUM(qty) AS units, AVG(price) AS avg_price, COUNT(*) AS cnt
+FROM sales GROUP BY month ORDER BY units DESC LIMIT 5`
+	fmt.Println("query:", sql)
+
+	for _, gpuOn := range []bool{true, false} {
+		eng.SetGPUEnabled(gpuOn)
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- GPU %v: modeled %v (device used: %v) ---\n",
+			onOff(gpuOn), res.Modeled, res.GPUUsed)
+		for _, op := range res.Ops {
+			fmt.Printf("  %-10s %-24s rows=%-8d %v\n", op.Op, op.Detail, op.Rows, op.Modeled)
+		}
+		if gpuOn {
+			fmt.Println("\nresult:")
+			printTable(res)
+		}
+	}
+
+	fmt.Println("\nmonitor:")
+	eng.Monitor().Report(os.Stdout)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func printTable(res *engine.Result) {
+	for _, c := range res.Columns {
+		fmt.Printf("%-14s", c)
+	}
+	fmt.Println()
+	for r := 0; r < res.Table.Rows(); r++ {
+		for _, v := range res.Table.Row(r) {
+			if v.Type == columnar.Float64 && !v.Null {
+				fmt.Printf("%-14.2f", v.F)
+			} else {
+				fmt.Printf("%-14v", v)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// Cognos ROLAP: the 46-query analytical workload. Runs the serial
+// comparison (Table 2 / Figure 7), including the device-memory gate that
+// excludes the 12 heaviest queries, then replays the query profiles from
+// concurrent streams through the discrete-event simulator to measure
+// throughput (Table 3's phenomenon: offload gains grow with streams).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"blugpu/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "dataset scale factor")
+	flag.Parse()
+
+	fmt.Printf("generating dataset at sf=%g...\n", *sf)
+	h, err := bench.NewHarness(bench.Config{SF: *sf})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serial: per-query and total, behind the scaled memory gate.
+	if err := h.Run("fig7", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Run("table2", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Concurrent: streams x degree throughput matrix.
+	if err := h.Run("table3", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module blugpu
+
+go 1.22

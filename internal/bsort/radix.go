@@ -1,0 +1,119 @@
+package bsort
+
+import (
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// Entry packs one partial-key-buffer element: the 4-byte partial key in
+// the high word (so unsigned uint64 order sorts by key) and the 4-byte
+// payload — the tuple's address in the SDS — in the low word.
+type Entry uint64
+
+// MakeEntry builds an entry.
+func MakeEntry(key uint32, payload uint32) Entry {
+	return Entry(uint64(key)<<32 | uint64(payload))
+}
+
+// Key returns the 4-byte partial key.
+func (e Entry) Key() uint32 { return uint32(e >> 32) }
+
+// Payload returns the tuple address.
+func (e Entry) Payload() uint32 { return uint32(e) }
+
+// Range is a half-open interval of entry indices.
+type Range struct{ Lo, Hi int }
+
+// Len returns the range length.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// gpuRadixSort sorts entries[r.Lo:r.Hi] by partial key on the device — the
+// stand-in for Nvidia's Merrill/Grimshaw "Duane" radix sort kernel — and
+// returns the duplicate ranges the GPU identifies (runs of more than one
+// equal partial key), along with modeled kernel + transfer time.
+//
+// The device cost is the published kernel's throughput (~1G keys/s on a
+// K40); the functional sort is an LSD counting sort over the 4 key bytes.
+func gpuRadixSort(entries []Entry, r Range, res *gpu.Reservation, model *vtime.CostModel, pinned bool) ([]Range, vtime.Duration, error) {
+	n := r.Len()
+	if n <= 1 {
+		return nil, 0, nil
+	}
+	dev := res.Device()
+
+	// Stage the job's slice of the partial key buffer onto the device.
+	buf, err := res.AllocWords(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = uint64(entries[r.Lo+i])
+	}
+	tin, err := dev.CopyToDevice(buf, words, pinned)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Scratch buffer for the out-of-place counting-sort passes.
+	scratch, err := res.AllocWords(n)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	kr := dev.RunKernel("radix_sort", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+		src, dst := buf.Words(), scratch.Words()
+		for pass := 0; pass < 4; pass++ {
+			shift := uint(32 + 8*pass)
+			var counts [256]int
+			for _, w := range src {
+				counts[(w>>shift)&0xFF]++
+			}
+			sum := 0
+			for b := 0; b < 256; b++ {
+				c := counts[b]
+				counts[b] = sum
+				sum += c
+			}
+			for _, w := range src {
+				b := (w >> shift) & 0xFF
+				dst[counts[b]] = w
+				counts[b]++
+			}
+			src, dst = dst, src
+		}
+		// 4 passes: result is back in buf.Words().
+		return vtime.Duration(float64(n) / model.GPURadixSortRate), nil
+	})
+	if kr.Err != nil {
+		return nil, 0, kr.Err
+	}
+
+	// Copy the sorted buffer back.
+	tout, err := dev.CopyFromDevice(words, buf, pinned)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < n; i++ {
+		entries[r.Lo+i] = Entry(words[i])
+	}
+
+	// The GPU identifies duplicate ranges for requeueing.
+	var dups []Range
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && Entry(words[j]).Key() == Entry(words[i]).Key() {
+			j++
+		}
+		if j-i > 1 {
+			dups = append(dups, Range{Lo: r.Lo + i, Hi: r.Lo + j})
+		}
+		i = j
+	}
+	// The input copy is double-buffered against the radix passes (CUDA
+	// streams): the job pays max(transfer, kernel) plus a pipeline-fill
+	// chunk rather than the serial sum.
+	modeled := gpu.PipelineTime(tin, kr.Modeled) + tout
+	return dups, modeled, nil
+}

@@ -1,0 +1,105 @@
+package bsort
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SDS is the Sort Data Store of paper Section 3: incoming tuples are
+// appended to fixed-capacity buckets and *never move* during the sort —
+// all reordering happens in the partial key buffer, whose 4-byte payloads
+// address tuples here. Keeping tuples immobile is the point: they "could
+// be quite large", and swapping them during sorting would dwarf the key
+// work.
+type SDS struct {
+	bucketCap int
+	buckets   [][][]byte
+	count     int
+}
+
+// DefaultBucketCap is the default tuples-per-bucket.
+const DefaultBucketCap = 4096
+
+// NewSDS returns an empty store with the given bucket capacity
+// (DefaultBucketCap if <= 0).
+func NewSDS(bucketCap int) *SDS {
+	if bucketCap <= 0 {
+		bucketCap = DefaultBucketCap
+	}
+	return &SDS{bucketCap: bucketCap}
+}
+
+// Append stores one tuple and returns its payload: the stable address the
+// partial key buffer carries through every sort pass. Payloads are dense
+// row ids (bucket*cap + offset); they fit the paper's 4-byte payload up
+// to ~4 billion tuples, after which the buffer would grow its payload
+// width — this store rejects that point instead.
+func (s *SDS) Append(tuple []byte) (uint32, error) {
+	if s.count == 1<<32-1 {
+		return 0, errors.New("bsort: SDS exceeds 4-byte payload addressing")
+	}
+	if len(s.buckets) == 0 || len(s.buckets[len(s.buckets)-1]) == s.bucketCap {
+		s.buckets = append(s.buckets, make([][]byte, 0, s.bucketCap))
+	}
+	last := len(s.buckets) - 1
+	s.buckets[last] = append(s.buckets[last], tuple)
+	id := uint32(s.count)
+	s.count++
+	return id, nil
+}
+
+// Tuple returns the stored tuple for a payload. The returned slice
+// aliases the stored data; sorting never copies it.
+func (s *SDS) Tuple(payload uint32) []byte {
+	b := int(payload) / s.bucketCap
+	o := int(payload) % s.bucketCap
+	return s.buckets[b][o]
+}
+
+// Len returns the number of stored tuples.
+func (s *SDS) Len() int { return s.count }
+
+// Buckets returns the bucket count (monitoring).
+func (s *SDS) Buckets() int { return len(s.buckets) }
+
+// KeySource adapts the SDS for sorting: extract derives each tuple's
+// fixed-width binary-sortable key (width bytes, padded to a multiple of
+// 4). This is the "generate partial keys and payloads" step the host
+// threads run per job.
+func (s *SDS) KeySource(width int, extract func(tuple []byte, dst []byte)) (*SDSKeySource, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("bsort: invalid key width %d", width)
+	}
+	padded := (width + 3) &^ 3
+	return &SDSKeySource{sds: s, width: padded, raw: width, extract: extract}, nil
+}
+
+// SDSKeySource derives partial keys from SDS tuples on demand, matching
+// the paper's lazy "subsequent fetches of the next partial key".
+type SDSKeySource struct {
+	sds     *SDS
+	width   int // padded to 4
+	raw     int
+	extract func(tuple, dst []byte)
+}
+
+// NumRows implements KeySource.
+func (k *SDSKeySource) NumRows() int { return k.sds.Len() }
+
+// MaxDepth implements KeySource.
+func (k *SDSKeySource) MaxDepth() int { return k.width / 4 }
+
+// PartialKey implements KeySource: it re-derives the tuple's key and
+// returns the 4-byte segment at the requested depth.
+func (k *SDSKeySource) PartialKey(row int32, depth int) uint32 {
+	buf := make([]byte, k.width)
+	k.extract(k.sds.Tuple(uint32(row)), buf[:k.raw])
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v <<= 8
+		if idx := depth*4 + i; idx < len(buf) {
+			v |= uint32(buf[idx])
+		}
+	}
+	return v
+}

@@ -1,0 +1,102 @@
+package bsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blugpu/internal/vtime"
+)
+
+func TestSDSAppendAndAddressing(t *testing.T) {
+	s := NewSDS(4) // tiny buckets to exercise rollover
+	var ids []uint32
+	for i := 0; i < 11; i++ {
+		id, err := s.Append([]byte(fmt.Sprintf("tuple-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if s.Len() != 11 || s.Buckets() != 3 {
+		t.Fatalf("len=%d buckets=%d", s.Len(), s.Buckets())
+	}
+	for i, id := range ids {
+		if got := string(s.Tuple(id)); got != fmt.Sprintf("tuple-%02d", i) {
+			t.Fatalf("tuple %d = %q", i, got)
+		}
+	}
+}
+
+func TestSDSTuplesNeverMove(t *testing.T) {
+	// The address handed out at append time must stay valid after many
+	// more appends (buckets grow, existing data stays put).
+	s := NewSDS(8)
+	id, _ := s.Append([]byte("anchor"))
+	first := &s.Tuple(id)[0]
+	for i := 0; i < 1000; i++ {
+		s.Append([]byte("filler"))
+	}
+	if &s.Tuple(id)[0] != first {
+		t.Error("tuple memory moved after later appends")
+	}
+}
+
+func TestSDSSortIntegration(t *testing.T) {
+	// Store variable-size tuples whose first 8 bytes are a big-endian
+	// sortable value; sort through the hybrid path without moving them.
+	s := NewSDS(0)
+	rng := rand.New(rand.NewSource(5))
+	n := 20_000
+	vals := make([]int64, n)
+	for i := range vals {
+		v := rng.Int63n(1 << 40)
+		vals[i] = v
+		tuple := make([]byte, 8+rng.Intn(24)) // ragged payloads
+		binary.BigEndian.PutUint64(tuple, uint64(v))
+		if _, err := s.Append(tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := s.KeySource(8, func(tuple, dst []byte) { copy(dst, tuple[:8]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.MaxDepth() != 2 {
+		t.Fatalf("depth = %d, want 2", src.MaxDepth())
+	}
+	perm, st, err := Sort(src, Config{Model: vtime.Default(), Degree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		a := int64(binary.BigEndian.Uint64(s.Tuple(uint32(perm[i-1]))))
+		b := int64(binary.BigEndian.Uint64(s.Tuple(uint32(perm[i]))))
+		if a > b {
+			t.Fatalf("out of order at %d: %d > %d", i, a, b)
+		}
+	}
+	if st.Rows != n {
+		t.Errorf("stats rows = %d", st.Rows)
+	}
+}
+
+func TestSDSKeyWidthPadding(t *testing.T) {
+	s := NewSDS(0)
+	s.Append([]byte{0xAB, 0xCD, 0xEF})
+	// A 3-byte key pads to one 4-byte segment.
+	src, err := s.KeySource(3, func(tuple, dst []byte) { copy(dst, tuple) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.MaxDepth() != 1 {
+		t.Fatalf("depth = %d", src.MaxDepth())
+	}
+	if got := src.PartialKey(0, 0); got != 0xABCDEF00 {
+		t.Errorf("padded key = %08x, want ABCDEF00", got)
+	}
+	if _, err := s.KeySource(0, nil); err == nil {
+		t.Error("zero width should be rejected")
+	}
+}

@@ -1,0 +1,220 @@
+package bsort
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"blugpu/internal/sched"
+	"blugpu/internal/vtime"
+)
+
+// Config controls a hybrid sort.
+type Config struct {
+	// Model is the cost model (required).
+	Model *vtime.CostModel
+	// Scheduler places GPU jobs; nil disables the device path entirely.
+	Scheduler *sched.Scheduler
+	// Degree is host-side parallelism for key generation and CPU sorting.
+	Degree int
+	// GPUThreshold is the minimum job size (rows) worth dispatching to a
+	// device; below it, transfer + launch overhead exceeds the gain.
+	GPUThreshold int
+	// Pinned reports whether the partial key buffer is staged through the
+	// registered host segment.
+	Pinned bool
+	// Partitions > 1 splits the input into that many conflict-free ranges
+	// (by leading key byte) before enqueueing, so multiple devices can
+	// work without a merge step.
+	Partitions int
+}
+
+// DefaultGPUThreshold is the default CPU/GPU crossover in rows.
+const DefaultGPUThreshold = 1 << 16
+
+// Stats reports how a hybrid sort executed.
+type Stats struct {
+	Rows     int
+	Jobs     int
+	GPUJobs  int
+	CPUJobs  int
+	MaxDepth int // deepest key segment consulted
+
+	KeyGen  vtime.Duration // host partial-key/payload generation
+	CPUTime vtime.Duration // host sorting
+	GPUTime vtime.Duration // busiest device: kernels + transfers
+	Modeled vtime.Duration // end-to-end: keygen + max(CPU, GPU)
+}
+
+type job struct {
+	r     Range
+	depth int
+}
+
+// Sort orders the rows of src ascending by their full binary key, ties
+// broken by row id, and returns the permutation of row ids. It implements
+// the paper's job-queue design: partial keys are generated on the host,
+// large jobs go to the GPU radix kernel which reports duplicate ranges
+// for requeueing at the next key depth, and small jobs are sorted on the
+// host — both paths draining the same queue.
+func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
+	if cfg.Model == nil {
+		return nil, Stats{}, errors.New("bsort: Config.Model is required")
+	}
+	if cfg.Degree < 1 {
+		cfg.Degree = 1
+	}
+	if cfg.GPUThreshold <= 0 {
+		cfg.GPUThreshold = DefaultGPUThreshold
+	}
+	n := src.NumRows()
+	st := Stats{Rows: n}
+	if n == 0 {
+		return nil, st, nil
+	}
+
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = MakeEntry(0, uint32(i))
+	}
+
+	var queue []job
+	var keygenRows int64
+	var cpuWork float64
+	gpuBusy := map[int]vtime.Duration{}
+
+	// rekey regenerates the partial keys for a job's range at its depth.
+	// Payloads survive every sort, so the key source is always consulted
+	// fresh ("subsequent fetches of the next partial key").
+	rekey := func(r Range, depth int) {
+		for i := r.Lo; i < r.Hi; i++ {
+			p := entries[i].Payload()
+			entries[i] = MakeEntry(src.PartialKey(int32(p), depth), p)
+		}
+		keygenRows += int64(r.Len())
+	}
+
+	if cfg.Partitions > 1 && n > 1 && src.MaxDepth() > 0 {
+		// Conflict-free range partitioning by the leading key byte: each
+		// partition sorts independently, so no merge step is ever needed.
+		rekey(Range{0, n}, 0)
+		var counts [256]int
+		for _, e := range entries {
+			counts[e.Key()>>24]++
+		}
+		offsets := make([]int, 257)
+		for b := 0; b < 256; b++ {
+			offsets[b+1] = offsets[b] + counts[b]
+		}
+		scratch := make([]Entry, n)
+		next := make([]int, 256)
+		copy(next, offsets[:256])
+		for _, e := range entries {
+			b := e.Key() >> 24
+			scratch[next[b]] = e
+			next[b]++
+		}
+		copy(entries, scratch)
+		cpuWork += float64(n) // one extra linear pass
+		// Group the 256 buckets into ~Partitions contiguous jobs.
+		per := (n + cfg.Partitions - 1) / cfg.Partitions
+		lo := 0
+		for b := 0; b < 256; {
+			hi := lo
+			bb := b
+			for bb < 256 && hi-lo < per {
+				hi = offsets[bb+1]
+				bb++
+			}
+			if hi > lo {
+				queue = append(queue, job{Range{lo, hi}, 0})
+			}
+			lo = hi
+			b = bb
+		}
+	} else {
+		queue = append(queue, job{Range{0, n}, 0})
+	}
+
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if j.r.Len() <= 1 {
+			continue
+		}
+		st.Jobs++
+		if j.depth > st.MaxDepth {
+			st.MaxDepth = j.depth
+		}
+		if j.depth >= src.MaxDepth() {
+			// Keys fully equal: deterministic tie-break by row id.
+			sortByPayload(entries[j.r.Lo:j.r.Hi])
+			cpuWork += nlogn(j.r.Len())
+			st.CPUJobs++
+			continue
+		}
+		rekey(j.r, j.depth)
+
+		if cfg.Scheduler != nil && j.r.Len() >= cfg.GPUThreshold {
+			// Device path: the job needs two entry buffers on the device.
+			need := int64(j.r.Len()) * 16
+			if placement, err := cfg.Scheduler.TryPlace(need); err == nil {
+				dups, t, gerr := gpuRadixSort(entries, j.r, placement.Reservation(), cfg.Model, cfg.Pinned)
+				placement.Release()
+				if gerr == nil {
+					gpuBusy[placement.Device().ID()] += t
+					st.GPUJobs++
+					for _, d := range dups {
+						queue = append(queue, job{d, j.depth + 1})
+					}
+					continue
+				}
+			}
+			// No device admitted the job (or it failed): fall back to the
+			// host, like Section 2.1.1's fallback path.
+		}
+
+		// Host path: finish this range completely (all remaining depths
+		// plus the row-id tie-break), so it never requeues.
+		lo, hi, depth := j.r.Lo, j.r.Hi, j.depth
+		sort.Slice(entries[lo:hi], func(a, b int) bool {
+			pa, pb := entries[lo+a].Payload(), entries[lo+b].Payload()
+			for d := depth; d < src.MaxDepth(); d++ {
+				ka, kb := src.PartialKey(int32(pa), d), src.PartialKey(int32(pb), d)
+				if ka != kb {
+					return ka < kb
+				}
+			}
+			return pa < pb
+		})
+		cpuWork += nlogn(j.r.Len()) * float64(src.MaxDepth()-depth)
+		st.CPUJobs++
+	}
+
+	perm := make([]int32, n)
+	for i, e := range entries {
+		perm[i] = int32(e.Payload())
+	}
+
+	st.KeyGen = cfg.Model.CPUTime(float64(keygenRows), cfg.Model.CPUKeyGenRate, cfg.Degree)
+	st.CPUTime = cfg.Model.CPUTime(cpuWork, cfg.Model.CPUSortRate, cfg.Degree)
+	for _, t := range gpuBusy {
+		if t > st.GPUTime {
+			st.GPUTime = t
+		}
+	}
+	// CPU jobs and GPU jobs drain the queue concurrently.
+	st.Modeled = st.KeyGen + vtime.Max(st.CPUTime, st.GPUTime)
+	return perm, st, nil
+}
+
+func sortByPayload(es []Entry) {
+	sort.Slice(es, func(a, b int) bool { return es[a].Payload() < es[b].Payload() })
+}
+
+func nlogn(n int) float64 {
+	if n < 2 {
+		return float64(n)
+	}
+	return float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,85 @@
+package columnar
+
+// Gather builds a new column containing the given rows, in order. The
+// executor uses it to materialize filtered, joined, sorted and limited
+// intermediates without re-encoding dictionaries.
+func (c *Int64Column) Gather(name string, rows []int32) *Int64Column {
+	data := make([]int64, len(rows))
+	var nulls *Bitmap
+	for i, r := range rows {
+		data[i] = c.data[r]
+		if c.IsNull(int(r)) {
+			if nulls == nil {
+				nulls = NewBitmap(len(rows))
+			}
+			nulls.Set(i)
+		}
+	}
+	return &Int64Column{name: name, data: data, nulls: nulls}
+}
+
+// Gather builds a new column containing the given rows, in order.
+func (c *Float64Column) Gather(name string, rows []int32) *Float64Column {
+	data := make([]float64, len(rows))
+	var nulls *Bitmap
+	for i, r := range rows {
+		data[i] = c.data[r]
+		if c.IsNull(int(r)) {
+			if nulls == nil {
+				nulls = NewBitmap(len(rows))
+			}
+			nulls.Set(i)
+		}
+	}
+	return &Float64Column{name: name, data: data, nulls: nulls}
+}
+
+// Gather builds a new column containing the given rows, in order, sharing
+// the dictionary with the source column.
+func (c *StringColumn) Gather(name string, rows []int32) *StringColumn {
+	codes := make([]int32, len(rows))
+	var nulls *Bitmap
+	for i, r := range rows {
+		codes[i] = c.codes[r]
+		if c.IsNull(int(r)) {
+			if nulls == nil {
+				nulls = NewBitmap(len(rows))
+			}
+			nulls.Set(i)
+		}
+	}
+	return &StringColumn{name: name, dict: c.dict, codes: codes, nulls: nulls}
+}
+
+// GatherColumn dispatches Gather over the concrete column types.
+func GatherColumn(c Column, name string, rows []int32) Column {
+	switch col := c.(type) {
+	case *Int64Column:
+		return col.Gather(name, rows)
+	case *Float64Column:
+		return col.Gather(name, rows)
+	case *StringColumn:
+		return col.Gather(name, rows)
+	default:
+		// Generic fallback through Values.
+		vals := make([]Value, len(rows))
+		for i, r := range rows {
+			vals[i] = c.Value(int(r))
+		}
+		out, err := ColumnFromValues(name, c.Type(), vals)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+}
+
+// GatherTable materializes the given rows of tbl, in order, under a new
+// table name.
+func GatherTable(name string, tbl *Table, rows []int32) *Table {
+	cols := make([]Column, tbl.NumColumns())
+	for i, c := range tbl.Columns() {
+		cols[i] = GatherColumn(c, c.Name(), rows)
+	}
+	return MustNewTable(name, cols...)
+}

@@ -1,0 +1,147 @@
+// Package columnar implements the in-memory column store the engine runs
+// on — the stand-in for DB2 BLU's columnar tables.
+//
+// Tables are append-built, immutable afterwards. String columns are
+// dictionary-encoded (the BLU trait the paper's kernels exploit: grouping
+// keys arrive as compact codes); numeric columns are flat vectors. Nulls
+// are tracked in a separate bitmap per column. Selections are bitmaps over
+// row ids, so predicate evaluation composes without materializing rows.
+package columnar
+
+import "fmt"
+
+// Type enumerates column types. The engine's aggregation kernels care
+// about the physical width (4.3.1's mask layout), so each type knows it.
+type Type int
+
+const (
+	// Int64 is a 64-bit signed integer (also used for surrogate keys and
+	// dates encoded as day numbers).
+	Int64 Type = iota
+	// Float64 is a 64-bit IEEE float (DECIMAL stand-in).
+	Float64
+	// String is a dictionary-encoded variable-length string.
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Width returns the in-kernel payload width in bytes. Strings travel as
+// 32-bit dictionary codes.
+func (t Type) Width() int {
+	switch t {
+	case Int64, Float64:
+		return 8
+	case String:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Value is one scalar value flowing between the executor's operators.
+// Exactly one of the fields is meaningful, selected by Type; Null
+// overrides all.
+type Value struct {
+	Type Type
+	Null bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// NullValue returns a typed NULL.
+func NullValue(t Type) Value { return Value{Type: t, Null: true} }
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{Type: Int64, I: v} }
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{Type: Float64, F: v} }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return Value{Type: String, S: v} }
+
+// Equal reports deep equality, with NULL equal only to NULL.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	if v.Null || o.Null {
+		return v.Null == o.Null
+	}
+	switch v.Type {
+	case Int64:
+		return v.I == o.I
+	case Float64:
+		return v.F == o.F
+	case String:
+		return v.S == o.S
+	}
+	return false
+}
+
+// Compare orders two non-null values of the same type: -1, 0, +1.
+// NULLs sort first.
+func (v Value) Compare(o Value) int {
+	if v.Null || o.Null {
+		switch {
+		case v.Null && o.Null:
+			return 0
+		case v.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.Type {
+	case Int64:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+	case Float64:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+	case String:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+	}
+	return 0
+}
+
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Type {
+	case Int64:
+		return fmt.Sprintf("%d", v.I)
+	case Float64:
+		return fmt.Sprintf("%g", v.F)
+	case String:
+		return v.S
+	}
+	return "?"
+}

@@ -1,0 +1,113 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestConservationProperty: every submitted query completes exactly once,
+// and the makespan is bounded below by the total work over capacity and
+// above by the sum of serial times (no superlinear slowdown in a
+// processor-sharing system without blocking).
+func TestConservationProperty(t *testing.T) {
+	cfg := Config{CPUCapacity: 32, Devices: []DeviceSpec{{Mem: 1 << 30}}}
+	f := func(rawStreams []uint8) bool {
+		if len(rawStreams) == 0 {
+			return true
+		}
+		if len(rawStreams) > 6 {
+			rawStreams = rawStreams[:6]
+		}
+		var streams [][]Profile
+		total := 0
+		var totalCPUWork float64
+		var serialSum float64
+		for si, raw := range rawStreams {
+			n := int(raw%4) + 1
+			var qs []Profile
+			for q := 0; q < n; q++ {
+				work := float64((si+1)*(q+1)) * 3
+				par := float64(q%8 + 1)
+				p := Profile{
+					Name:   "q",
+					Phases: []Phase{{Kind: CPUPhase, Work: work, MaxPar: par}},
+				}
+				if q%3 == 1 {
+					p.Phases = append(p.Phases, Phase{Kind: GPUPhase, Work: 0.5, Mem: 64 << 20})
+				}
+				qs = append(qs, p)
+				total++
+				totalCPUWork += work
+				serialSum += p.SerialSeconds()
+			}
+			streams = append(streams, qs)
+		}
+		res, err := Run(cfg, streams)
+		if err != nil {
+			return false
+		}
+		if len(res.Queries) != total {
+			return false
+		}
+		// Each (stream, index) appears exactly once.
+		seen := map[[2]int]bool{}
+		for _, q := range res.Queries {
+			k := [2]int{q.Stream, q.Index}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			if q.End < q.Start {
+				return false
+			}
+		}
+		lower := totalCPUWork / cfg.CPUCapacity
+		if res.Makespan.Seconds() < lower-1e-9 {
+			return false // finished faster than the capacity allows
+		}
+		if res.Makespan.Seconds() > serialSum+1e-6 {
+			return false // worse than running everything serially
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryNeverExceedsCapacity: admission control must keep every
+// device's resident memory within capacity at every sample.
+func TestMemoryNeverExceedsCapacity(t *testing.T) {
+	cfg := Config{CPUCapacity: 16, Devices: []DeviceSpec{{Mem: 256 << 20}, {Mem: 128 << 20}}}
+	var streams [][]Profile
+	for s := 0; s < 6; s++ {
+		var qs []Profile
+		for q := 0; q < 4; q++ {
+			qs = append(qs, Profile{
+				Name: "gq",
+				Phases: []Phase{
+					{Kind: CPUPhase, Work: 1, MaxPar: 4},
+					{Kind: GPUPhase, Work: 0.5, Mem: int64(64+32*q) << 20},
+				},
+			})
+		}
+		streams = append(streams, qs)
+	}
+	res, err := Run(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, series := range res.MemSeries {
+		for _, s := range series {
+			if s.Used > cfg.Devices[d].Mem {
+				t.Fatalf("device %d over capacity: %d > %d at t=%v", d, s.Used, cfg.Devices[d].Mem, s.At)
+			}
+			if s.Used < 0 {
+				t.Fatalf("device %d negative memory at t=%v", d, s.At)
+			}
+		}
+		if series[len(series)-1].Used != 0 {
+			t.Errorf("device %d did not drain", d)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/evaluator"
+	"blugpu/internal/groupby"
+	"blugpu/internal/optimizer"
+	"blugpu/internal/plan"
+	"blugpu/internal/sched"
+	"blugpu/internal/vtime"
+)
+
+// aggPlanItem maps one plan aggregate to kernel aggregates. AVG expands
+// into a SUM and a COUNT whose quotient is finalized on the host.
+type aggPlanItem struct {
+	out      string
+	fn       plan.AggFunc
+	sumIdx   int // kernel aggregate index (SUM/MIN/MAX, or AVG's SUM)
+	countIdx int // AVG's COUNT index, -1 otherwise
+}
+
+func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
+	f, err := e.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lower plan aggregates to evaluator aggregates.
+	var cols []evaluator.AggColumn
+	items := make([]aggPlanItem, len(n.Aggs))
+	for i, a := range n.Aggs {
+		item := aggPlanItem{out: a.Out, fn: a.Func, countIdx: -1}
+		switch a.Func {
+		case plan.AggSum:
+			item.sumIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Sum, Column: a.Column})
+		case plan.AggCount:
+			item.sumIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Count, Column: a.Column})
+		case plan.AggMin:
+			item.sumIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Min, Column: a.Column})
+		case plan.AggMax:
+			item.sumIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Max, Column: a.Column})
+		case plan.AggAvg:
+			item.sumIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Sum, Column: a.Column})
+			item.countIdx = len(cols)
+			cols = append(cols, evaluator.AggColumn{Kind: groupby.Count, Column: a.Column})
+		default:
+			return nil, fmt.Errorf("engine: unknown aggregate %v", a.Func)
+		}
+		items[i] = item
+	}
+
+	// Figure 3's first decision happens before the chain runs: the exact
+	// input row count is known, so small (<= T1) and oversized (> T3)
+	// queries take the original Figure-1 CPU chain with no MEMCPY
+	// evaluator. Everything else runs the Figure-2 GPU chain, which
+	// stages into pinned memory as it goes.
+	rows := int64(f.tbl.Rows())
+	preGPU := e.GPUEnabled() && rows > e.thresholds.T1Rows &&
+		(e.thresholds.T3Rows <= 0 || rows <= e.thresholds.T3Rows)
+
+	// Host evaluator chain: LCOG/LCOV/CCAT/HASH(+KMV)[+MEMCPY].
+	chain, err := evaluator.BuildInput(f.tbl, nil, evaluator.Spec{Keys: n.Keys, Aggs: cols}, evaluator.Deps{
+		Model:    e.model,
+		Degree:   e.cfg.Degree,
+		Monitor:  e.mon,
+		Registry: e.registry,
+		Stage:    preGPU,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if chain.Staged != nil {
+		defer chain.Staged.Release()
+	}
+	e.addCPU(f, chain.Modeled)
+
+	in := chain.Input
+	demand := groupby.MemoryDemand(in)
+	// Second decision, now with the KMV group estimate and the exact
+	// memory demand.
+	decision, reason := optimizer.Decide(optimizer.Estimate{
+		Rows:         rows,
+		Groups:       int64(in.EstGroups),
+		MemoryDemand: demand,
+	}, e.thresholds, e.maxDeviceMem())
+	if !preGPU {
+		decision = optimizer.UseCPU
+	}
+
+	var out *groupby.Result
+	detail := ""
+	if decision == optimizer.UseGPU {
+		out, err = e.runAggregateGPU(in, demand, chain.Pinned, f)
+		if err != nil {
+			// Device full or admission failed: Section 2.1.1's fallback.
+			out = nil
+		} else {
+			detail = fmt.Sprintf("gpu/%s", out.Stats.Kernel)
+		}
+	}
+	if out == nil {
+		out, err = groupby.RunCPU(in, e.cfg.Degree, e.model)
+		if err != nil {
+			return nil, err
+		}
+		e.addCPU(f, out.Stats.Modeled)
+		detail = fmt.Sprintf("cpu (%s)", reason)
+	}
+
+	// Build the output table: decoded key columns + finalized aggregates.
+	outTbl, err := e.buildAggOutput(chain, in, out, items)
+	if err != nil {
+		return nil, err
+	}
+	finalize := e.model.CPUTime(float64(out.Groups*len(items)), e.model.CPUExprRate, e.cfg.Degree)
+	e.addCPU(f, finalize)
+	f.tbl = outTbl
+	f.ops = append(f.ops, OpStat{
+		Op:      "groupby",
+		Detail:  detail,
+		Rows:    out.Groups,
+		Modeled: chain.Modeled + out.Stats.Modeled + finalize,
+	})
+	return f, nil
+}
+
+// runAggregateGPU places the task on the fleet and runs the device path.
+func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame) (*groupby.Result, error) {
+	if e.sched == nil {
+		return nil, errors.New("engine: no devices")
+	}
+	placement, err := e.sched.TryPlace(demand)
+	if err != nil {
+		if errors.Is(err, sched.ErrNoDevice) {
+			// Busy fleet: wait briefly is an option (Section 2.1.1); the
+			// prototype falls back to the CPU instead.
+			return nil, err
+		}
+		return nil, err
+	}
+	defer placement.Release()
+	out, err := groupby.RunGPU(in, placement.Reservation(), e.model, groupby.GPUOptions{
+		Race:   e.cfg.Race,
+		Pinned: pinned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sample device memory for the monitor at the query's virtual-time
+	// offsets: the demand held for the kernel's duration, then released.
+	dev := placement.Device()
+	e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), demand, dev.TotalMemory())
+	e.addGPU(f, out.Stats.Modeled, demand)
+	e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), 0, dev.TotalMemory())
+	return out, nil
+}
+
+// buildAggOutput decodes group keys and finalizes aggregates into the
+// result table.
+func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out *groupby.Result, items []aggPlanItem) (*columnar.Table, error) {
+	groups := out.Groups
+	keyVal := func(g int, fi int) columnar.Value {
+		if in.Wide() {
+			return evaluator.DecodeWideKey(out.WideKeys[g], chain.Fields[fi])
+		}
+		return evaluator.DecodeKey(out.Keys[g], chain.Fields[fi])
+	}
+
+	var tcols []columnar.Column
+	for fi, field := range chain.Fields {
+		vals := make([]columnar.Value, groups)
+		for g := 0; g < groups; g++ {
+			vals[g] = keyVal(g, fi)
+		}
+		col, err := columnar.ColumnFromValues(field.Column, field.Type, vals)
+		if err != nil {
+			return nil, err
+		}
+		tcols = append(tcols, col)
+	}
+
+	for _, item := range items {
+		spec := in.Aggs[item.sumIdx]
+		words := out.AggWords[item.sumIdx]
+		switch {
+		case item.fn == plan.AggAvg:
+			counts := out.AggWords[item.countIdx]
+			b := columnar.NewFloat64Builder(item.out)
+			for g := 0; g < groups; g++ {
+				c := counts[g]
+				if c == 0 {
+					b.AppendNull()
+					continue
+				}
+				var sum float64
+				if spec.Type == columnar.Float64 {
+					sum = math.Float64frombits(words[g])
+				} else {
+					sum = float64(int64(words[g]))
+				}
+				b.Append(sum / float64(c))
+			}
+			tcols = append(tcols, b.Build())
+		case spec.Type == columnar.Float64 && spec.Kind != groupby.Count:
+			b := columnar.NewFloat64Builder(item.out)
+			for g := 0; g < groups; g++ {
+				v := math.Float64frombits(words[g])
+				// MIN/MAX identity means every input was NULL.
+				if (spec.Kind == groupby.Min && math.IsInf(v, 1)) ||
+					(spec.Kind == groupby.Max && math.IsInf(v, -1)) {
+					b.AppendNull()
+					continue
+				}
+				b.Append(v)
+			}
+			tcols = append(tcols, b.Build())
+		default:
+			b := columnar.NewInt64Builder(item.out)
+			for g := 0; g < groups; g++ {
+				v := int64(words[g])
+				if (spec.Kind == groupby.Min && v == math.MaxInt64) ||
+					(spec.Kind == groupby.Max && v == math.MinInt64) {
+					b.AppendNull()
+					continue
+				}
+				b.Append(v)
+			}
+			tcols = append(tcols, b.Build())
+		}
+	}
+	return columnar.NewTable("groupby", tcols...)
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"blugpu/internal/des"
+)
+
+// Stream is a sequence of SQL statements one simulated user executes back
+// to back.
+type Stream []string
+
+// ConcurrentResult reports a simulated multi-user run.
+type ConcurrentResult struct {
+	// Res is the discrete-event simulation outcome: makespan, per-query
+	// times, device-memory series.
+	Res *des.Result
+	// Profiles holds the measured per-SQL resource profiles (one per
+	// distinct statement), useful for inspection.
+	Profiles map[string]des.Profile
+}
+
+// RunConcurrent executes the streams against the engine's modeled
+// hardware: each distinct statement runs once functionally to measure its
+// resource profile, then the streams replay through the discrete-event
+// simulator sharing the host CPU pool and the device fleet. This is the
+// paper's multi-user methodology (Sections 5.2.2 and 5.3) as a library
+// call.
+//
+// sampleEvery adds periodic device-memory samples (seconds of virtual
+// time; 0 keeps event-driven samples only).
+func (e *Engine) RunConcurrent(streams []Stream, sampleEvery float64) (*ConcurrentResult, error) {
+	if len(streams) == 0 {
+		return nil, errors.New("engine: no streams")
+	}
+	profiles := map[string]des.Profile{}
+	for _, s := range streams {
+		for _, sql := range s {
+			if _, done := profiles[sql]; done {
+				continue
+			}
+			res, err := e.Query(sql)
+			if err != nil {
+				return nil, fmt.Errorf("engine: profiling %q: %w", sql, err)
+			}
+			p := res.Profile
+			p.Name = sql
+			profiles[sql] = p
+		}
+	}
+	cfg := des.Config{
+		CPUCapacity: e.model.CPU.EffectiveParallelism(e.model.CPU.HardwareThreads()),
+		SampleEvery: sampleEvery,
+	}
+	if e.GPUEnabled() {
+		for _, d := range e.devices {
+			cfg.Devices = append(cfg.Devices, des.DeviceSpec{Mem: d.TotalMemory()})
+		}
+	}
+	desStreams := make([][]des.Profile, len(streams))
+	for i, s := range streams {
+		for _, sql := range s {
+			desStreams[i] = append(desStreams[i], profiles[sql])
+		}
+	}
+	res, err := des.Run(cfg, desStreams)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentResult{Res: res, Profiles: profiles}, nil
+}

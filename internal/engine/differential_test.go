@@ -1,0 +1,349 @@
+package engine
+
+// Differential testing: a naive row-at-a-time reference executor runs the
+// same queries over the same data, and the hybrid engine's results must
+// match exactly — GPU on and off. This checks the whole stack (parser,
+// planner, evaluator chain, kernels, decoders) against an independent
+// implementation.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/optimizer"
+)
+
+// refRow is one row as a map from column name to value.
+type refRow map[string]columnar.Value
+
+// refGroupBy computes SELECT keys..., SUM(col), COUNT(*), COUNT(col),
+// MIN(col), MAX(col), AVG(col) the slow, obvious way.
+type refAgg struct {
+	fn  string // SUM COUNT COUNTCOL MIN MAX AVG
+	col string
+}
+
+func tableRows(tbl *columnar.Table) []refRow {
+	rows := make([]refRow, tbl.Rows())
+	for i := range rows {
+		r := refRow{}
+		for _, c := range tbl.Columns() {
+			r[c.Name()] = c.Value(i)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// refExec computes a filtered group-by with the given predicate, keys and
+// aggregates over the table.
+func refExec(tbl *columnar.Table, keep func(refRow) bool, keys []string, aggs []refAgg) map[string][]columnar.Value {
+	type acc struct {
+		keyVals []columnar.Value
+		sum     map[int]float64
+		sumI    map[int]int64
+		isFloat map[int]bool
+		cnt     map[int]int64
+		minV    map[int]columnar.Value
+		maxV    map[int]columnar.Value
+		rows    int64
+	}
+	groups := map[string]*acc{}
+	for _, row := range tableRows(tbl) {
+		if keep != nil && !keep(row) {
+			continue
+		}
+		var kb strings.Builder
+		keyVals := make([]columnar.Value, len(keys))
+		for i, k := range keys {
+			keyVals[i] = row[k]
+			fmt.Fprintf(&kb, "%v|", row[k])
+		}
+		g := groups[kb.String()]
+		if g == nil {
+			g = &acc{
+				keyVals: keyVals,
+				sum:     map[int]float64{}, sumI: map[int]int64{}, isFloat: map[int]bool{},
+				cnt: map[int]int64{}, minV: map[int]columnar.Value{}, maxV: map[int]columnar.Value{},
+			}
+			groups[kb.String()] = g
+		}
+		g.rows++
+		for ai, a := range aggs {
+			if a.col == "" {
+				continue
+			}
+			v := row[a.col]
+			if v.Null {
+				continue
+			}
+			g.cnt[ai]++
+			if v.Type == columnar.Float64 {
+				g.isFloat[ai] = true
+				g.sum[ai] += v.F
+			} else {
+				g.sumI[ai] += v.I
+			}
+			if cur, ok := g.minV[ai]; !ok || v.Compare(cur) < 0 {
+				g.minV[ai] = v
+			}
+			if cur, ok := g.maxV[ai]; !ok || v.Compare(cur) > 0 {
+				g.maxV[ai] = v
+			}
+		}
+	}
+	out := map[string][]columnar.Value{}
+	for key, g := range groups {
+		var vals []columnar.Value
+		vals = append(vals, g.keyVals...)
+		for ai, a := range aggs {
+			switch a.fn {
+			case "SUM":
+				if g.isFloat[ai] {
+					vals = append(vals, columnar.FloatValue(g.sum[ai]))
+				} else {
+					vals = append(vals, columnar.IntValue(g.sumI[ai]))
+				}
+			case "COUNT":
+				vals = append(vals, columnar.IntValue(g.rows))
+			case "COUNTCOL":
+				vals = append(vals, columnar.IntValue(g.cnt[ai]))
+			case "MIN":
+				if v, ok := g.minV[ai]; ok {
+					vals = append(vals, v)
+				} else {
+					vals = append(vals, columnar.NullValue(columnar.Int64))
+				}
+			case "MAX":
+				if v, ok := g.maxV[ai]; ok {
+					vals = append(vals, v)
+				} else {
+					vals = append(vals, columnar.NullValue(columnar.Int64))
+				}
+			case "AVG":
+				if g.cnt[ai] == 0 {
+					vals = append(vals, columnar.NullValue(columnar.Float64))
+				} else {
+					total := g.sum[ai] + float64(g.sumI[ai])
+					vals = append(vals, columnar.FloatValue(total/float64(g.cnt[ai])))
+				}
+			}
+		}
+		out[key] = vals
+	}
+	return out
+}
+
+// diffTable builds a randomized table for differential runs.
+func diffTable(rng *rand.Rand, rows int) *columnar.Table {
+	a := columnar.NewInt64Builder("a")
+	b := columnar.NewInt64Builder("b")
+	v := columnar.NewInt64Builder("v")
+	f := columnar.NewFloat64Builder("f")
+	s := columnar.NewStringBuilder("s")
+	labels := []string{"x", "y", "z", "w"}
+	for i := 0; i < rows; i++ {
+		a.Append(int64(rng.Intn(9)))
+		b.Append(int64(rng.Intn(7) - 3))
+		if rng.Intn(10) == 0 {
+			v.AppendNull()
+		} else {
+			v.Append(int64(rng.Intn(100) - 50))
+		}
+		if rng.Intn(12) == 0 {
+			f.AppendNull()
+		} else {
+			f.Append(float64(rng.Intn(1000))/8 - 40)
+		}
+		s.Append(labels[rng.Intn(len(labels))])
+	}
+	return columnar.MustNewTable("d", a.Build(), b.Build(), v.Build(), f.Build(), s.Build())
+}
+
+// resultIndex renders an engine result into the same key->values map.
+func resultIndex(res *Result, keyCount int) map[string][]columnar.Value {
+	out := map[string][]columnar.Value{}
+	for r := 0; r < res.Table.Rows(); r++ {
+		row := res.Table.Row(r)
+		var kb strings.Builder
+		for i := 0; i < keyCount; i++ {
+			fmt.Fprintf(&kb, "%v|", row[i])
+		}
+		out[kb.String()] = row
+	}
+	return out
+}
+
+func valuesEqual(a, b columnar.Value) bool {
+	if a.Null || b.Null {
+		return a.Null == b.Null
+	}
+	af, bf := a, b
+	// Numeric comparison with float tolerance.
+	toF := func(v columnar.Value) (float64, bool) {
+		switch v.Type {
+		case columnar.Int64:
+			return float64(v.I), true
+		case columnar.Float64:
+			return v.F, true
+		}
+		return 0, false
+	}
+	if x, ok := toF(af); ok {
+		if y, ok2 := toF(bf); ok2 {
+			if x == y {
+				return true
+			}
+			scale := math.Max(math.Abs(x), math.Abs(y))
+			return math.Abs(x-y) <= 1e-9*math.Max(scale, 1)
+		}
+	}
+	return a.Equal(b)
+}
+
+func compareToReference(t *testing.T, res *Result, want map[string][]columnar.Value, keyCount int, label string) {
+	t.Helper()
+	got := resultIndex(res, keyCount)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, reference has %d", label, len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: missing group %q", label, k)
+		}
+		for i := range wv {
+			if !valuesEqual(gv[i], wv[i]) {
+				t.Fatalf("%s: group %q col %d: got %v want %v", label, k, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialGroupBy runs a grid of grouped queries against the
+// reference executor, with the GPU both enabled and disabled (the GPU
+// configurations force tiny thresholds so kernels actually run).
+func TestDifferentialGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tbl := diffTable(rng, 4000)
+
+	type tc struct {
+		name string
+		sql  string
+		keys []string
+		aggs []refAgg
+		keep func(refRow) bool
+	}
+	cases := []tc{
+		{
+			name: "single-key-all-aggs",
+			sql: `SELECT a, SUM(v) AS s, COUNT(*) AS c, COUNT(v) AS cv, MIN(v) AS mn, MAX(v) AS mx, AVG(f) AS av
+			      FROM d GROUP BY a`,
+			keys: []string{"a"},
+			aggs: []refAgg{{"SUM", "v"}, {"COUNT", ""}, {"COUNTCOL", "v"}, {"MIN", "v"}, {"MAX", "v"}, {"AVG", "f"}},
+		},
+		{
+			name: "two-keys-string",
+			sql:  `SELECT a, s, SUM(f) AS sf, COUNT(*) AS c FROM d GROUP BY a, s`,
+			keys: []string{"a", "s"},
+			aggs: []refAgg{{"SUM", "f"}, {"COUNT", ""}},
+		},
+		{
+			name: "filtered",
+			sql:  `SELECT b, SUM(v) AS s, MAX(f) AS mx FROM d WHERE a > 3 AND s <> 'w' GROUP BY b`,
+			keys: []string{"b"},
+			aggs: []refAgg{{"SUM", "v"}, {"MAX", "f"}},
+			keep: func(r refRow) bool {
+				return !r["a"].Null && r["a"].I > 3 && r["s"].S != "w"
+			},
+		},
+		{
+			name: "between-in",
+			sql:  `SELECT s, COUNT(*) AS c, AVG(v) AS av FROM d WHERE v BETWEEN -20 AND 20 AND s IN ('x', 'y') GROUP BY s`,
+			keys: []string{"s"},
+			aggs: []refAgg{{"COUNT", ""}, {"AVG", "v"}},
+			keep: func(r refRow) bool {
+				v := r["v"]
+				return !v.Null && v.I >= -20 && v.I <= 20 && (r["s"].S == "x" || r["s"].S == "y")
+			},
+		},
+	}
+
+	configs := []struct {
+		name string
+		mk   func() (*Engine, error)
+	}{
+		{"cpu-only", func() (*Engine, error) { return New(Config{Degree: 8}) }},
+		{"gpu-forced", func() (*Engine, error) {
+			return New(Config{Devices: 2, Degree: 8,
+				Thresholds: tinyThresholds()})
+		}},
+		{"gpu-raced", func() (*Engine, error) {
+			return New(Config{Devices: 2, Degree: 8, Race: true,
+				Thresholds: tinyThresholds()})
+		}},
+	}
+	for _, cfg := range configs {
+		eng, err := cfg.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Register(tbl); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			res, err := eng.Query(c.sql)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.name, c.name, err)
+			}
+			want := refExec(tbl, c.keep, c.keys, c.aggs)
+			compareToReference(t, res, want, len(c.keys), cfg.name+"/"+c.name)
+			if cfg.name != "cpu-only" && !res.GPUUsed {
+				t.Errorf("%s/%s: tiny thresholds should force the device", cfg.name, c.name)
+			}
+		}
+	}
+}
+
+// TestDifferentialOrderBy checks ORDER BY against a reference sort.
+func TestDifferentialOrderBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := diffTable(rng, 2000)
+	eng, err := New(Config{Devices: 2, Degree: 8, GPUSortThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT a, b, v FROM d ORDER BY a, b DESC, v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: stable sort of (a asc, b desc, v asc NULLS FIRST).
+	rows := tableRows(tbl)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if c := rows[i]["a"].Compare(rows[j]["a"]); c != 0 {
+			return c < 0
+		}
+		if c := rows[i]["b"].Compare(rows[j]["b"]); c != 0 {
+			return c > 0 // DESC
+		}
+		return rows[i]["v"].Compare(rows[j]["v"]) < 0
+	})
+	for i := 0; i < res.Table.Rows(); i++ {
+		got := res.Table.Row(i)
+		if !valuesEqual(got[0], rows[i]["a"]) || !valuesEqual(got[1], rows[i]["b"]) || !valuesEqual(got[2], rows[i]["v"]) {
+			t.Fatalf("row %d: got %v want (%v,%v,%v)", i, got, rows[i]["a"], rows[i]["b"], rows[i]["v"])
+		}
+	}
+}
+
+func tinyThresholds() optimizer.Thresholds {
+	return optimizer.Thresholds{T1Rows: 1, T2Groups: 0, T3Rows: 1 << 40}
+}

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/expr"
+	"blugpu/internal/plan"
+)
+
+// exec dispatches one plan node.
+func (e *Engine) exec(n plan.Node) (*frame, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return e.execScan(node)
+	case *plan.Join:
+		return e.execJoin(node)
+	case *plan.Filter:
+		return e.execFilter(node)
+	case *plan.Derive:
+		return e.execDerive(node)
+	case *plan.Aggregate:
+		return e.execAggregate(node)
+	case *plan.Window:
+		return e.execWindow(node)
+	case *plan.Project:
+		return e.execProject(node)
+	case *plan.Sort:
+		return e.execSort(node)
+	case *plan.Limit:
+		return e.execLimit(node)
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}
+
+func (e *Engine) execScan(n *plan.Scan) (*frame, error) {
+	tbl := e.tables[n.Table]
+	if tbl == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", n.Table)
+	}
+	// Late materialization: narrow to the referenced columns up front
+	// (no copy — the narrowed table shares the column vectors).
+	if n.Needed != nil {
+		var cols []columnar.Column
+		for _, name := range n.Needed {
+			if c := tbl.Column(name); c != nil {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) > 0 && len(cols) < tbl.NumColumns() {
+			narrowed, err := columnar.NewTable(tbl.Name(), cols...)
+			if err == nil {
+				tbl = narrowed
+			}
+		}
+	}
+	f := &frame{tbl: tbl}
+	t := e.model.CPUTime(float64(tbl.Rows()), e.model.CPUScanRate, e.cfg.Degree)
+	e.addCPU(f, t)
+	f.ops = append(f.ops, OpStat{Op: "scan", Detail: n.Table, Rows: tbl.Rows(), Modeled: t})
+	return f, nil
+}
+
+func (e *Engine) execFilter(n *plan.Filter) (*frame, error) {
+	f, err := e.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := expr.EvalPredicate(f.tbl, n.Pred)
+	if err != nil {
+		return nil, err
+	}
+	rows := sel.Indices()
+	out := columnar.GatherTable(f.tbl.Name()+"_f", f.tbl, rows)
+	t := e.model.CPUTime(float64(f.tbl.Rows()), e.model.CPUExprRate, e.cfg.Degree) +
+		e.model.CPUTime(float64(len(rows)*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
+	e.addCPU(f, t)
+	f.tbl = out
+	f.ops = append(f.ops, OpStat{Op: "filter", Detail: n.Pred.String(), Rows: out.Rows(), Modeled: t})
+	return f, nil
+}
+
+func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
+	left, err := e.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right := e.tables[n.Table]
+	if right == nil {
+		return nil, fmt.Errorf("engine: unknown join table %q", n.Table)
+	}
+
+	// Resolve which condition column belongs to which side.
+	lcol, rcol := n.LeftCol, n.RightCol
+	if !left.tbl.HasColumn(lcol) && left.tbl.HasColumn(rcol) {
+		lcol, rcol = rcol, lcol
+	}
+	lk, ok := left.tbl.Column(lcol).(*columnar.Int64Column)
+	if left.tbl.Column(lcol) == nil || right.Column(rcol) == nil {
+		return nil, fmt.Errorf("engine: join condition %s=%s references unknown columns", n.LeftCol, n.RightCol)
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: join column %q must be an integer key", lcol)
+	}
+	rk, ok := right.Column(rcol).(*columnar.Int64Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: join column %q must be an integer key", rcol)
+	}
+
+	// Hash join: build on the smaller input, probe the larger.
+	buildRight := right.Rows() <= left.tbl.Rows()
+	var buildKeys, probeKeys *columnar.Int64Column
+	if buildRight {
+		buildKeys, probeKeys = rk, lk
+	} else {
+		buildKeys, probeKeys = lk, rk
+	}
+	ht := make(map[int64][]int32, buildKeys.Len())
+	for i := 0; i < buildKeys.Len(); i++ {
+		if buildKeys.IsNull(i) {
+			continue
+		}
+		k := buildKeys.Int64(i)
+		ht[k] = append(ht[k], int32(i))
+	}
+	var leftRows, rightRows []int32
+	for i := 0; i < probeKeys.Len(); i++ {
+		if probeKeys.IsNull(i) {
+			continue
+		}
+		for _, m := range ht[probeKeys.Int64(i)] {
+			if buildRight {
+				leftRows = append(leftRows, int32(i))
+				rightRows = append(rightRows, m)
+			} else {
+				leftRows = append(leftRows, m)
+				rightRows = append(rightRows, int32(i))
+			}
+		}
+	}
+
+	// Materialize both sides, restricted to the referenced columns
+	// (late materialization); column names must stay unique.
+	wanted := func(name string) bool {
+		if n.Needed == nil {
+			return true
+		}
+		for _, w := range n.Needed {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+	cols := make([]columnar.Column, 0, left.tbl.NumColumns()+right.NumColumns())
+	for _, c := range left.tbl.Columns() {
+		if !wanted(c.Name()) {
+			continue
+		}
+		cols = append(cols, columnar.GatherColumn(c, c.Name(), leftRows))
+	}
+	for _, c := range right.Columns() {
+		if left.tbl.HasColumn(c.Name()) {
+			if c.Name() == rcol || c.Name() == lcol {
+				continue // drop the duplicate join key
+			}
+			return nil, fmt.Errorf("engine: duplicate column %q across join of %s", c.Name(), n.Table)
+		}
+		if !wanted(c.Name()) {
+			continue
+		}
+		cols = append(cols, columnar.GatherColumn(c, c.Name(), rightRows))
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: join of %s would produce no columns", n.Table)
+	}
+	out, err := columnar.NewTable(left.tbl.Name()+"_j", cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	t := e.model.CPUTime(float64(buildKeys.Len()), e.model.CPUHashBuildRate, e.cfg.Degree) +
+		e.model.CPUTime(float64(probeKeys.Len()), e.model.CPUHashProbeRate, e.cfg.Degree) +
+		e.model.CPUTime(float64(out.Rows()*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
+	e.addCPU(left, t)
+	left.tbl = out
+	left.ops = append(left.ops, OpStat{
+		Op: "join", Detail: fmt.Sprintf("%s on %s=%s", n.Table, lcol, rcol),
+		Rows: out.Rows(), Modeled: t,
+	})
+	return left, nil
+}
+
+func (e *Engine) execDerive(n *plan.Derive) (*frame, error) {
+	f, err := e.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]columnar.Column{}, f.tbl.Columns()...)
+	for _, dc := range n.Cols {
+		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	out, err := columnar.NewTable(f.tbl.Name()+"_d", cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := e.model.CPUTime(float64(f.tbl.Rows()*len(n.Cols)), e.model.CPUExprRate, e.cfg.Degree)
+	e.addCPU(f, t)
+	f.tbl = out
+	f.ops = append(f.ops, OpStat{Op: "derive", Rows: out.Rows(), Modeled: t})
+	return f, nil
+}
+
+func (e *Engine) execProject(n *plan.Project) (*frame, error) {
+	f, err := e.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]columnar.Column, len(n.Cols))
+	exprWork := 0
+	for i, dc := range n.Cols {
+		// Fast path: bare column reference just gets renamed/gathered.
+		if ref, ok := dc.Expr.(*expr.Col); ok {
+			src := f.tbl.Column(ref.Name)
+			if src == nil {
+				return nil, fmt.Errorf("engine: unknown column %q", ref.Name)
+			}
+			cols[i] = renameColumn(src, dc.Name)
+			continue
+		}
+		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+		exprWork += f.tbl.Rows()
+	}
+	out, err := columnar.NewTable(f.tbl.Name()+"_p", cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := e.model.CPUTime(float64(exprWork), e.model.CPUExprRate, e.cfg.Degree)
+	e.addCPU(f, t)
+	f.tbl = out
+	f.ops = append(f.ops, OpStat{Op: "project", Rows: out.Rows(), Modeled: t})
+	return f, nil
+}
+
+func (e *Engine) execLimit(n *plan.Limit) (*frame, error) {
+	f, err := e.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	limit := n.N
+	if limit > f.tbl.Rows() {
+		limit = f.tbl.Rows()
+	}
+	rows := make([]int32, limit)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	f.tbl = columnar.GatherTable(f.tbl.Name()+"_l", f.tbl, rows)
+	f.ops = append(f.ops, OpStat{Op: "limit", Rows: f.tbl.Rows()})
+	return f, nil
+}
+
+// evalToColumn computes an expression for every row into a typed column.
+func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr) (columnar.Column, error) {
+	t, err := ex.TypeOf(tbl)
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.Rows()
+	switch t {
+	case columnar.Int64:
+		b := columnar.NewInt64Builder(name)
+		for i := 0; i < n; i++ {
+			v, err := ex.Eval(tbl, i)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				b.AppendNull()
+			} else {
+				b.Append(v.I)
+			}
+		}
+		return b.Build(), nil
+	case columnar.Float64:
+		b := columnar.NewFloat64Builder(name)
+		for i := 0; i < n; i++ {
+			v, err := ex.Eval(tbl, i)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				b.AppendNull()
+			} else {
+				b.Append(v.F)
+			}
+		}
+		return b.Build(), nil
+	case columnar.String:
+		b := columnar.NewStringBuilder(name)
+		for i := 0; i < n; i++ {
+			v, err := ex.Eval(tbl, i)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				b.AppendNull()
+			} else {
+				b.Append(v.S)
+			}
+		}
+		return b.Build(), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported expression type %v", t)
+}
+
+// renameColumn returns src under a new name without copying data.
+func renameColumn(src columnar.Column, name string) columnar.Column {
+	if src.Name() == name {
+		return src
+	}
+	all := make([]int32, src.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return columnar.GatherColumn(src, name, all)
+}

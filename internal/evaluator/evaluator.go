@@ -1,0 +1,492 @@
+// Package evaluator implements the BLU group-by evaluator chain of the
+// paper's Figures 1 and 2. The host-side evaluators — LCOG/LCOV (load
+// grouping keys and payloads), CCAT (concatenate multi-column keys), HASH
+// (hash grouping keys, feeding the KMV group estimator) and MEMCPY (stage
+// the vectors into the pinned host segment) — transform a columnar table
+// plus a selection into the groupby.Input the kernels consume. The LGHT
+// and aggregation evaluators of the original CPU chain live in
+// groupby.RunCPU.
+package evaluator
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/groupby"
+	"blugpu/internal/hostmem"
+	"blugpu/internal/kmv"
+	"blugpu/internal/monitor"
+	"blugpu/internal/murmur"
+	"blugpu/internal/vtime"
+)
+
+// AggColumn is one aggregation request: a function over a column.
+// Count with an empty column is COUNT(*); Count with a column is
+// rewritten to SUM(col IS NOT NULL) so NULLs are not counted.
+type AggColumn struct {
+	Kind   groupby.AggKind
+	Column string
+}
+
+// Spec describes one group-by/aggregation.
+type Spec struct {
+	// Keys are the grouping columns.
+	Keys []string
+	// Aggs are the aggregation functions.
+	Aggs []AggColumn
+}
+
+// Deps carries the chain's environment.
+type Deps struct {
+	// Model is the cost model (required).
+	Model *vtime.CostModel
+	// Degree is host parallelism for the evaluators.
+	Degree int
+	// Monitor receives per-evaluator timings; may be nil.
+	Monitor *monitor.Monitor
+	// Registry is the pinned host segment for MEMCPY staging; nil or
+	// exhausted falls back to unregistered memory (slow transfers).
+	Registry *hostmem.Registry
+	// Stage selects the GPU-bound chain of Figure 2 (with the MEMCPY
+	// evaluator). When false, the chain matches Figure 1's CPU shape: no
+	// staging happens and no MEMCPY time is charged. The optimizer picks
+	// the chain up front from its estimates.
+	Stage bool
+}
+
+// KeyField describes how one grouping column is packed into the key.
+type KeyField struct {
+	Column string
+	Type   columnar.Type
+	// BitOffset/Bits locate the field in a narrow packed key.
+	BitOffset, Bits int
+	// ByteOffset/Bytes locate the field in a wide concatenated key.
+	ByteOffset, Bytes int
+	// MinI rebases Int64 fields (code = value - MinI) in narrow keys.
+	MinI int64
+	// Dict decodes String fields.
+	Dict *columnar.StringColumn
+	// HasNull reports whether a NULL code was reserved (code 0; real
+	// codes shift up by one).
+	HasNull bool
+}
+
+// Result is the chain's output: a kernel-ready input plus everything
+// needed to decode group keys and account the work.
+type Result struct {
+	// Input is ready for groupby.RunCPU / groupby.RunGPU.
+	Input *groupby.Input
+	// Fields decode packed keys back into column values.
+	Fields []KeyField
+	// Staged is the pinned staging block (nil when staging fell back to
+	// unregistered memory). The caller releases it after the kernel call.
+	Staged *hostmem.Block
+	// Pinned reports whether MEMCPY landed in the registered segment.
+	Pinned bool
+	// Modeled is total host evaluator time (LCOG+LCOV+CCAT+HASH+MEMCPY).
+	Modeled vtime.Duration
+}
+
+// BuildInput runs the host evaluator chain over the selected rows of tbl.
+// sel may be nil to select every row.
+func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps) (*Result, error) {
+	if deps.Model == nil {
+		return nil, errors.New("evaluator: Deps.Model is required")
+	}
+	if deps.Degree < 1 {
+		deps.Degree = 1
+	}
+	if len(spec.Keys) == 0 {
+		return nil, errors.New("evaluator: at least one grouping column required")
+	}
+
+	rows := selectedRows(tbl, sel)
+	n := len(rows)
+	record := func(name string, nrows int64, d vtime.Duration) {
+		if deps.Monitor != nil {
+			deps.Monitor.RecordEvaluator(name, nrows, d)
+		}
+	}
+
+	// --- LCOG: load grouping key columns, compute field geometry ---
+	fields, err := planKeyFields(tbl, spec.Keys)
+	if err != nil {
+		return nil, err
+	}
+	lcogT := deps.Model.CPUTime(float64(n*len(spec.Keys)), deps.Model.CPUScanRate, deps.Degree)
+	record("LCOG", int64(n), lcogT)
+
+	totalBits := 0
+	totalBytes := 0
+	for _, f := range fields {
+		totalBits += f.Bits
+		totalBytes += f.Bytes
+	}
+	wide := totalBits > 63
+
+	in := &groupby.Input{NumRows: n}
+	var ccatT vtime.Duration
+	if wide {
+		in.KeyBytes = totalBytes
+		in.WideKeys = make([][]byte, n)
+		flat := make([]byte, n*totalBytes)
+		for i, r := range rows {
+			key := flat[i*totalBytes : (i+1)*totalBytes]
+			for _, f := range fields {
+				encodeWideField(tbl, f, int(r), key[f.ByteOffset:f.ByteOffset+f.Bytes])
+			}
+			in.WideKeys[i] = key
+		}
+		ccatT = deps.Model.CPUTime(float64(n*len(fields)), deps.Model.CPUExprRate, deps.Degree)
+	} else {
+		in.KeyBytes = 8
+		in.KeyBits = totalBits
+		in.Keys = make([]uint64, n)
+		for i, r := range rows {
+			var key uint64
+			for _, f := range fields {
+				key |= narrowCode(tbl, f, int(r)) << uint(f.BitOffset)
+			}
+			in.Keys[i] = key
+		}
+		if len(fields) > 1 {
+			ccatT = deps.Model.CPUTime(float64(n*len(fields)), deps.Model.CPUExprRate, deps.Degree)
+		}
+	}
+	record("CCAT", int64(n), ccatT)
+
+	// --- LCOV + aggregation specs ---
+	var lcovRows int64
+	for _, a := range spec.Aggs {
+		aspec, payload, err := buildPayload(tbl, rows, a)
+		if err != nil {
+			return nil, err
+		}
+		in.Aggs = append(in.Aggs, aspec)
+		in.Payloads = append(in.Payloads, payload)
+		if payload != nil {
+			lcovRows += int64(n)
+		}
+	}
+	lcovT := deps.Model.CPUTime(float64(lcovRows), deps.Model.CPUScanRate, deps.Degree)
+	record("LCOV", lcovRows, lcovT)
+
+	// --- HASH + KMV ---
+	in.Hashes = make([]uint64, n)
+	sketch := kmv.MustNew(kmv.DefaultK)
+	if wide {
+		for i, k := range in.WideKeys {
+			h := murmur.Sum64(k, 0x5bd1e995)
+			in.Hashes[i] = h
+			sketch.AddHash(h)
+		}
+	} else {
+		// The HASH evaluator mixes the packed key into a hashed value;
+		// the kernel's "mod hash" then maps it onto the table with a
+		// mask. Feeding raw packed codes straight to linear probing
+		// would cluster catastrophically — dictionary codes are dense
+		// and sequential.
+		for i, k := range in.Keys {
+			h := murmur.Sum64Uint64(k, 0x5bd1e995)
+			in.Hashes[i] = h
+			sketch.AddHash(h)
+		}
+	}
+	in.EstGroups = sketch.EstimateUint64()
+	hashT := deps.Model.CPUTime(float64(n), deps.Model.CPUExprRate, deps.Degree)
+	record("HASH", int64(n), hashT)
+
+	// --- MEMCPY: stage into the pinned segment (GPU chain only) ---
+	res := &Result{Input: in, Fields: fields}
+	var memcpyT vtime.Duration
+	if deps.Stage {
+		stagedBytes := groupby.InputDeviceBytes(in)
+		if stagedBytes > 0 {
+			if deps.Registry != nil {
+				if blk, err := deps.Registry.Alloc(int(stagedBytes)); err == nil {
+					stageCopy(blk.Bytes(), in)
+					res.Staged = blk
+					res.Pinned = true
+				}
+			}
+			memcpyT = deps.Model.HostCopy(stagedBytes, deps.Degree)
+			record("MEMCPY", int64(n), memcpyT)
+		}
+	}
+
+	res.Modeled = lcogT + ccatT + lcovT + hashT + memcpyT
+	return res, nil
+}
+
+// DecodeKey reconstructs field f's column value from a narrow packed key.
+func DecodeKey(key uint64, f KeyField) columnar.Value {
+	code := (key >> uint(f.BitOffset)) & ((1 << uint(f.Bits)) - 1)
+	return decodeCode(code, f)
+}
+
+// DecodeWideKey reconstructs field f's column value from a wide key.
+func DecodeWideKey(key []byte, f KeyField) columnar.Value {
+	seg := key[f.ByteOffset : f.ByteOffset+f.Bytes]
+	var code uint64
+	switch f.Bytes {
+	case 4:
+		code = uint64(binary.LittleEndian.Uint32(seg))
+	default:
+		code = binary.LittleEndian.Uint64(seg)
+	}
+	if f.Type == columnar.Float64 {
+		if f.HasNull && code == floatNullCode {
+			return columnar.NullValue(columnar.Float64)
+		}
+		return columnar.FloatValue(math.Float64frombits(code))
+	}
+	return decodeCode(code, f)
+}
+
+// floatNullCode marks NULL in float key fields: a NaN bit pattern that
+// arithmetic never produces (quiet NaNs are 0x7FF8...0). Shifting float
+// codes like int codes would alias adjacent bit patterns.
+const floatNullCode = ^uint64(0)
+
+func decodeCode(code uint64, f KeyField) columnar.Value {
+	if f.HasNull {
+		if code == 0 {
+			return columnar.NullValue(f.Type)
+		}
+		code--
+	}
+	switch f.Type {
+	case columnar.String:
+		return columnar.StringValue(f.Dict.Decode(int32(code)))
+	case columnar.Float64:
+		return columnar.FloatValue(math.Float64frombits(code))
+	default:
+		return columnar.IntValue(int64(code) + f.MinI)
+	}
+}
+
+// --- helpers ---
+
+func selectedRows(tbl *columnar.Table, sel *columnar.Bitmap) []int32 {
+	if sel == nil {
+		rows := make([]int32, tbl.Rows())
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		return rows
+	}
+	return sel.Indices()
+}
+
+// planKeyFields computes per-column packing geometry. Int columns are
+// rebased to their min so the code fits the value range; string columns
+// use dictionary codes. A NULL code is reserved when the column has nulls.
+func planKeyFields(tbl *columnar.Table, keys []string) ([]KeyField, error) {
+	fields := make([]KeyField, 0, len(keys))
+	bitOff, byteOff := 0, 0
+	for _, name := range keys {
+		col := tbl.Column(name)
+		if col == nil {
+			return nil, fmt.Errorf("evaluator: unknown grouping column %q", name)
+		}
+		f := KeyField{Column: name, Type: col.Type(), BitOffset: bitOff, ByteOffset: byteOff}
+		hasNull := false
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				hasNull = true
+				break
+			}
+		}
+		f.HasNull = hasNull
+		switch c := col.(type) {
+		case *columnar.StringColumn:
+			f.Dict = c
+			span := uint64(c.DictSize())
+			if hasNull {
+				span++
+			}
+			f.Bits = bitsFor(span)
+			f.Bytes = 4
+		case *columnar.Int64Column:
+			minV, maxV := int64(math.MaxInt64), int64(math.MinInt64)
+			any := false
+			for i, v := range c.Data() {
+				if c.IsNull(i) {
+					continue
+				}
+				any = true
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+			if !any {
+				minV, maxV = 0, 0
+			}
+			f.MinI = minV
+			span := uint64(maxV-minV) + 1
+			if hasNull {
+				span++
+			}
+			f.Bits = bitsFor(span)
+			f.Bytes = 8
+		case *columnar.Float64Column:
+			f.Bits = 64 // floats group by raw bits: always the wide path
+			f.Bytes = 8
+		default:
+			return nil, fmt.Errorf("evaluator: unsupported key column type %v", col.Type())
+		}
+		bitOff += f.Bits
+		byteOff += f.Bytes
+		fields = append(fields, f)
+	}
+	return fields, nil
+}
+
+// narrowCode returns the packed code of field f at row r.
+func narrowCode(tbl *columnar.Table, f KeyField, r int) uint64 {
+	col := tbl.Column(f.Column)
+	if col.IsNull(r) {
+		return 0
+	}
+	var code uint64
+	switch c := col.(type) {
+	case *columnar.StringColumn:
+		code = uint64(c.Code(r))
+	case *columnar.Int64Column:
+		code = uint64(c.Int64(r) - f.MinI)
+	}
+	if f.HasNull {
+		code++
+	}
+	return code
+}
+
+// encodeWideField writes field f's fixed-width encoding at row r into dst.
+func encodeWideField(tbl *columnar.Table, f KeyField, r int, dst []byte) {
+	col := tbl.Column(f.Column)
+	var code uint64
+	if col.IsNull(r) {
+		if f.Type == columnar.Float64 {
+			code = floatNullCode
+		}
+	} else {
+		switch c := col.(type) {
+		case *columnar.StringColumn:
+			code = uint64(c.Code(r))
+			if f.HasNull {
+				code++
+			}
+		case *columnar.Int64Column:
+			code = uint64(c.Int64(r) - f.MinI)
+			if f.HasNull {
+				code++
+			}
+		case *columnar.Float64Column:
+			code = math.Float64bits(c.Float64(r))
+		}
+	}
+	switch f.Bytes {
+	case 4:
+		binary.LittleEndian.PutUint32(dst, uint32(code))
+	default:
+		binary.LittleEndian.PutUint64(dst, code)
+	}
+}
+
+// buildPayload materializes one aggregate's payload vector. NULL inputs
+// become the aggregate's identity so they cannot affect the result;
+// COUNT(col) is rewritten to SUM(0/1).
+func buildPayload(tbl *columnar.Table, rows []int32, a AggColumn) (groupby.AggSpec, []uint64, error) {
+	if a.Kind == groupby.Count && a.Column == "" {
+		return groupby.AggSpec{Kind: groupby.Count}, nil, nil
+	}
+	col := tbl.Column(a.Column)
+	if col == nil {
+		return groupby.AggSpec{}, nil, fmt.Errorf("evaluator: unknown aggregate column %q", a.Column)
+	}
+	if a.Kind == groupby.Count {
+		// COUNT(col): sum 1 for non-null rows.
+		payload := make([]uint64, len(rows))
+		for i, r := range rows {
+			if !col.IsNull(int(r)) {
+				payload[i] = 1
+			}
+		}
+		return groupby.AggSpec{Kind: groupby.Sum, Type: columnar.Int64}, payload, nil
+	}
+	spec := groupby.AggSpec{Kind: a.Kind}
+	switch col.Type() {
+	case columnar.Int64:
+		spec.Type = columnar.Int64
+	case columnar.Float64:
+		spec.Type = columnar.Float64
+	default:
+		return groupby.AggSpec{}, nil, fmt.Errorf("evaluator: cannot aggregate %v column %q", col.Type(), a.Column)
+	}
+	identity := spec.InitWord()
+	payload := make([]uint64, len(rows))
+	for i, r := range rows {
+		if col.IsNull(int(r)) {
+			payload[i] = identity
+			continue
+		}
+		switch c := col.(type) {
+		case *columnar.Int64Column:
+			payload[i] = uint64(c.Int64(int(r)))
+		case *columnar.Float64Column:
+			payload[i] = math.Float64bits(c.Float64(int(r)))
+		}
+	}
+	return spec, payload, nil
+}
+
+// stageCopy writes the kernel input vectors into the pinned block — the
+// MEMCPY evaluator's actual byte traffic.
+func stageCopy(dst []byte, in *groupby.Input) {
+	off := 0
+	put := func(v uint64) {
+		if off+8 <= len(dst) {
+			binary.LittleEndian.PutUint64(dst[off:], v)
+			off += 8
+		}
+	}
+	if in.Wide() {
+		for _, k := range in.WideKeys {
+			for len(k) >= 8 {
+				put(binary.LittleEndian.Uint64(k))
+				k = k[8:]
+			}
+			if len(k) > 0 {
+				var tail [8]byte
+				copy(tail[:], k)
+				put(binary.LittleEndian.Uint64(tail[:]))
+			}
+		}
+	} else {
+		for _, k := range in.Keys {
+			put(k)
+		}
+	}
+	for _, h := range in.Hashes {
+		put(h)
+	}
+	for _, p := range in.Payloads {
+		for _, v := range p {
+			put(v)
+		}
+	}
+}
+
+func bitsFor(span uint64) int {
+	if span <= 1 {
+		return 1
+	}
+	return bits.Len64(span - 1)
+}

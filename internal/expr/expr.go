@@ -1,0 +1,525 @@
+// Package expr implements scalar expressions and predicates evaluated
+// over columnar tables — the engine's expression service and the input
+// language of its predicate evaluators.
+//
+// Evaluation is row-at-a-time for clarity; the engine charges predicate
+// work to the cost model by row count, so functional evaluation speed does
+// not affect modeled results.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"blugpu/internal/columnar"
+)
+
+// Expr is a scalar expression over one table's row.
+type Expr interface {
+	// Eval computes the expression for row i of tbl.
+	Eval(tbl *columnar.Table, i int) (columnar.Value, error)
+	// TypeOf resolves the result type against tbl's schema.
+	TypeOf(tbl *columnar.Table) (columnar.Type, error)
+	// String renders SQL-ish text.
+	String() string
+}
+
+// --- Column reference ---
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+// Eval implements Expr.
+func (c *Col) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	col := tbl.Column(c.Name)
+	if col == nil {
+		return columnar.Value{}, fmt.Errorf("expr: unknown column %q", c.Name)
+	}
+	return col.Value(i), nil
+}
+
+// TypeOf implements Expr.
+func (c *Col) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	col := tbl.Column(c.Name)
+	if col == nil {
+		return 0, fmt.Errorf("expr: unknown column %q", c.Name)
+	}
+	return col.Type(), nil
+}
+
+func (c *Col) String() string { return c.Name }
+
+// --- Literal ---
+
+// Lit is a constant.
+type Lit struct{ Val columnar.Value }
+
+// Int returns an integer literal.
+func Int(v int64) *Lit { return &Lit{columnar.IntValue(v)} }
+
+// Float returns a float literal.
+func Float(v float64) *Lit { return &Lit{columnar.FloatValue(v)} }
+
+// Str returns a string literal.
+func Str(v string) *Lit { return &Lit{columnar.StringValue(v)} }
+
+// Eval implements Expr.
+func (l *Lit) Eval(*columnar.Table, int) (columnar.Value, error) { return l.Val, nil }
+
+// TypeOf implements Expr.
+func (l *Lit) TypeOf(*columnar.Table) (columnar.Type, error) { return l.Val.Type, nil }
+
+func (l *Lit) String() string {
+	if l.Val.Type == columnar.String && !l.Val.Null {
+		return "'" + l.Val.S + "'"
+	}
+	return l.Val.String()
+}
+
+// --- Arithmetic ---
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/"}[op]
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op          ArithOp
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (a *Arith) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	l, err := a.Left.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	r, err := a.Right.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	t, err := numericResult(l.Type, r.Type)
+	if err != nil {
+		return columnar.Value{}, fmt.Errorf("expr: %s: %w", a, err)
+	}
+	if l.Null || r.Null {
+		return columnar.NullValue(t), nil
+	}
+	if t == columnar.Float64 {
+		lf, rf := asFloat(l), asFloat(r)
+		switch a.Op {
+		case Add:
+			return columnar.FloatValue(lf + rf), nil
+		case Sub:
+			return columnar.FloatValue(lf - rf), nil
+		case Mul:
+			return columnar.FloatValue(lf * rf), nil
+		case Div:
+			if rf == 0 {
+				return columnar.NullValue(t), nil
+			}
+			return columnar.FloatValue(lf / rf), nil
+		}
+	}
+	switch a.Op {
+	case Add:
+		return columnar.IntValue(l.I + r.I), nil
+	case Sub:
+		return columnar.IntValue(l.I - r.I), nil
+	case Mul:
+		return columnar.IntValue(l.I * r.I), nil
+	case Div:
+		if r.I == 0 {
+			return columnar.NullValue(t), nil
+		}
+		return columnar.IntValue(l.I / r.I), nil
+	}
+	return columnar.Value{}, fmt.Errorf("expr: unknown arith op %d", a.Op)
+}
+
+// TypeOf implements Expr.
+func (a *Arith) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	lt, err := a.Left.TypeOf(tbl)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := a.Right.TypeOf(tbl)
+	if err != nil {
+		return 0, err
+	}
+	return numericResult(lt, rt)
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.Left, a.Op, a.Right)
+}
+
+// --- Comparison ---
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Cmp is a binary comparison; its result is a boolean encoded as an Int64
+// Value (1/0) with NULL for unknown (SQL three-valued logic).
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (c *Cmp) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	l, err := c.Left.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	r, err := c.Right.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	if l.Null || r.Null {
+		return columnar.NullValue(columnar.Int64), nil
+	}
+	l, r, err = coerce(l, r)
+	if err != nil {
+		return columnar.Value{}, fmt.Errorf("expr: %s: %w", c, err)
+	}
+	cv := l.Compare(r)
+	var ok bool
+	switch c.Op {
+	case Eq:
+		ok = cv == 0
+	case Ne:
+		ok = cv != 0
+	case Lt:
+		ok = cv < 0
+	case Le:
+		ok = cv <= 0
+	case Gt:
+		ok = cv > 0
+	case Ge:
+		ok = cv >= 0
+	}
+	return boolValue(ok), nil
+}
+
+// TypeOf implements Expr.
+func (c *Cmp) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	if _, err := c.Left.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	if _, err := c.Right.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	return columnar.Int64, nil
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.Left, c.Op, c.Right)
+}
+
+// --- Logical ---
+
+// LogicOp enumerates logical connectives.
+type LogicOp int
+
+// Logical connectives.
+const (
+	And LogicOp = iota
+	Or
+)
+
+func (op LogicOp) String() string { return [...]string{"AND", "OR"}[op] }
+
+// Logic combines boolean expressions with SQL three-valued logic.
+type Logic struct {
+	Op          LogicOp
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (lg *Logic) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	l, err := lg.Left.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	r, err := lg.Right.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	lt, rt := truth(l), truth(r)
+	switch lg.Op {
+	case And:
+		switch {
+		case lt == tFalse || rt == tFalse:
+			return boolValue(false), nil
+		case lt == tTrue && rt == tTrue:
+			return boolValue(true), nil
+		default:
+			return columnar.NullValue(columnar.Int64), nil
+		}
+	case Or:
+		switch {
+		case lt == tTrue || rt == tTrue:
+			return boolValue(true), nil
+		case lt == tFalse && rt == tFalse:
+			return boolValue(false), nil
+		default:
+			return columnar.NullValue(columnar.Int64), nil
+		}
+	}
+	return columnar.Value{}, fmt.Errorf("expr: unknown logic op %d", lg.Op)
+}
+
+// TypeOf implements Expr.
+func (lg *Logic) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	if _, err := lg.Left.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	if _, err := lg.Right.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	return columnar.Int64, nil
+}
+
+func (lg *Logic) String() string {
+	return fmt.Sprintf("(%s %s %s)", lg.Left, lg.Op, lg.Right)
+}
+
+// Not negates a boolean expression (NULL stays NULL).
+type Not struct{ Inner Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	v, err := n.Inner.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	switch truth(v) {
+	case tTrue:
+		return boolValue(false), nil
+	case tFalse:
+		return boolValue(true), nil
+	default:
+		return columnar.NullValue(columnar.Int64), nil
+	}
+}
+
+// TypeOf implements Expr.
+func (n *Not) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	if _, err := n.Inner.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	return columnar.Int64, nil
+}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.Inner) }
+
+// --- Between, In, IsNull ---
+
+// Between is `x BETWEEN lo AND hi` (inclusive).
+type Between struct{ X, Lo, Hi Expr }
+
+// Eval implements Expr.
+func (b *Between) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	ge := &Cmp{Op: Ge, Left: b.X, Right: b.Lo}
+	le := &Cmp{Op: Le, Left: b.X, Right: b.Hi}
+	return (&Logic{Op: And, Left: ge, Right: le}).Eval(tbl, i)
+}
+
+// TypeOf implements Expr.
+func (b *Between) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	for _, e := range []Expr{b.X, b.Lo, b.Hi} {
+		if _, err := e.TypeOf(tbl); err != nil {
+			return 0, err
+		}
+	}
+	return columnar.Int64, nil
+}
+
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.X, b.Lo, b.Hi)
+}
+
+// In is `x IN (v1, v2, ...)` over literal values.
+type In struct {
+	X    Expr
+	Vals []columnar.Value
+}
+
+// Eval implements Expr.
+func (in *In) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	v, err := in.X.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	if v.Null {
+		return columnar.NullValue(columnar.Int64), nil
+	}
+	for _, c := range in.Vals {
+		cv, vv, err := coerce(c, v)
+		if err != nil {
+			continue
+		}
+		if vv.Equal(cv) {
+			return boolValue(true), nil
+		}
+	}
+	return boolValue(false), nil
+}
+
+// TypeOf implements Expr.
+func (in *In) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	if _, err := in.X.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	return columnar.Int64, nil
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		if v.Type == columnar.String {
+			parts[i] = "'" + v.S + "'"
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return fmt.Sprintf("(%s IN (%s))", in.X, strings.Join(parts, ", "))
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (n *IsNull) Eval(tbl *columnar.Table, i int) (columnar.Value, error) {
+	v, err := n.X.Eval(tbl, i)
+	if err != nil {
+		return columnar.Value{}, err
+	}
+	return boolValue(v.Null != n.Negate), nil
+}
+
+// TypeOf implements Expr.
+func (n *IsNull) TypeOf(tbl *columnar.Table) (columnar.Type, error) {
+	if _, err := n.X.TypeOf(tbl); err != nil {
+		return 0, err
+	}
+	return columnar.Int64, nil
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.X)
+}
+
+// --- helpers ---
+
+type tri int
+
+const (
+	tFalse tri = iota
+	tTrue
+	tNull
+)
+
+func truth(v columnar.Value) tri {
+	if v.Null {
+		return tNull
+	}
+	switch v.Type {
+	case columnar.Int64:
+		if v.I != 0 {
+			return tTrue
+		}
+	case columnar.Float64:
+		if v.F != 0 {
+			return tTrue
+		}
+	}
+	return tFalse
+}
+
+func boolValue(b bool) columnar.Value {
+	if b {
+		return columnar.IntValue(1)
+	}
+	return columnar.IntValue(0)
+}
+
+func asFloat(v columnar.Value) float64 {
+	if v.Type == columnar.Float64 {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+func numericResult(l, r columnar.Type) (columnar.Type, error) {
+	if l == columnar.String || r == columnar.String {
+		return 0, fmt.Errorf("arithmetic on string operand")
+	}
+	if l == columnar.Float64 || r == columnar.Float64 {
+		return columnar.Float64, nil
+	}
+	return columnar.Int64, nil
+}
+
+// coerce makes two values comparable, widening int to float when mixed.
+func coerce(l, r columnar.Value) (columnar.Value, columnar.Value, error) {
+	if l.Type == r.Type {
+		return l, r, nil
+	}
+	if l.Type == columnar.String || r.Type == columnar.String {
+		return l, r, fmt.Errorf("cannot compare %v with %v", l.Type, r.Type)
+	}
+	return columnar.FloatValue(asFloat(l)), columnar.FloatValue(asFloat(r)), nil
+}
+
+// EvalPredicate evaluates pred for every row of tbl and returns the
+// selection bitmap (rows where the predicate is TRUE; FALSE and NULL are
+// excluded, per SQL WHERE semantics).
+func EvalPredicate(tbl *columnar.Table, pred Expr) (*columnar.Bitmap, error) {
+	if _, err := pred.TypeOf(tbl); err != nil {
+		return nil, err
+	}
+	bm := columnar.NewBitmap(tbl.Rows())
+	for i := 0; i < tbl.Rows(); i++ {
+		v, err := pred.Eval(tbl, i)
+		if err != nil {
+			return nil, err
+		}
+		if truth(v) == tTrue {
+			bm.Set(i)
+		}
+	}
+	return bm, nil
+}

@@ -1,0 +1,260 @@
+// Package gjoin implements a GPU hash-join kernel — the paper's stated
+// next step ("we would like to study the performance of other compute
+// intensive operations (like join) on the GPU", Section 6). The engine's
+// prototype path keeps joins on the CPU, exactly like the paper's; this
+// package provides the device kernel for study, with the same memory
+// discipline (reserve up front, stage through pinned memory) and an
+// equivalent CPU implementation for comparison.
+//
+// The kernel is a classic two-phase device hash join over 64-bit keys:
+// phase 1 inserts the build side into a device hash table with atomicCAS
+// slot claiming (chained duplicates through a per-slot list); phase 2
+// probes with the stream side, emitting (buildRow, probeRow) pairs into a
+// preallocated output buffer through an atomic cursor.
+package gjoin
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/murmur"
+	"blugpu/internal/vtime"
+)
+
+// Pair is one join match: row indices into the build and probe inputs.
+type Pair struct {
+	Build, Probe int32
+}
+
+// Stats reports a join execution.
+type Stats struct {
+	Path    string
+	Matches int
+	Modeled vtime.Duration
+}
+
+// ErrOutputOverflow is returned when the match count exceeds the
+// preallocated output buffer (the caller sized it from optimizer
+// estimates and must retry bigger or fall back).
+var ErrOutputOverflow = errors.New("gjoin: output buffer overflow")
+
+// MemoryDemand returns the device bytes needed to join build (n rows)
+// against probe (m rows) with the given output capacity.
+func MemoryDemand(buildRows, probeRows, outCap int) int64 {
+	slots := tableSlots(buildRows)
+	if outCap <= 0 {
+		outCap = buildRows + probeRows
+	}
+	return int64(maxInt(buildRows, 1))*8 + // build keys
+		int64(maxInt(probeRows, 1))*8 + // probe keys
+		int64(slots)*16 + // table: key word + chain head per slot
+		int64(maxInt(buildRows, 1))*8 + // chain links
+		int64(maxInt(outCap, 1))*8 // packed output pairs
+}
+
+func tableSlots(buildRows int) int {
+	s := 16
+	for s < buildRows*2 {
+		s <<= 1
+	}
+	return s
+}
+
+// RunGPU joins build and probe key vectors on the device. outCap bounds
+// the emitted matches. NULL keys (represented by the caller as absent —
+// use a sentinel filter beforehand) are the caller's concern; every key
+// participates.
+func RunGPU(build, probe []int64, res *gpu.Reservation, model *vtime.CostModel, outCap int, pinned bool) ([]Pair, Stats, error) {
+	if outCap <= 0 {
+		outCap = len(build) + len(probe)
+	}
+	// -1 collides with the empty-slot sentinel; surrogate keys are
+	// non-negative, so reject rather than corrupt.
+	for _, k := range build {
+		if k == -1 {
+			return nil, Stats{}, errors.New("gjoin: key -1 collides with the empty sentinel")
+		}
+	}
+	dev := res.Device()
+	slots := tableSlots(len(build))
+	mask := uint64(slots - 1)
+
+	// Device buffers: staged inputs, table, chains, output.
+	buildBuf, err := res.AllocWords(maxInt(len(build), 1))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	probeBuf, err := res.AllocWords(maxInt(len(probe), 1))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	table, err := res.AllocWords(slots * 2)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	chains, err := res.AllocWords(maxInt(len(build), 1))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out, err := res.AllocWords(outCap)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var total vtime.Duration
+	t, err := dev.CopyToDevice(buildBuf, int64sToWords(build), pinned)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	total += t
+	t, err = dev.CopyToDevice(probeBuf, int64sToWords(probe), pinned)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	total += t
+
+	const empty = ^uint64(0)
+	// Initialize table slots to empty.
+	kr := dev.RunKernel("join_init", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+		words := table.Words()
+		err := g.ParallelFor(slots, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				words[2*s] = empty
+				words[2*s+1] = empty
+			}
+		})
+		return model.DeviceFill(int64(slots) * 16), err
+	})
+	if kr.Err != nil {
+		return nil, Stats{}, kr.Err
+	}
+	total += kr.Modeled
+
+	// Phase 1: build. Slot holds (key, head row); duplicates chain
+	// through chains[row] -> previous head.
+	kr = dev.RunKernel("join_build", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+		words := table.Words()
+		links := chains.Words()
+		err := g.ParallelFor(len(build), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				key := uint64(build[i])
+				s := int(murmur.Sum64Uint64(key, 0xfeed) & mask)
+				for {
+					cur := atomic.LoadUint64(&words[2*s])
+					if cur == empty {
+						if atomic.CompareAndSwapUint64(&words[2*s], empty, key) {
+							// Claimed a fresh slot: install self as head.
+							links[i] = atomic.SwapUint64(&words[2*s+1], uint64(i))
+							break
+						}
+						cur = atomic.LoadUint64(&words[2*s])
+					}
+					if cur == key {
+						// Same key: push self onto the chain.
+						links[i] = atomic.SwapUint64(&words[2*s+1], uint64(i))
+						break
+					}
+					s = int(uint64(s+1) & mask)
+				}
+			}
+		})
+		return vtime.Duration(float64(len(build)) / model.GPUHashInsertRate), err
+	})
+	if kr.Err != nil {
+		return nil, Stats{}, kr.Err
+	}
+	total += kr.Modeled
+
+	// Phase 2: probe, emitting pairs through an atomic cursor.
+	var cursor atomic.Int64
+	var overflow atomic.Bool
+	kr = dev.RunKernel("join_probe", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+		words := table.Words()
+		links := chains.Words()
+		outWords := out.Words()
+		err := g.ParallelFor(len(probe), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if overflow.Load() {
+					return
+				}
+				key := uint64(probe[i])
+				s := int(murmur.Sum64Uint64(key, 0xfeed) & mask)
+				for step := 0; step < slots; step++ {
+					cur := atomic.LoadUint64(&words[2*s])
+					if cur == empty {
+						break
+					}
+					if cur == key {
+						// Walk the duplicate chain.
+						for r := atomic.LoadUint64(&words[2*s+1]); r != empty; r = links[r] {
+							idx := cursor.Add(1) - 1
+							if int(idx) >= outCap {
+								overflow.Store(true)
+								return
+							}
+							outWords[idx] = r<<32 | uint64(uint32(i))
+						}
+						break
+					}
+					s = int(uint64(s+1) & mask)
+				}
+			}
+		})
+		return vtime.Duration(float64(len(probe)) / model.GPUHashInsertRate), err
+	})
+	if kr.Err != nil {
+		return nil, Stats{}, kr.Err
+	}
+	total += kr.Modeled
+	if overflow.Load() {
+		return nil, Stats{}, ErrOutputOverflow
+	}
+
+	n := int(cursor.Load())
+	resultWords := make([]uint64, n)
+	t, err = dev.CopyFromDevice(resultWords, out, pinned)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	total += t
+
+	pairs := make([]Pair, n)
+	for i, w := range resultWords {
+		pairs[i] = Pair{Build: int32(w >> 32), Probe: int32(uint32(w))}
+	}
+	return pairs, Stats{Path: "gpu", Matches: n, Modeled: total}, nil
+}
+
+// RunCPU is the host hash join used for comparison, with the same output
+// contract.
+func RunCPU(build, probe []int64, model *vtime.CostModel, degree int) ([]Pair, Stats, error) {
+	ht := make(map[int64][]int32, len(build))
+	for i, k := range build {
+		ht[k] = append(ht[k], int32(i))
+	}
+	var pairs []Pair
+	for i, k := range probe {
+		for _, b := range ht[k] {
+			pairs = append(pairs, Pair{Build: b, Probe: int32(i)})
+		}
+	}
+	modeled := model.CPUTime(float64(len(build)), model.CPUHashBuildRate, degree) +
+		model.CPUTime(float64(len(probe)), model.CPUHashProbeRate, degree)
+	return pairs, Stats{Path: "cpu", Matches: len(pairs), Modeled: modeled}, nil
+}
+
+func int64sToWords(v []int64) []uint64 {
+	out := make([]uint64, len(v))
+	for i, x := range v {
+		out[i] = uint64(x)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+package gjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+func device() *gpu.Device { return gpu.NewDevice(0, vtime.TeslaK40()) }
+
+func reserve(t *testing.T, build, probe, outCap int) *gpu.Reservation {
+	t.Helper()
+	res, err := device().Reserve(MemoryDemand(build, probe, outCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sortPairs normalizes for comparison.
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].Build != ps[b].Build {
+			return ps[a].Build < ps[b].Build
+		}
+		return ps[a].Probe < ps[b].Probe
+	})
+}
+
+func samePairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortPairs(a)
+	sortPairs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGPUMatchesCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	build := make([]int64, 5000)
+	probe := make([]int64, 20000)
+	for i := range build {
+		build[i] = rng.Int63n(3000)
+	}
+	for i := range probe {
+		probe[i] = rng.Int63n(3000)
+	}
+	model := vtime.Default()
+	cpuPairs, cpuStats, err := RunCPU(build, probe, model, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := reserve(t, len(build), len(probe), len(cpuPairs)+100)
+	defer res.Release()
+	gpuPairs, gpuStats, err := RunGPU(build, probe, res, model, len(cpuPairs)+100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairs(cpuPairs, gpuPairs) {
+		t.Fatalf("results differ: cpu=%d pairs, gpu=%d pairs", len(cpuPairs), len(gpuPairs))
+	}
+	if cpuStats.Matches != gpuStats.Matches {
+		t.Errorf("match counts differ: %d vs %d", cpuStats.Matches, gpuStats.Matches)
+	}
+	if gpuStats.Modeled <= 0 || cpuStats.Modeled <= 0 {
+		t.Error("modeled times missing")
+	}
+}
+
+func TestDuplicateKeysBothSides(t *testing.T) {
+	build := []int64{1, 1, 2, 3, 3, 3}
+	probe := []int64{1, 3, 3, 4}
+	model := vtime.Default()
+	cpuPairs, _, _ := RunCPU(build, probe, model, 4)
+	// 1 matches 2 build rows; 3 matches 3 build rows twice: 2 + 6 = 8.
+	if len(cpuPairs) != 8 {
+		t.Fatalf("cpu pairs = %d, want 8", len(cpuPairs))
+	}
+	res := reserve(t, len(build), len(probe), 16)
+	defer res.Release()
+	gpuPairs, _, err := RunGPU(build, probe, res, model, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairs(cpuPairs, gpuPairs) {
+		t.Fatalf("duplicate-key results differ")
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	res := reserve(t, 3, 3, 8)
+	defer res.Release()
+	pairs, st, err := RunGPU([]int64{1, 2, 3}, []int64{7, 8, 9}, res, vtime.Default(), 8, true)
+	if err != nil || len(pairs) != 0 || st.Matches != 0 {
+		t.Errorf("no-match join: %v pairs, %v", pairs, err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res := reserve(t, 0, 5, 8)
+	defer res.Release()
+	pairs, _, err := RunGPU(nil, []int64{1, 2, 3, 4, 5}, res, vtime.Default(), 8, true)
+	if err != nil || len(pairs) != 0 {
+		t.Errorf("empty build join: %v, %v", pairs, err)
+	}
+}
+
+func TestOutputOverflow(t *testing.T) {
+	build := []int64{1, 1, 1, 1}
+	probe := []int64{1, 1}
+	res := reserve(t, len(build), len(probe), 4)
+	defer res.Release()
+	_, _, err := RunGPU(build, probe, res, vtime.Default(), 4, true) // needs 8
+	if err != ErrOutputOverflow {
+		t.Errorf("want ErrOutputOverflow, got %v", err)
+	}
+}
+
+func TestSentinelKeyRejected(t *testing.T) {
+	res := reserve(t, 2, 2, 4)
+	defer res.Release()
+	if _, _, err := RunGPU([]int64{-1, 2}, []int64{2}, res, vtime.Default(), 4, true); err == nil {
+		t.Error("key -1 should be rejected")
+	}
+}
+
+func TestGPUJoinCostShape(t *testing.T) {
+	// Star joins (tiny build, huge probe) are what the engine runs; the
+	// device should be at least competitive at large probe counts.
+	model := vtime.Default()
+	build := make([]int64, 2000)
+	probe := make([]int64, 2_000_000)
+	for i := range build {
+		build[i] = int64(i)
+	}
+	for i := range probe {
+		probe[i] = int64(i % 2000)
+	}
+	_, cpuStats, _ := RunCPU(build, probe, model, 24)
+	res := reserve(t, len(build), len(probe), len(probe)+10)
+	defer res.Release()
+	_, gpuStats, err := RunGPU(build, probe, res, model, len(probe)+10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not asserting a win — the paper left join offload as future work —
+	// but the device should be within 4x either way, or the cost model
+	// is broken.
+	ratio := gpuStats.Modeled.Seconds() / cpuStats.Modeled.Seconds()
+	if ratio > 4 || ratio < 0.25 {
+		t.Errorf("gpu/cpu join ratio = %.2f, outside sanity band", ratio)
+	}
+}
+
+func TestJoinProperty(t *testing.T) {
+	model := vtime.Default()
+	f := func(rawBuild, rawProbe []uint8) bool {
+		build := make([]int64, len(rawBuild))
+		probe := make([]int64, len(rawProbe))
+		for i, v := range rawBuild {
+			build[i] = int64(v % 32)
+		}
+		for i, v := range rawProbe {
+			probe[i] = int64(v % 32)
+		}
+		cpuPairs, _, _ := RunCPU(build, probe, model, 4)
+		outCap := len(cpuPairs) + 8
+		res, err := device().Reserve(MemoryDemand(len(build), len(probe), outCap))
+		if err != nil {
+			return false
+		}
+		defer res.Release()
+		gpuPairs, _, err := RunGPU(build, probe, res, model, outCap, true)
+		if err != nil {
+			return false
+		}
+		return samePairs(cpuPairs, gpuPairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

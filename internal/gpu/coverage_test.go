@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blugpu/internal/vtime"
+)
+
+func TestFloatAtomicsMinMax(t *testing.T) {
+	d := newTestDevice()
+	r, _ := d.Reserve(1 << 12)
+	defer r.Release()
+	b, _ := r.AllocWords(2)
+	b.AtomicStore(0, math.Float64bits(math.Inf(1)))  // min slot
+	b.AtomicStore(1, math.Float64bits(math.Inf(-1))) // max slot
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := float64(g*2000+i) / 7
+				b.AtomicMinFloat64(0, v)
+				b.AtomicMaxFloat64(1, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := math.Float64frombits(b.AtomicLoad(0)); got != 0 {
+		t.Errorf("min = %v, want 0", got)
+	}
+	want := float64(8*2000-1) / 7
+	if got := math.Float64frombits(b.AtomicLoad(1)); got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+	// No-op paths.
+	if n := b.AtomicMinFloat64(0, 100); n != 0 {
+		t.Error("min no-op should not retry")
+	}
+	if n := b.AtomicMaxFloat64(1, -1); n != 0 {
+		t.Error("max no-op should not retry")
+	}
+}
+
+func TestDeviceStringAndAccessors(t *testing.T) {
+	d := NewDevice(7, vtime.TeslaK40())
+	s := d.String()
+	if !strings.Contains(s, "gpu7") || !strings.Contains(s, "12.0GB") {
+		t.Errorf("String = %q", s)
+	}
+	if d.ID() != 7 {
+		t.Error("ID wrong")
+	}
+	r, _ := d.Reserve(1 << 20)
+	if d.UsedMemory() != 1<<20 {
+		t.Errorf("UsedMemory = %d", d.UsedMemory())
+	}
+	if r.Size() != 1<<20 || r.Device() != d {
+		t.Error("reservation accessors wrong")
+	}
+	b, _ := r.AllocWords(4)
+	if len(b.Words()) != 4 {
+		t.Error("Words accessor wrong")
+	}
+	r.Release()
+	if d.UsedMemory() != 0 {
+		t.Error("release did not return memory")
+	}
+	// TransferTime estimation without a copy.
+	if d.TransferTime(1<<20, true) >= d.TransferTime(1<<20, false) {
+		t.Error("pinned estimate should be faster")
+	}
+	// Event kind strings.
+	for k := EventKernel; k <= EventReserveFail; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Error("unknown kind fallback wrong")
+	}
+}
+
+func TestWithModelOption(t *testing.T) {
+	slow := vtime.Default()
+	slow.PCIe.PinnedBps = 1e9 // 12x slower
+	fast := NewDevice(0, vtime.TeslaK40())
+	slowDev := NewDevice(1, vtime.TeslaK40(), WithModel(slow))
+	if slowDev.TransferTime(1<<24, true) <= fast.TransferTime(1<<24, true) {
+		t.Error("WithModel not applied")
+	}
+}
+
+func TestGridDeviceAccessor(t *testing.T) {
+	d := newTestDevice()
+	kr := d.RunKernel("probe", nil, func(g *Grid) (vtime.Duration, error) {
+		if g.Device() != d {
+			t.Error("grid device accessor wrong")
+		}
+		return 0, nil
+	})
+	if kr.Err != nil {
+		t.Fatal(kr.Err)
+	}
+}
+
+func TestParallelForMidRunCancellation(t *testing.T) {
+	d := newTestDevice()
+	cancel := NewCancel()
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan KernelResult, 1)
+	go func() {
+		done <- d.RunKernel("slow", cancel, func(g *Grid) (vtime.Duration, error) {
+			return 0, g.ParallelFor(1<<16, func(lo, hi int) {
+				once.Do(func() { close(started) })
+				time.Sleep(200 * time.Microsecond)
+			})
+		})
+	}()
+	<-started
+	cancel.Cancel()
+	res := <-done
+	if res.Err != ErrCancelled {
+		t.Errorf("mid-run cancel: err = %v", res.Err)
+	}
+}
+
+func TestParallelForSingleWorkerCancelled(t *testing.T) {
+	d := newTestDevice()
+	cancel := NewCancel()
+	cancel.Cancel()
+	kr := d.RunKernel("tiny", cancel, func(g *Grid) (vtime.Duration, error) {
+		// n=1 takes the single-worker fast path.
+		return 0, g.ParallelFor(1, func(lo, hi int) {})
+	})
+	if kr.Err != ErrCancelled {
+		t.Errorf("single-worker cancel: %v", kr.Err)
+	}
+}
+
+func TestLockSetSpinsCounter(t *testing.T) {
+	l := NewLockSet(1)
+	l.Lock(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.Lock(0) // must spin at least once
+		l.Unlock(0)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	l.Unlock(0)
+	wg.Wait()
+	if l.Spins() == 0 {
+		t.Error("contended lock should record spins")
+	}
+}

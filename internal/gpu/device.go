@@ -1,0 +1,183 @@
+// Package gpu implements the simulated GPU device the engine offloads to.
+//
+// The paper's prototype targets Nvidia Tesla K40 cards through CUDA. A
+// pure-Go, stdlib-only reproduction cannot drive real CUDA hardware, so
+// this package provides a *functional* device model with the same
+// programming surface the paper's kernels rely on:
+//
+//   - a device-memory heap with the up-front reservation discipline of
+//     Section 2.1.1 (reserve-or-fail before kernel launch; wait or fall
+//     back to the CPU on failure),
+//   - CUDA-style data-parallel kernel launches executed by a bounded
+//     goroutine pool, with atomic CAS/add/min/max and per-entry spin locks
+//     (Section 4.4's two aggregation strategies),
+//   - SMX shared-memory constraints (64 KiB configurable 48/16 between
+//     shared memory and L1, Section 4.3.2),
+//   - a transfer engine distinguishing pinned from unpinned host memory.
+//
+// Kernels execute for real — hash tables are really built, sorts really
+// sort — while elapsed time is modeled through vtime.CostModel so that the
+// performance *shape* of a K40 (massive parallel throughput, kernel-launch
+// latency, PCIe transfer cost) is preserved. Contention is measured, not
+// assumed: kernels report CAS retries and lock spins, and those counts
+// feed the model.
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"blugpu/internal/vtime"
+)
+
+// EventKind classifies monitor events emitted by the device.
+type EventKind int
+
+const (
+	// EventKernel is a kernel execution.
+	EventKernel EventKind = iota
+	// EventTransferH2D is a host-to-device copy.
+	EventTransferH2D
+	// EventTransferD2H is a device-to-host copy.
+	EventTransferD2H
+	// EventReserve is a device-memory reservation.
+	EventReserve
+	// EventReserveFail is a failed device-memory reservation.
+	EventReserveFail
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventKernel:
+		return "kernel"
+	case EventTransferH2D:
+		return "h2d"
+	case EventTransferD2H:
+		return "d2h"
+	case EventReserve:
+		return "reserve"
+	case EventReserveFail:
+		return "reserve-fail"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one timed device activity, reported to the EventSink.
+type Event struct {
+	Device  int
+	Kind    EventKind
+	Name    string
+	Bytes   int64
+	Modeled vtime.Duration
+}
+
+// EventSink receives device events. The engine's performance monitor
+// (internal/monitor) implements it; a nil sink discards events.
+type EventSink interface {
+	RecordGPUEvent(Event)
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	id    int
+	spec  vtime.GPUSpec
+	sink  EventSink
+	model *vtime.CostModel
+
+	mu          sync.Mutex
+	memUsed     int64 // bytes allocated or reserved
+	outstanding int   // kernel calls admitted but not finished
+	kernels     uint64
+	transfers   uint64
+
+	// sharedSplit is the byte count of the SMX pool configured as shared
+	// memory (the rest is L1). The group-by kernels set 48 KiB.
+	sharedSplit int
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithSink attaches a monitor sink.
+func WithSink(s EventSink) Option { return func(d *Device) { d.sink = s } }
+
+// WithSharedSplit sets the shared-memory portion of each SMX's 64 KiB
+// configurable pool (default: 48 KiB shared / 16 KiB L1).
+func WithSharedSplit(bytes int) Option { return func(d *Device) { d.sharedSplit = bytes } }
+
+// NewDevice creates a simulated device with the given id and spec.
+func NewDevice(id int, spec vtime.GPUSpec, opts ...Option) *Device {
+	d := &Device{
+		id:          id,
+		spec:        spec,
+		sharedSplit: 48 << 10,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.sharedSplit > spec.SharedMemPerSMX {
+		d.sharedSplit = spec.SharedMemPerSMX
+	}
+	return d
+}
+
+// ID returns the device index.
+func (d *Device) ID() int { return d.id }
+
+// Spec returns the device's hardware description.
+func (d *Device) Spec() vtime.GPUSpec { return d.spec }
+
+// SharedMemBytes returns the per-SMX shared-memory budget under the
+// current split (paper: 48 KiB shared / 16 KiB L1).
+func (d *Device) SharedMemBytes() int { return d.sharedSplit }
+
+// TotalMemory returns the device-memory capacity in bytes.
+func (d *Device) TotalMemory() int64 { return d.spec.DeviceMemory }
+
+// FreeMemory returns unreserved device memory in bytes.
+func (d *Device) FreeMemory() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.DeviceMemory - d.memUsed
+}
+
+// UsedMemory returns allocated+reserved device memory in bytes.
+func (d *Device) UsedMemory() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memUsed
+}
+
+// Outstanding returns the number of admitted, unfinished kernel calls.
+// The multi-GPU scheduler balances on this.
+func (d *Device) Outstanding() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.outstanding
+}
+
+// Counters is a snapshot of device activity totals.
+type Counters struct {
+	Kernels   uint64
+	Transfers uint64
+	MemUsed   int64
+}
+
+// Counters returns a snapshot of device activity.
+func (d *Device) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Counters{Kernels: d.kernels, Transfers: d.transfers, MemUsed: d.memUsed}
+}
+
+func (d *Device) emit(e Event) {
+	if d.sink != nil {
+		e.Device = d.id
+		d.sink.RecordGPUEvent(e)
+	}
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("gpu%d(%s, %.1fGB)", d.id, d.spec.Name, float64(d.spec.DeviceMemory)/(1<<30))
+}

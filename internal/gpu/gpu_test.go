@@ -1,0 +1,364 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"blugpu/internal/vtime"
+)
+
+func newTestDevice(opts ...Option) *Device {
+	return NewDevice(0, vtime.TeslaK40(), opts...)
+}
+
+func TestReserveRelease(t *testing.T) {
+	d := newTestDevice()
+	total := d.TotalMemory()
+	r, err := d.Reserve(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FreeMemory() != total-(1<<30) {
+		t.Errorf("FreeMemory = %d, want %d", d.FreeMemory(), total-(1<<30))
+	}
+	r.Release()
+	if d.FreeMemory() != total {
+		t.Errorf("FreeMemory after release = %d, want %d", d.FreeMemory(), total)
+	}
+	r.Release() // idempotent
+	if d.FreeMemory() != total {
+		t.Error("double release corrupted accounting")
+	}
+}
+
+func TestReserveOutOfMemory(t *testing.T) {
+	d := newTestDevice()
+	if _, err := d.Reserve(d.TotalMemory() + 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected ErrOutOfMemory, got %v", err)
+	}
+	// Two reservations that fit individually but not together: admission
+	// control must reject the second up front, not mid-kernel.
+	r1, err := d.Reserve(8 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Reserve(8 << 30); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("second 8GB reservation should fail on a 12GB device, got %v", err)
+	}
+	r1.Release()
+	if _, err := d.Reserve(8 << 30); err != nil {
+		t.Errorf("after release the reservation should succeed: %v", err)
+	}
+}
+
+func TestReserveInvalid(t *testing.T) {
+	d := newTestDevice()
+	if _, err := d.Reserve(0); err == nil {
+		t.Error("Reserve(0) should fail")
+	}
+	if _, err := d.Reserve(-1); err == nil {
+		t.Error("Reserve(-1) should fail")
+	}
+}
+
+func TestAllocWithinReservation(t *testing.T) {
+	d := newTestDevice()
+	r, _ := d.Reserve(1 << 20)
+	b, err := r.AllocWords(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1024 || b.Bytes() != 8192 {
+		t.Errorf("buffer len=%d bytes=%d, want 1024/8192", b.Len(), b.Bytes())
+	}
+	if r.Used() != 8192 {
+		t.Errorf("Used = %d, want 8192", r.Used())
+	}
+	// Overflowing the reservation must fail without touching the device.
+	if _, err := r.AllocWords(1 << 20); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("reservation overflow should wrap ErrOutOfMemory, got %v", err)
+	}
+	r.Release()
+	if _, err := r.AllocWords(1); err == nil {
+		t.Error("alloc from released reservation should fail")
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	d := newTestDevice()
+	r, _ := d.Reserve(1 << 16)
+	b, _ := r.AllocWords(4)
+	defer r.Release()
+
+	if !b.AtomicCAS(0, 0, 42) {
+		t.Error("CAS from zero should succeed")
+	}
+	if b.AtomicCAS(0, 0, 99) {
+		t.Error("CAS with stale old value should fail")
+	}
+	if got := b.AtomicLoad(0); got != 42 {
+		t.Errorf("load = %d, want 42", got)
+	}
+	b.AtomicAdd(1, 10)
+	b.AtomicAdd(1, ^uint64(2)) // add -3 two's complement
+	if got := int64(b.AtomicLoad(1)); got != 7 {
+		t.Errorf("add sequence = %d, want 7", got)
+	}
+	b.AtomicStore(2, uint64(int64(100)))
+	b.AtomicMinInt64(2, 50)
+	b.AtomicMinInt64(2, 80) // no-op
+	if got := int64(b.AtomicLoad(2)); got != 50 {
+		t.Errorf("min = %d, want 50", got)
+	}
+	b.AtomicMaxInt64(2, 60)
+	if got := int64(b.AtomicLoad(2)); got != 60 {
+		t.Errorf("max = %d, want 60", got)
+	}
+	b.AtomicAddFloat64(3, 1.5)
+	b.AtomicAddFloat64(3, 2.25)
+	if got := math.Float64frombits(b.AtomicLoad(3)); got != 3.75 {
+		t.Errorf("float add = %v, want 3.75", got)
+	}
+}
+
+func TestAtomicsConcurrent(t *testing.T) {
+	d := newTestDevice()
+	r, _ := d.Reserve(1 << 16)
+	b, _ := r.AllocWords(3)
+	defer r.Release()
+	b.AtomicStore(1, uint64(int64(math.MaxInt64))) // min slot
+	b.AtomicStore(2, uint64(1)<<63)                // max slot = MinInt64 bit pattern
+
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 10000
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.AtomicAdd(0, 1)
+				v := int64(g*per + i)
+				b.AtomicMinInt64(1, v)
+				b.AtomicMaxInt64(2, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.AtomicLoad(0); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := int64(b.AtomicLoad(1)); got != 0 {
+		t.Errorf("min = %d, want 0", got)
+	}
+	if got := int64(b.AtomicLoad(2)); got != goroutines*per-1 {
+		t.Errorf("max = %d, want %d", got, goroutines*per-1)
+	}
+}
+
+func TestLockSet(t *testing.T) {
+	l := NewLockSet(4)
+	var counter int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.Lock(2)
+				counter++
+				l.Unlock(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 40000 {
+		t.Errorf("counter = %d, want 40000 (lock not mutually exclusive)", counter)
+	}
+}
+
+func TestRunKernelParallelFor(t *testing.T) {
+	d := newTestDevice()
+	const n = 100000
+	out := make([]uint64, n)
+	res := d.RunKernel("square", nil, func(g *Grid) (vtime.Duration, error) {
+		err := g.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = uint64(i) * uint64(i)
+			}
+		})
+		return 5 * vtime.Millisecond, err
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Modeled <= 5*vtime.Millisecond {
+		t.Error("modeled time must include kernel launch overhead")
+	}
+	for _, i := range []int{0, 1, 777, n - 1} {
+		if out[i] != uint64(i)*uint64(i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	if c := d.Counters(); c.Kernels != 1 {
+		t.Errorf("kernel counter = %d, want 1", c.Kernels)
+	}
+	if d.Outstanding() != 0 {
+		t.Error("outstanding should be 0 after completion")
+	}
+}
+
+func TestKernelCancellation(t *testing.T) {
+	d := newTestDevice()
+	cancel := NewCancel()
+	cancel.Cancel()
+	res := d.RunKernel("doomed", cancel, func(g *Grid) (vtime.Duration, error) {
+		err := g.ParallelFor(1<<20, func(lo, hi int) {})
+		return vtime.Second, err
+	})
+	if !errors.Is(res.Err, ErrCancelled) {
+		t.Errorf("expected ErrCancelled, got %v", res.Err)
+	}
+}
+
+func TestForEachSMX(t *testing.T) {
+	d := newTestDevice()
+	seen := make([]bool, d.Spec().SMXCount)
+	var mu sync.Mutex
+	res := d.RunKernel("smx", nil, func(g *Grid) (vtime.Duration, error) {
+		err := g.ForEachSMX(func(smx int) {
+			mu.Lock()
+			seen[smx] = true
+			mu.Unlock()
+		})
+		return 0, err
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("SMX %d never ran", i)
+		}
+	}
+}
+
+func TestTransfers(t *testing.T) {
+	d := newTestDevice()
+	r, _ := d.Reserve(1 << 16)
+	defer r.Release()
+	b, _ := r.AllocWords(128)
+	src := make([]uint64, 128)
+	for i := range src {
+		src[i] = uint64(i * 3)
+	}
+	tp, err := d.CopyToDevice(b, src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, _ := d.CopyToDevice(b, src, false)
+	if tu <= tp {
+		t.Errorf("unpinned (%v) should be slower than pinned (%v)", tu, tp)
+	}
+	dst := make([]uint64, 128)
+	if _, err := d.CopyFromDevice(dst, b, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	// Oversized copy is rejected.
+	if _, err := d.CopyToDevice(b, make([]uint64, 129), true); err == nil {
+		t.Error("oversized h2d copy should fail")
+	}
+	if c := d.Counters(); c.Transfers != 3 {
+		t.Errorf("transfer count = %d, want 3", c.Transfers)
+	}
+}
+
+func TestSharedMemSplit(t *testing.T) {
+	d := newTestDevice()
+	if d.SharedMemBytes() != 48<<10 {
+		t.Errorf("default shared split = %d, want 48KiB", d.SharedMemBytes())
+	}
+	d2 := newTestDevice(WithSharedSplit(16 << 10))
+	if d2.SharedMemBytes() != 16<<10 {
+		t.Errorf("configured split = %d, want 16KiB", d2.SharedMemBytes())
+	}
+	// Splits above the hardware pool clamp.
+	d3 := newTestDevice(WithSharedSplit(1 << 20))
+	if d3.SharedMemBytes() != d3.Spec().SharedMemPerSMX {
+		t.Error("shared split should clamp to the SMX pool size")
+	}
+}
+
+type captureSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *captureSink) RecordGPUEvent(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func TestEventsEmitted(t *testing.T) {
+	sink := &captureSink{}
+	d := NewDevice(3, vtime.TeslaK40(), WithSink(sink))
+	r, _ := d.Reserve(1 << 16)
+	b, _ := r.AllocWords(8)
+	d.CopyToDevice(b, make([]uint64, 8), true)
+	d.RunKernel("k", nil, func(g *Grid) (vtime.Duration, error) { return 0, nil })
+	d.CopyFromDevice(make([]uint64, 8), b, true)
+	r.Release()
+	d.Reserve(d.TotalMemory() * 2) // fails -> reserve-fail event
+
+	kinds := map[EventKind]int{}
+	sink.mu.Lock()
+	for _, e := range sink.events {
+		if e.Device != 3 {
+			t.Errorf("event device = %d, want 3", e.Device)
+		}
+		kinds[e.Kind]++
+	}
+	sink.mu.Unlock()
+	for _, k := range []EventKind{EventReserve, EventTransferH2D, EventKernel, EventTransferD2H, EventReserveFail} {
+		if kinds[k] != 1 {
+			t.Errorf("event kind %v count = %d, want 1", k, kinds[k])
+		}
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	d := newTestDevice()
+	f := func(n uint16) bool {
+		size := int(n%5000) + 1
+		covered := make([]uint64, size)
+		res := d.RunKernel("cover", nil, func(g *Grid) (vtime.Duration, error) {
+			return 0, g.ParallelFor(size, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddUint64(&covered[i], 1)
+				}
+			})
+		})
+		if res.Err != nil {
+			return false
+		}
+		for i := range covered {
+			if covered[i] != 1 {
+				return false // missed or double-visited
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blugpu/internal/vtime"
+)
+
+// ErrCancelled is returned by a kernel that observed its cancel token.
+// The GPU moderator races kernels and cancels the losers (Section 4.2).
+var ErrCancelled = errors.New("gpu: kernel cancelled")
+
+// Cancel is a cooperative cancellation token shared between the moderator
+// and a running kernel.
+type Cancel struct {
+	flag atomic.Bool
+}
+
+// NewCancel returns a fresh, un-triggered token.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Cancel triggers the token.
+func (c *Cancel) Cancel() { c.flag.Store(true) }
+
+// Cancelled reports whether the token has been triggered.
+func (c *Cancel) Cancelled() bool { return c.flag.Load() }
+
+// Grid is the execution context handed to kernel bodies. It exposes
+// data-parallel iteration over the device's (simulated) thread grid and
+// the cancellation token.
+type Grid struct {
+	dev     *Device
+	workers int
+	cancel  *Cancel
+}
+
+// Device returns the device executing the kernel.
+func (g *Grid) Device() *Device { return g.dev }
+
+// Cancelled reports whether the moderator cancelled this kernel.
+func (g *Grid) Cancelled() bool { return g.cancel != nil && g.cancel.Cancelled() }
+
+// ParallelFor executes body over [0,n) split into contiguous chunks across
+// the worker pool, mirroring a grid-stride CUDA loop. It returns
+// ErrCancelled if the cancel token fired before all chunks ran; bodies
+// already running complete their chunk.
+func (g *Grid) ParallelFor(n int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := g.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if g.Cancelled() {
+			return ErrCancelled
+		}
+		body(0, n)
+		return nil
+	}
+	// Chunks are finer than workers so cancellation is responsive.
+	chunks := workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var cancelled atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if g.Cancelled() {
+					cancelled.Store(true)
+					return
+				}
+				lo := int(next.Add(int64(chunkSize))) - chunkSize
+				if lo >= n {
+					return
+				}
+				hi := lo + chunkSize
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// ForEachSMX runs body once per streaming multiprocessor, in parallel.
+// Kernel 2 uses this to build per-SMX shared-memory hash tables.
+func (g *Grid) ForEachSMX(body func(smx int)) error {
+	return g.ParallelFor(g.dev.spec.SMXCount, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			body(s)
+		}
+	})
+}
+
+// KernelResult reports a finished kernel execution.
+type KernelResult struct {
+	Name    string
+	Modeled vtime.Duration
+	Err     error
+}
+
+// RunKernel admits and executes one kernel call. The body performs the
+// functional work through the Grid and returns the modeled device time
+// (computed from measured work by the kernel's cost function). RunKernel
+// adds the kernel-launch overhead, updates device counters, and reports
+// the event to the monitor sink.
+//
+// cancel may be nil for non-raced kernels.
+func (d *Device) RunKernel(name string, cancel *Cancel, body func(g *Grid) (vtime.Duration, error)) KernelResult {
+	d.mu.Lock()
+	d.outstanding++
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.outstanding--
+		d.kernels++
+		d.mu.Unlock()
+	}()
+
+	g := &Grid{dev: d, workers: deviceWorkers(), cancel: cancel}
+	modeled, err := body(g)
+	if err == nil && g.Cancelled() {
+		err = ErrCancelled
+	}
+	modeled += d.modelRef().GPUKernelLaunch
+	if err == nil {
+		d.emit(Event{Kind: EventKernel, Name: name, Modeled: modeled})
+	}
+	return KernelResult{Name: name, Modeled: modeled, Err: err}
+}
+
+// deviceWorkers bounds the goroutine pool that stands in for the CUDA
+// cores. Functional throughput only affects wall-clock test time, not
+// modeled results.
+func deviceWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,233 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrOutOfMemory is returned when a reservation or allocation exceeds the
+// device's free memory. Per Section 2.1.1 the caller then either waits for
+// memory to become available or falls back to the CPU path — it never
+// starts a kernel that could fail mid-flight.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// Reservation is an up-front claim on device memory. All buffers a kernel
+// call needs are allocated from its reservation, so admission control
+// happens once, before any work starts; a task whose reservation succeeds
+// cannot hit an out-of-memory error during execution.
+type Reservation struct {
+	dev      *Device
+	total    int64
+	used     int64
+	buffers  []*Buffer
+	released bool
+}
+
+// Reserve claims n bytes of device memory up front. It fails fast with
+// ErrOutOfMemory when the device cannot satisfy the claim.
+func (d *Device) Reserve(n int64) (*Reservation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: invalid reservation size %d", n)
+	}
+	d.mu.Lock()
+	if d.memUsed+n > d.spec.DeviceMemory {
+		d.mu.Unlock()
+		d.emit(Event{Kind: EventReserveFail, Bytes: n})
+		return nil, ErrOutOfMemory
+	}
+	d.memUsed += n
+	d.mu.Unlock()
+	d.emit(Event{Kind: EventReserve, Bytes: n})
+	return &Reservation{dev: d, total: n}, nil
+}
+
+// Size returns the reserved byte count.
+func (r *Reservation) Size() int64 { return r.total }
+
+// Used returns bytes allocated out of the reservation so far.
+func (r *Reservation) Used() int64 { return r.used }
+
+// Device returns the owning device.
+func (r *Reservation) Device() *Device { return r.dev }
+
+// AllocWords allocates a zeroed buffer of n 64-bit words from the
+// reservation. Device memory is word-addressed in the model: 64-bit words
+// are the natural unit for the hash-table kernels and match the device's
+// atomic operations.
+func (r *Reservation) AllocWords(n int) (*Buffer, error) {
+	if r.released {
+		return nil, errors.New("gpu: allocation from released reservation")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: invalid buffer size %d words", n)
+	}
+	bytes := int64(n) * 8
+	if r.used+bytes > r.total {
+		return nil, fmt.Errorf("gpu: reservation overflow: need %d bytes, %d of %d used: %w",
+			bytes, r.used, r.total, ErrOutOfMemory)
+	}
+	r.used += bytes
+	b := &Buffer{res: r, words: make([]uint64, n)}
+	r.buffers = append(r.buffers, b)
+	return b, nil
+}
+
+// Release returns the entire reservation (and every buffer allocated from
+// it) to the device. Release is idempotent. Kernel completion paths call
+// it so reserved memory is immediately reusable by queued tasks.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for _, b := range r.buffers {
+		b.words = nil
+	}
+	r.buffers = nil
+	r.dev.mu.Lock()
+	r.dev.memUsed -= r.total
+	r.dev.mu.Unlock()
+}
+
+// Buffer is device memory: a slice of 64-bit words. Kernels operate on it
+// directly; the host must go through the transfer engine (CopyToDevice /
+// CopyFromDevice) so PCIe costs are modeled.
+type Buffer struct {
+	res   *Reservation
+	words []uint64
+}
+
+// Words exposes the device words to kernel code. Host code must not touch
+// this; use the transfer engine.
+func (b *Buffer) Words() []uint64 { return b.words }
+
+// Len returns the buffer length in words.
+func (b *Buffer) Len() int { return len(b.words) }
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(len(b.words)) * 8 }
+
+// AtomicCAS performs an atomic compare-and-swap on word i, mirroring CUDA
+// atomicCAS on 64-bit values. It reports whether the swap happened.
+func (b *Buffer) AtomicCAS(i int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&b.words[i], old, new)
+}
+
+// AtomicLoad returns word i with acquire semantics.
+func (b *Buffer) AtomicLoad(i int) uint64 { return atomic.LoadUint64(&b.words[i]) }
+
+// AtomicStore writes word i with release semantics.
+func (b *Buffer) AtomicStore(i int, v uint64) { atomic.StoreUint64(&b.words[i], v) }
+
+// AtomicAdd adds delta (two's complement) to word i and returns the new
+// value, mirroring CUDA atomicAdd on 64-bit integers.
+func (b *Buffer) AtomicAdd(i int, delta uint64) uint64 {
+	return atomic.AddUint64(&b.words[i], delta)
+}
+
+// AtomicMinInt64 lowers word i (interpreted as int64) to v if v is
+// smaller, CAS-looping like the canonical CUDA atomicMin emulation.
+// It returns the number of CAS retries (contention signal for the cost
+// model).
+func (b *Buffer) AtomicMinInt64(i int, v int64) int {
+	retries := 0
+	for {
+		cur := atomic.LoadUint64(&b.words[i])
+		if int64(cur) <= v {
+			return retries
+		}
+		if atomic.CompareAndSwapUint64(&b.words[i], cur, uint64(v)) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicMaxInt64 raises word i (interpreted as int64) to v if v is larger,
+// returning CAS retries.
+func (b *Buffer) AtomicMaxInt64(i int, v int64) int {
+	retries := 0
+	for {
+		cur := atomic.LoadUint64(&b.words[i])
+		if int64(cur) >= v {
+			return retries
+		}
+		if atomic.CompareAndSwapUint64(&b.words[i], cur, uint64(v)) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicMinFloat64 lowers word i (interpreted as a float64 bit pattern)
+// to v if v is smaller, CAS-looping. Returns CAS retries.
+func (b *Buffer) AtomicMinFloat64(i int, v float64) int {
+	retries := 0
+	for {
+		cur := atomic.LoadUint64(&b.words[i])
+		if float64FromBits(cur) <= v {
+			return retries
+		}
+		if atomic.CompareAndSwapUint64(&b.words[i], cur, float64Bits(v)) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicMaxFloat64 raises word i (interpreted as a float64 bit pattern) to
+// v if v is larger, CAS-looping. Returns CAS retries.
+func (b *Buffer) AtomicMaxFloat64(i int, v float64) int {
+	retries := 0
+	for {
+		cur := atomic.LoadUint64(&b.words[i])
+		if float64FromBits(cur) >= v {
+			return retries
+		}
+		if atomic.CompareAndSwapUint64(&b.words[i], cur, float64Bits(v)) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicAddFloat64 adds v to word i interpreted as a float64 bit pattern,
+// CAS-looping (CUDA has no 64-bit float atomicAdd on Kepler either; the
+// paper uses atomicCAS emulation). Returns CAS retries.
+func (b *Buffer) AtomicAddFloat64(i int, v float64) int {
+	retries := 0
+	for {
+		cur := atomic.LoadUint64(&b.words[i])
+		next := float64FromBits(cur) + v
+		if atomic.CompareAndSwapUint64(&b.words[i], cur, float64Bits(next)) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// LockSet is an array of per-entry spin locks, used for grouping keys and
+// aggregate payloads wider than the device's atomic width (Section 4.4,
+// strategy 2) and for the row-lock kernel (Section 4.3.3).
+type LockSet struct {
+	locks []uint32
+	spins atomic.Uint64
+}
+
+// NewLockSet returns n spin locks, all unlocked.
+func NewLockSet(n int) *LockSet { return &LockSet{locks: make([]uint32, n)} }
+
+// Lock acquires lock i, spinning while held. Each failed acquisition
+// attempt is counted; the total feeds the lock cost in the model.
+func (l *LockSet) Lock(i int) {
+	for !atomic.CompareAndSwapUint32(&l.locks[i], 0, 1) {
+		l.spins.Add(1)
+	}
+}
+
+// Unlock releases lock i.
+func (l *LockSet) Unlock(i int) { atomic.StoreUint32(&l.locks[i], 0) }
+
+// Spins returns the total number of failed acquisition attempts observed.
+func (l *LockSet) Spins() uint64 { return l.spins.Load() }

@@ -1,0 +1,71 @@
+package gpu
+
+import (
+	"fmt"
+
+	"blugpu/internal/vtime"
+)
+
+// model returns the device's cost model, defaulting lazily. Devices are
+// normally created by the scheduler with an explicit model.
+func (d *Device) modelRef() *vtime.CostModel {
+	if d.model == nil {
+		d.model = vtime.Default()
+	}
+	return d.model
+}
+
+// WithModel attaches a cost model (defaults to vtime.Default()).
+func WithModel(m *vtime.CostModel) Option { return func(d *Device) { d.model = m } }
+
+// CopyToDevice copies len(src) words from host memory into dst, modeling
+// PCIe time. pinned reports whether src lives in the registered host
+// segment (Section 2.1.2): pinned transfers run ~4x faster.
+func (d *Device) CopyToDevice(dst *Buffer, src []uint64, pinned bool) (vtime.Duration, error) {
+	if len(src) > dst.Len() {
+		return 0, fmt.Errorf("gpu: h2d copy of %d words into %d-word buffer", len(src), dst.Len())
+	}
+	copy(dst.words, src)
+	bytes := int64(len(src)) * 8
+	t := d.modelRef().Transfer(bytes, pinned)
+	d.mu.Lock()
+	d.transfers++
+	d.mu.Unlock()
+	d.emit(Event{Kind: EventTransferH2D, Bytes: bytes, Modeled: t})
+	return t, nil
+}
+
+// CopyFromDevice copies min(len(dst), src.Len()) words back to the host,
+// modeling PCIe time.
+func (d *Device) CopyFromDevice(dst []uint64, src *Buffer, pinned bool) (vtime.Duration, error) {
+	n := len(dst)
+	if n > src.Len() {
+		n = src.Len()
+	}
+	copy(dst[:n], src.words[:n])
+	bytes := int64(n) * 8
+	t := d.modelRef().Transfer(bytes, pinned)
+	d.mu.Lock()
+	d.transfers++
+	d.mu.Unlock()
+	d.emit(Event{Kind: EventTransferD2H, Bytes: bytes, Modeled: t})
+	return t, nil
+}
+
+// TransferTime models (without performing) a transfer of n bytes.
+func (d *Device) TransferTime(bytes int64, pinned bool) vtime.Duration {
+	return d.modelRef().Transfer(bytes, pinned)
+}
+
+// PipelineChunks is the double-buffering depth used by PipelineTime: the
+// input is staged in this many chunks so the first kernel work starts
+// after one chunk's transfer, not the whole input's.
+const PipelineChunks = 8
+
+// PipelineTime models a kernel whose input transfer is double-buffered
+// against its execution through CUDA streams: the path costs the longer
+// of (transfer, kernel) plus one pipeline-fill chunk, not their sum.
+// Output transfers stay serial (they depend on the kernel's last write).
+func PipelineTime(transferIn, kernel vtime.Duration) vtime.Duration {
+	return transferIn/PipelineChunks + vtime.Max(transferIn, kernel)
+}

@@ -1,0 +1,196 @@
+package groupby
+
+import (
+	"testing"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// --- feedback moderator ---
+
+func TestFeedbackDefersUntilTwoKernels(t *testing.T) {
+	m := NewFeedbackModerator()
+	dev := testDevice()
+	in := buildInput(makeKeys(10000, 500), stdAggs, 500)
+	if k := m.Choose(in, dev); k != KAuto {
+		t.Errorf("empty moderator should defer, got %v", k)
+	}
+	m.Observe(in, K1Regular, vtime.Millisecond)
+	if k := m.Choose(in, dev); k != KAuto {
+		t.Errorf("one kernel observed should still defer, got %v", k)
+	}
+	m.Observe(in, K3RowLock, 2*vtime.Millisecond)
+	if k := m.Choose(in, dev); k != K1Regular {
+		t.Errorf("learned choice = %v, want K1 (faster)", k)
+	}
+}
+
+func TestFeedbackLearnsFromOutcomes(t *testing.T) {
+	m := NewFeedbackModerator()
+	m.Epsilon = 0 // deterministic for the test
+	dev := testDevice()
+	in := buildInput(makeKeys(10000, 500), stdAggs, 500)
+	// K3 starts slower...
+	m.Observe(in, K1Regular, 10*vtime.Millisecond)
+	m.Observe(in, K3RowLock, 20*vtime.Millisecond)
+	if k := m.Choose(in, dev); k != K1Regular {
+		t.Fatalf("choice = %v", k)
+	}
+	// ...but repeated fast K3 runs flip the EMA.
+	for i := 0; i < 20; i++ {
+		m.Observe(in, K3RowLock, vtime.Millisecond)
+	}
+	if k := m.Choose(in, dev); k != K3RowLock {
+		t.Errorf("moderator failed to re-learn, still picks %v", k)
+	}
+}
+
+func TestFeedbackRespectsEligibility(t *testing.T) {
+	m := NewFeedbackModerator()
+	m.Epsilon = 0
+	dev := testDevice()
+	wide := buildWideInput(1000, 10, []AggSpec{{Kind: Count}})
+	// Teach it that K2 is "fast" for this signature — it must still never
+	// pick K2 for wide keys.
+	m.Observe(wide, K2Shared, vtime.Microsecond)
+	m.Observe(wide, K1Regular, vtime.Millisecond)
+	if k := m.Choose(wide, dev); k == K2Shared {
+		t.Error("wide keys must never route to the shared-memory kernel")
+	}
+}
+
+func TestFeedbackDistinguishesSignatures(t *testing.T) {
+	m := NewFeedbackModerator()
+	m.Epsilon = 0
+	dev := testDevice()
+	small := buildInput(makeKeys(1000, 10), stdAggs, 10)
+	big := buildInput(makeKeys(1_000_000, 10), stdAggs, 10)
+	m.Observe(small, K1Regular, vtime.Millisecond)
+	m.Observe(small, K2Shared, vtime.Microsecond)
+	// The big signature is untrained: must defer.
+	if k := m.Choose(big, dev); k != KAuto {
+		t.Errorf("untrained signature should defer, got %v", k)
+	}
+	if k := m.Choose(small, dev); k != K2Shared {
+		t.Errorf("trained signature choice = %v", k)
+	}
+	if obs := m.Observations(small); obs[K1Regular] != 1 || obs[K2Shared] != 1 {
+		t.Errorf("observations = %v", obs)
+	}
+}
+
+func TestRunGPUWithFeedback(t *testing.T) {
+	m := NewFeedbackModerator()
+	m.Epsilon = 0
+	dev := testDevice()
+	in := buildInput(makeKeys(30000, 2000), stdAggs, 2000)
+	// Two runs: the first trains, both must be correct.
+	for i := 0; i < 2; i++ {
+		res := reserveFor(t, dev, in)
+		out, err := RunGPU(in, res, vtime.Default(), GPUOptions{Pinned: true, Feedback: m})
+		res.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, in, out)
+	}
+	if obs := m.Observations(in); len(obs) == 0 {
+		t.Error("feedback moderator recorded nothing")
+	}
+}
+
+// --- partitioned multi-GPU group-by ---
+
+func TestPartitionedMatchesCPU(t *testing.T) {
+	in := buildInput(makeKeys(40000, 700), stdAggs, 700)
+	d0 := gpu.NewDevice(0, vtime.TeslaK40())
+	d1 := gpu.NewDevice(1, vtime.TeslaK40())
+	// Each chunk needs its own demand; over-reserve simply.
+	r0, err := d0.Reserve(MemoryDemand(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r0.Release()
+	r1, err := d1.Reserve(MemoryDemand(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Release()
+	out, err := RunGPUPartitioned(in, []*gpu.Reservation{r0, r1}, vtime.Default(), GPUOptions{Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, out)
+	if out.Stats.Kernel == "" || out.Stats.Modeled <= 0 {
+		t.Errorf("stats = %+v", out.Stats)
+	}
+}
+
+func TestPartitionedWideKeys(t *testing.T) {
+	in := buildWideInput(12000, 300, []AggSpec{{Kind: Sum, Type: 0}, {Kind: Count}})
+	d0 := gpu.NewDevice(0, vtime.TeslaK40())
+	d1 := gpu.NewDevice(1, vtime.TeslaK40())
+	r0, _ := d0.Reserve(MemoryDemand(in))
+	r1, _ := d1.Reserve(MemoryDemand(in))
+	defer r0.Release()
+	defer r1.Release()
+	out, err := RunGPUPartitioned(in, []*gpu.Reservation{r0, r1}, vtime.Default(), GPUOptions{Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, out)
+}
+
+func TestPartitionedSingleDeviceDegenerate(t *testing.T) {
+	in := buildInput(makeKeys(5000, 100), stdAggs, 100)
+	dev := testDevice()
+	r := reserveFor(t, dev, in)
+	defer r.Release()
+	out, err := RunGPUPartitioned(in, []*gpu.Reservation{r}, vtime.Default(), GPUOptions{Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, out)
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	in := buildInput(makeKeys(100, 5), stdAggs, 5)
+	if _, err := RunGPUPartitioned(in, nil, vtime.Default(), GPUOptions{}); err == nil {
+		t.Error("no reservations should error")
+	}
+	empty := buildInput(nil, stdAggs, 0)
+	dev := testDevice()
+	r, _ := dev.Reserve(1 << 20)
+	defer r.Release()
+	out, err := RunGPUPartitioned(empty, []*gpu.Reservation{r}, vtime.Default(), GPUOptions{})
+	if err != nil || out.Groups != 0 {
+		t.Errorf("empty partitioned run: %v, %v", out, err)
+	}
+}
+
+func TestPartitionedFasterThanSingleOnTwoDevices(t *testing.T) {
+	// Two devices halve the slowest-chunk time for a large task.
+	in := buildInput(makeKeys(400000, 50000), stdAggs, 50000)
+	model := vtime.Default()
+	dev := testDevice()
+	r := reserveFor(t, dev, in)
+	single, err := RunGPU(in, r, model, GPUOptions{Pinned: true})
+	r.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := gpu.NewDevice(0, vtime.TeslaK40())
+	d1 := gpu.NewDevice(1, vtime.TeslaK40())
+	r0, _ := d0.Reserve(MemoryDemand(in))
+	r1, _ := d1.Reserve(MemoryDemand(in))
+	defer r0.Release()
+	defer r1.Release()
+	parted, err := RunGPUPartitioned(in, []*gpu.Reservation{r0, r1}, model, GPUOptions{Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parted.Stats.Modeled >= single.Stats.Modeled {
+		t.Errorf("partitioned (%v) should beat single device (%v)", parted.Stats.Modeled, single.Stats.Modeled)
+	}
+}

@@ -1,0 +1,172 @@
+package groupby
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// FeedbackModerator implements the feedback loop the paper describes but
+// leaves unimplemented ("add feedback logic to the design that informs a
+// software moderator about the computation of the query using a specific
+// kernel. The moderator can then learn over time which of the kernels to
+// use, given a specific type of query. This feature is not yet
+// implemented.", Section 4).
+//
+// Queries are bucketed into coarse signatures (log-scale row count and
+// group count, aggregate count, key width); per signature the moderator
+// tracks an exponential moving average of each kernel's modeled time per
+// row. Until a signature has observations for at least two kernels it
+// defers to the static ChooseKernel rules; afterwards it picks the
+// learned fastest, still refusing kernels that are ineligible (wide keys
+// in shared memory, tables too big for the shared split).
+type FeedbackModerator struct {
+	mu    sync.Mutex
+	stats map[signature]map[Kernel]*ema
+	// Epsilon is the exploration rate: one in 1/Epsilon decisions tries
+	// the runner-up so a changed workload can be re-learned. Zero
+	// disables exploration.
+	Epsilon float64
+	picks   uint64
+}
+
+type signature struct {
+	rowsLog   int
+	groupsLog int
+	aggs      int
+	wide      bool
+}
+
+type ema struct {
+	perRow float64
+	n      uint64
+}
+
+// NewFeedbackModerator returns an empty learner with 10% exploration.
+func NewFeedbackModerator() *FeedbackModerator {
+	return &FeedbackModerator{
+		stats:   make(map[signature]map[Kernel]*ema),
+		Epsilon: 0.1,
+	}
+}
+
+func signatureOf(in *Input) signature {
+	groups := in.EstGroups
+	if groups == 0 {
+		groups = uint64(in.NumRows)
+	}
+	return signature{
+		rowsLog:   logBucket(uint64(in.NumRows)),
+		groupsLog: logBucket(groups),
+		aggs:      len(in.Aggs),
+		wide:      in.Wide(),
+	}
+}
+
+func logBucket(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return int(math.Log2(float64(v)))
+}
+
+// Observe records one kernel execution outcome.
+func (m *FeedbackModerator) Observe(in *Input, k Kernel, modeled vtime.Duration) {
+	if in.NumRows == 0 {
+		return
+	}
+	perRow := modeled.Seconds() / float64(in.NumRows)
+	sig := signatureOf(in)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byKernel := m.stats[sig]
+	if byKernel == nil {
+		byKernel = make(map[Kernel]*ema)
+		m.stats[sig] = byKernel
+	}
+	e := byKernel[k]
+	if e == nil {
+		byKernel[k] = &ema{perRow: perRow, n: 1}
+		return
+	}
+	const alpha = 0.3
+	e.perRow = (1-alpha)*e.perRow + alpha*perRow
+	e.n++
+}
+
+// Choose returns the learned kernel for the task, or KAuto when the
+// moderator has not yet seen enough of this signature to beat the static
+// rules.
+func (m *FeedbackModerator) Choose(in *Input, dev *gpu.Device) Kernel {
+	sig := signatureOf(in)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byKernel := m.stats[sig]
+	if len(byKernel) < 2 {
+		return KAuto
+	}
+	type cand struct {
+		k Kernel
+		t float64
+	}
+	var cands []cand
+	for k, e := range byKernel {
+		if !m.eligible(k, in, dev) {
+			continue
+		}
+		cands = append(cands, cand{k, e.perRow})
+	}
+	if len(cands) == 0 {
+		return KAuto
+	}
+	// Sort by learned time; explore the runner-up occasionally.
+	best, second := -1, -1
+	for i := range cands {
+		if best == -1 || cands[i].t < cands[best].t {
+			second = best
+			best = i
+		} else if second == -1 || cands[i].t < cands[second].t {
+			second = i
+		}
+	}
+	m.picks++
+	if second >= 0 && m.Epsilon > 0 && float64(m.picks)*m.Epsilon >= 1 {
+		m.picks = 0
+		return cands[second].k
+	}
+	return cands[best].k
+}
+
+func (m *FeedbackModerator) eligible(k Kernel, in *Input, dev *gpu.Device) bool {
+	switch k {
+	case K2Shared:
+		return !in.Wide() && SharedTableFits(in, dev)
+	case K1Regular, K3RowLock:
+		return true
+	default:
+		return false
+	}
+}
+
+// Observations returns how many executions of the task's signature have
+// been recorded per kernel (testing and monitoring).
+func (m *FeedbackModerator) Observations(in *Input) map[Kernel]uint64 {
+	sig := signatureOf(in)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[Kernel]uint64{}
+	for k, e := range m.stats[sig] {
+		out[k] = e.n
+	}
+	return out
+}
+
+// String summarizes learned state.
+func (m *FeedbackModerator) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("feedback-moderator(%d signatures)", len(m.stats))
+}

@@ -1,0 +1,182 @@
+// Package hostmem implements the pinned (registered) host-memory registry
+// from paper Section 2.1.2.
+//
+// Registering individual host buffers with a GPU on every kernel call is
+// expensive, so the engine registers one large memory segment with the
+// device(s) once at startup and serves all per-kernel staging buffers from
+// it with a free-list allocator. Transfers from this registered segment
+// run at full pinned PCIe bandwidth (~4x unregistered). When a kernel call
+// finishes, its staging buffers return to the registered free pool.
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrExhausted is returned when the registered segment cannot satisfy an
+// allocation. Callers typically fall back to an unregistered buffer (and
+// pay the slow-transfer penalty) or run the operation on the CPU.
+var ErrExhausted = errors.New("hostmem: registered segment exhausted")
+
+// Alignment of every block served from the segment. 64 bytes keeps staged
+// column vectors cache-line aligned on the host and satisfies the 16-byte
+// alignment the device model requires.
+const Alignment = 64
+
+// Registry is one large registered host-memory segment with a first-fit
+// free-list sub-allocator. It is safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	buf  []byte
+	free []span // sorted by offset, coalesced
+
+	inUse     int64
+	peakInUse int64
+	allocs    uint64
+	fails     uint64
+}
+
+type span struct {
+	off, len int
+}
+
+// Block is one allocation from the registered segment. Release returns it
+// to the free pool; using the block after Release is a caller bug.
+type Block struct {
+	reg      *Registry
+	off      int
+	data     []byte
+	released bool
+}
+
+// NewRegistry registers a segment of the given size. In the real system
+// this is the expensive cudaHostRegister call done once at engine startup.
+func NewRegistry(size int) (*Registry, error) {
+	if size <= 0 {
+		return nil, errors.New("hostmem: segment size must be positive")
+	}
+	size = alignUp(size)
+	return &Registry{
+		buf:  make([]byte, size),
+		free: []span{{0, size}},
+	}, nil
+}
+
+// Size returns the total registered segment size in bytes.
+func (r *Registry) Size() int { return len(r.buf) }
+
+// InUse returns the number of bytes currently allocated.
+func (r *Registry) InUse() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inUse
+}
+
+// Stats describes allocator activity since startup.
+type Stats struct {
+	Size      int
+	InUse     int64
+	PeakInUse int64
+	Allocs    uint64
+	Fails     uint64
+	FreeSpans int
+}
+
+// Stats returns a snapshot of allocator counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Size:      len(r.buf),
+		InUse:     r.inUse,
+		PeakInUse: r.peakInUse,
+		Allocs:    r.allocs,
+		Fails:     r.fails,
+		FreeSpans: len(r.free),
+	}
+}
+
+// Alloc serves an n-byte block from the registered segment (first fit).
+// It returns ErrExhausted when no free span is large enough.
+func (r *Registry) Alloc(n int) (*Block, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hostmem: invalid allocation size %d", n)
+	}
+	n = alignUp(n)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.free {
+		if s.len < n {
+			continue
+		}
+		off := s.off
+		if s.len == n {
+			r.free = append(r.free[:i], r.free[i+1:]...)
+		} else {
+			r.free[i] = span{s.off + n, s.len - n}
+		}
+		r.inUse += int64(n)
+		if r.inUse > r.peakInUse {
+			r.peakInUse = r.inUse
+		}
+		r.allocs++
+		return &Block{reg: r, off: off, data: r.buf[off : off+n : off+n]}, nil
+	}
+	r.fails++
+	return nil, ErrExhausted
+}
+
+// Bytes returns the block's backing memory.
+func (b *Block) Bytes() []byte { return b.data }
+
+// Len returns the (aligned) block length.
+func (b *Block) Len() int { return len(b.data) }
+
+// Registered reports whether the block came from the registered segment
+// (always true for Registry blocks; false for fallback buffers).
+func (b *Block) Registered() bool { return b.reg != nil }
+
+// Release returns the block to the free pool. Release is idempotent.
+func (b *Block) Release() {
+	if b.released || b.reg == nil {
+		b.released = true
+		return
+	}
+	b.released = true
+	r := b.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inUse -= int64(len(b.data))
+	r.insertFree(span{b.off, len(b.data)})
+}
+
+// Unregistered returns a plain (not registered) buffer. Transfers from it
+// model the 4x-slower unpinned PCIe path; the engine only uses it when the
+// registered segment is exhausted.
+func Unregistered(n int) *Block {
+	return &Block{data: make([]byte, alignUp(n))}
+}
+
+// insertFree inserts s keeping r.free sorted by offset and coalescing with
+// neighbors. Caller holds r.mu.
+func (r *Registry) insertFree(s span) {
+	i := sort.Search(len(r.free), func(i int) bool { return r.free[i].off > s.off })
+	r.free = append(r.free, span{})
+	copy(r.free[i+1:], r.free[i:])
+	r.free[i] = s
+	// Coalesce with next.
+	if i+1 < len(r.free) && r.free[i].off+r.free[i].len == r.free[i+1].off {
+		r.free[i].len += r.free[i+1].len
+		r.free = append(r.free[:i+1], r.free[i+2:]...)
+	}
+	// Coalesce with previous.
+	if i > 0 && r.free[i-1].off+r.free[i-1].len == r.free[i].off {
+		r.free[i-1].len += r.free[i].len
+		r.free = append(r.free[:i], r.free[i+1:]...)
+	}
+}
+
+func alignUp(n int) int { return (n + Alignment - 1) &^ (Alignment - 1) }

@@ -1,0 +1,197 @@
+package hostmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(0); err == nil {
+		t.Error("zero-size segment should be rejected")
+	}
+	if _, err := NewRegistry(-5); err == nil {
+		t.Error("negative-size segment should be rejected")
+	}
+	r, err := NewRegistry(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != Alignment {
+		t.Errorf("segment size should align up to %d, got %d", Alignment, r.Size())
+	}
+}
+
+func TestAllocReleaseRoundTrip(t *testing.T) {
+	r, _ := NewRegistry(1 << 20)
+	b, err := r.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Registered() {
+		t.Error("registry block should report Registered")
+	}
+	if b.Len() != alignUp(1000) {
+		t.Errorf("Len = %d, want %d", b.Len(), alignUp(1000))
+	}
+	if r.InUse() != int64(b.Len()) {
+		t.Errorf("InUse = %d, want %d", r.InUse(), b.Len())
+	}
+	copy(b.Bytes(), []byte("store_sales"))
+	b.Release()
+	if r.InUse() != 0 {
+		t.Errorf("InUse after release = %d, want 0", r.InUse())
+	}
+	b.Release() // idempotent
+	if r.InUse() != 0 {
+		t.Error("double release must not corrupt accounting")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	r, _ := NewRegistry(4 * Alignment)
+	a, err := r.Alloc(3 * Alignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Alloc(2 * Alignment); err != ErrExhausted {
+		t.Errorf("expected ErrExhausted, got %v", err)
+	}
+	st := r.Stats()
+	if st.Fails != 1 {
+		t.Errorf("Fails = %d, want 1", st.Fails)
+	}
+	a.Release()
+	if _, err := r.Alloc(4 * Alignment); err != nil {
+		t.Errorf("after release full-size alloc should succeed: %v", err)
+	}
+}
+
+func TestInvalidAllocSize(t *testing.T) {
+	r, _ := NewRegistry(1 << 16)
+	if _, err := r.Alloc(0); err == nil {
+		t.Error("Alloc(0) should fail")
+	}
+	if _, err := r.Alloc(-1); err == nil {
+		t.Error("Alloc(-1) should fail")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	r, _ := NewRegistry(8 * Alignment)
+	blocks := make([]*Block, 8)
+	for i := range blocks {
+		b, err := r.Alloc(Alignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks[i] = b
+	}
+	// Release in interleaved order; the free list must coalesce back to a
+	// single span covering the whole segment.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 4, 6} {
+		blocks[i].Release()
+	}
+	st := r.Stats()
+	if st.FreeSpans != 1 {
+		t.Errorf("free spans after full release = %d, want 1", st.FreeSpans)
+	}
+	if _, err := r.Alloc(8 * Alignment); err != nil {
+		t.Errorf("full-segment alloc after coalescing should succeed: %v", err)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	r, _ := NewRegistry(1 << 20)
+	a, _ := r.Alloc(100 * Alignment)
+	b, _ := r.Alloc(50 * Alignment)
+	a.Release()
+	b.Release()
+	st := r.Stats()
+	if st.PeakInUse != int64(150*Alignment) {
+		t.Errorf("PeakInUse = %d, want %d", st.PeakInUse, 150*Alignment)
+	}
+	if st.Allocs != 2 {
+		t.Errorf("Allocs = %d, want 2", st.Allocs)
+	}
+}
+
+func TestUnregisteredFallback(t *testing.T) {
+	b := Unregistered(100)
+	if b.Registered() {
+		t.Error("Unregistered block should not report Registered")
+	}
+	if len(b.Bytes()) != alignUp(100) {
+		t.Errorf("len = %d, want %d", len(b.Bytes()), alignUp(100))
+	}
+	b.Release() // no-op, must not panic
+}
+
+func TestBlocksDoNotOverlap(t *testing.T) {
+	r, _ := NewRegistry(1 << 16)
+	a, _ := r.Alloc(128)
+	b, _ := r.Alloc(128)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = 0xAA
+	}
+	for i := range b.Bytes() {
+		b.Bytes()[i] = 0xBB
+	}
+	for _, v := range a.Bytes() {
+		if v != 0xAA {
+			t.Fatal("block A was overwritten by block B")
+		}
+	}
+}
+
+func TestConcurrentAllocRelease(t *testing.T) {
+	r, _ := NewRegistry(1 << 22)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b, err := r.Alloc(1024)
+				if err != nil {
+					continue
+				}
+				b.Bytes()[0] = 1
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.InUse() != 0 {
+		t.Errorf("InUse after all releases = %d, want 0", r.InUse())
+	}
+}
+
+func TestAllocNeverExceedsSegment(t *testing.T) {
+	// Property: any sequence of aligned allocations either fits or fails,
+	// and accounting stays consistent.
+	f := func(sizes []uint16) bool {
+		r, _ := NewRegistry(1 << 16)
+		var live []*Block
+		var sum int64
+		for _, s := range sizes {
+			n := int(s%2048) + 1
+			b, err := r.Alloc(n)
+			if err != nil {
+				continue
+			}
+			live = append(live, b)
+			sum += int64(b.Len())
+		}
+		if r.InUse() != sum || sum > int64(r.Size()) {
+			return false
+		}
+		for _, b := range live {
+			b.Release()
+		}
+		return r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package kmv implements the K-Minimum-Values distinct-count sketch.
+//
+// The hybrid group-by chain (paper Section 4.2) feeds every hashed
+// grouping key through a KMV sketch while the HASH evaluator runs, and
+// uses the resulting estimate of the number of groups to size the GPU's
+// global hash table: the table only needs to be "slightly larger than the
+// estimated number of groups" instead of as large as the input row count.
+//
+// KMV keeps the k smallest distinct hash values seen. If the k-th smallest
+// of uniformly distributed hashes (normalized into [0,1)) is m, the
+// distinct count is estimated as (k-1)/m.
+package kmv
+
+import (
+	"errors"
+	"math"
+
+	"blugpu/internal/murmur"
+)
+
+// DefaultK is a good default sketch size: standard error ≈ 1/sqrt(k-2),
+// about 3.2% at k=1024.
+const DefaultK = 1024
+
+// Sketch is a K-Minimum-Values distinct-count estimator. The zero value is
+// not usable; construct with New. Sketch is not safe for concurrent use;
+// the evaluator chain keeps one per thread and merges.
+type Sketch struct {
+	k    int
+	heap []uint64 // max-heap of the k smallest values seen
+	seen map[uint64]struct{}
+	n    uint64 // total values offered
+}
+
+// New returns a sketch keeping the k smallest distinct hash values.
+func New(k int) (*Sketch, error) {
+	if k < 2 {
+		return nil, errors.New("kmv: k must be >= 2")
+	}
+	return &Sketch{
+		k:    k,
+		heap: make([]uint64, 0, k),
+		seen: make(map[uint64]struct{}, k),
+	}, nil
+}
+
+// MustNew is New for known-good k; it panics on error.
+func MustNew(k int) *Sketch {
+	s, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Observed returns the total number of values offered to the sketch.
+func (s *Sketch) Observed() uint64 { return s.n }
+
+// AddHash offers one already-hashed value.
+func (s *Sketch) AddHash(h uint64) {
+	s.n++
+	if len(s.heap) == s.k && h >= s.heap[0] {
+		return
+	}
+	if _, dup := s.seen[h]; dup {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.seen[h] = struct{}{}
+		s.heap = append(s.heap, h)
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	// Replace the current maximum.
+	delete(s.seen, s.heap[0])
+	s.seen[h] = struct{}{}
+	s.heap[0] = h
+	s.siftDown(0)
+}
+
+// Add hashes and offers a byte-slice key.
+func (s *Sketch) Add(key []byte) { s.AddHash(murmur.Sum64(key, 0x9747b28c)) }
+
+// AddUint64 hashes and offers a 64-bit key.
+func (s *Sketch) AddUint64(v uint64) { s.AddHash(murmur.Sum64Uint64(v, 0x9747b28c)) }
+
+// Estimate returns the estimated number of distinct values observed.
+func (s *Sketch) Estimate() float64 {
+	if len(s.heap) < s.k {
+		// Sketch not yet full: the exact distinct count so far.
+		return float64(len(s.heap))
+	}
+	// kth minimum normalized into (0,1].
+	m := (float64(s.heap[0]) + 1) / math.Pow(2, 64)
+	return float64(s.k-1) / m
+}
+
+// EstimateUint64 returns the estimate rounded to a count, never less
+// than 1 when anything was observed.
+func (s *Sketch) EstimateUint64() uint64 {
+	if s.n == 0 {
+		return 0
+	}
+	e := s.Estimate()
+	if e < 1 {
+		return 1
+	}
+	return uint64(e + 0.5)
+}
+
+// Merge folds other into s. Both sketches must have been built with the
+// same hash scheme; the merged sketch keeps the k smallest of the union.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil {
+		return
+	}
+	s.n += other.n
+	for _, h := range other.heap {
+		// Count bookkeeping only once: AddHash increments n.
+		s.n--
+		s.AddHash(h)
+	}
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] >= s.heap[i] {
+			return
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l] > s.heap[largest] {
+			largest = l
+		}
+		if r < n && s.heap[r] > s.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}

@@ -1,0 +1,138 @@
+package kmv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("k=1 should be rejected")
+	}
+	if _, err := New(2); err != nil {
+		t.Errorf("k=2 should be accepted: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) should panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestExactBelowK(t *testing.T) {
+	s := MustNew(256)
+	for i := 0; i < 100; i++ {
+		s.AddUint64(uint64(i))
+	}
+	// Duplicates must not inflate the count.
+	for i := 0; i < 100; i++ {
+		s.AddUint64(uint64(i))
+	}
+	if got := s.EstimateUint64(); got != 100 {
+		t.Errorf("estimate below k should be exact: got %d, want 100", got)
+	}
+	if s.Observed() != 200 {
+		t.Errorf("Observed = %d, want 200", s.Observed())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := MustNew(64)
+	if s.EstimateUint64() != 0 {
+		t.Error("empty sketch should estimate 0")
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Known distinct counts; estimate should land within a few standard
+	// errors (1/sqrt(k-2) ~ 3.2% at k=1024).
+	for _, distinct := range []int{5_000, 50_000, 500_000} {
+		s := MustNew(1024)
+		for i := 0; i < distinct; i++ {
+			s.AddUint64(uint64(i) * 2654435761)
+		}
+		est := s.Estimate()
+		relErr := math.Abs(est-float64(distinct)) / float64(distinct)
+		if relErr > 0.15 {
+			t.Errorf("distinct=%d: estimate %.0f off by %.1f%%", distinct, est, relErr*100)
+		}
+	}
+}
+
+func TestDuplicateHeavyStream(t *testing.T) {
+	// 1M rows but only 12 groups (the paper's birth-month example).
+	s := MustNew(1024)
+	for i := 0; i < 1_000_000; i++ {
+		s.AddUint64(uint64(i % 12))
+	}
+	if got := s.EstimateUint64(); got != 12 {
+		t.Errorf("estimate = %d, want exactly 12 (below k is exact)", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := MustNew(512), MustNew(512)
+	for i := 0; i < 40_000; i++ {
+		a.AddUint64(uint64(i))
+	}
+	for i := 20_000; i < 60_000; i++ {
+		b.AddUint64(uint64(i))
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	relErr := math.Abs(est-60_000) / 60_000
+	if relErr > 0.2 {
+		t.Errorf("merged estimate %.0f off by %.1f%% (want ~60000)", est, relErr*100)
+	}
+	if a.Observed() != 80_000 {
+		t.Errorf("merged Observed = %d, want 80000", a.Observed())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestAddBytesAndUint64Consistent(t *testing.T) {
+	s := MustNew(64)
+	s.Add([]byte("store_sk=1"))
+	s.Add([]byte("store_sk=1"))
+	s.Add([]byte("store_sk=2"))
+	if got := s.EstimateUint64(); got != 2 {
+		t.Errorf("estimate = %d, want 2", got)
+	}
+}
+
+func TestHeapInvariant(t *testing.T) {
+	// Property: after arbitrary inserts the heap keeps exactly the k
+	// smallest distinct hashes, with the max at the root.
+	f := func(values []uint64) bool {
+		s := MustNew(16)
+		distinct := map[uint64]struct{}{}
+		for _, v := range values {
+			s.AddHash(v)
+			distinct[v] = struct{}{}
+		}
+		if len(distinct) <= 16 {
+			return len(s.heap) == len(distinct)
+		}
+		// Root is the maximum of the kept set.
+		root := s.heap[0]
+		for _, h := range s.heap {
+			if h > root {
+				return false
+			}
+		}
+		// Every kept value must be <= every discarded distinct value rank:
+		// equivalently, the kept set is exactly the 16 smallest.
+		smaller := 0
+		for v := range distinct {
+			if v < root {
+				smaller++
+			}
+		}
+		return smaller <= 16 && len(s.heap) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

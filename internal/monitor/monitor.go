@@ -1,0 +1,245 @@
+// Package monitor implements the engine-integrated GPU performance
+// monitoring of paper Section 2.3.
+//
+// Off-the-shelf tools (nvidia-smi) cannot attribute device time to the
+// query operators of a host application, so the paper's prototype grew its
+// own monitoring, folded into the engine's existing monitor. This package
+// plays that role: it is the gpu.EventSink for every device, aggregates
+// kernel and transfer timings by name, tracks evaluator timings on the
+// host side, and samples device-memory utilization over virtual time (the
+// series behind Figure 9).
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// KernelStats aggregates executions of one named kernel.
+type KernelStats struct {
+	Name  string
+	Count uint64
+	Total vtime.Duration
+	Max   vtime.Duration
+}
+
+// TransferStats aggregates one transfer direction.
+type TransferStats struct {
+	Count uint64
+	Bytes int64
+	Total vtime.Duration
+}
+
+// EvalStats aggregates one host-side evaluator (LCOG, HASH, MEMCPY, ...).
+type EvalStats struct {
+	Name  string
+	Count uint64
+	Rows  int64
+	Total vtime.Duration
+}
+
+// MemSample is one point of the device-memory utilization series.
+type MemSample struct {
+	At    vtime.Time
+	Used  int64
+	Total int64
+}
+
+// Monitor collects all performance telemetry. Safe for concurrent use.
+type Monitor struct {
+	mu           sync.Mutex
+	kernels      map[string]*KernelStats
+	h2d, d2h     TransferStats
+	evals        map[string]*EvalStats
+	reserves     uint64
+	reserveFails uint64
+	memSamples   map[int][]MemSample
+}
+
+// New returns an empty monitor.
+func New() *Monitor {
+	return &Monitor{
+		kernels:    make(map[string]*KernelStats),
+		evals:      make(map[string]*EvalStats),
+		memSamples: make(map[int][]MemSample),
+	}
+}
+
+// RecordGPUEvent implements gpu.EventSink.
+func (m *Monitor) RecordGPUEvent(e gpu.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Kind {
+	case gpu.EventKernel:
+		ks := m.kernels[e.Name]
+		if ks == nil {
+			ks = &KernelStats{Name: e.Name}
+			m.kernels[e.Name] = ks
+		}
+		ks.Count++
+		ks.Total += e.Modeled
+		if e.Modeled > ks.Max {
+			ks.Max = e.Modeled
+		}
+	case gpu.EventTransferH2D:
+		m.h2d.Count++
+		m.h2d.Bytes += e.Bytes
+		m.h2d.Total += e.Modeled
+	case gpu.EventTransferD2H:
+		m.d2h.Count++
+		m.d2h.Bytes += e.Bytes
+		m.d2h.Total += e.Modeled
+	case gpu.EventReserve:
+		m.reserves++
+	case gpu.EventReserveFail:
+		m.reserveFails++
+	}
+}
+
+// RecordEvaluator accumulates one host-side evaluator execution.
+func (m *Monitor) RecordEvaluator(name string, rows int64, d vtime.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.evals[name]
+	if es == nil {
+		es = &EvalStats{Name: name}
+		m.evals[name] = es
+	}
+	es.Count++
+	es.Rows += rows
+	es.Total += d
+}
+
+// RecordMemSample appends one device-memory utilization sample.
+func (m *Monitor) RecordMemSample(device int, at vtime.Time, used, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.memSamples[device] = append(m.memSamples[device], MemSample{At: at, Used: used, Total: total})
+}
+
+// Kernels returns aggregated kernel stats sorted by total time descending.
+func (m *Monitor) Kernels() []KernelStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]KernelStats, 0, len(m.kernels))
+	for _, ks := range m.kernels {
+		out = append(out, *ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Evaluators returns aggregated evaluator stats sorted by total time
+// descending.
+func (m *Monitor) Evaluators() []EvalStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EvalStats, 0, len(m.evals))
+	for _, es := range m.evals {
+		out = append(out, *es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Transfers returns (host-to-device, device-to-host) aggregates.
+func (m *Monitor) Transfers() (TransferStats, TransferStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.h2d, m.d2h
+}
+
+// ReserveCounts returns (successful, failed) device-memory reservations.
+func (m *Monitor) ReserveCounts() (uint64, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserves, m.reserveFails
+}
+
+// MemSeries returns the memory-utilization samples for one device, in
+// insertion order.
+func (m *Monitor) MemSeries(device int) []MemSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.memSamples[device]
+	out := make([]MemSample, len(s))
+	copy(out, s)
+	return out
+}
+
+// Devices returns the ids of devices with memory samples, ascending.
+func (m *Monitor) Devices() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.memSamples))
+	for d := range m.memSamples {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reset clears all telemetry.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kernels = make(map[string]*KernelStats)
+	m.evals = make(map[string]*EvalStats)
+	m.h2d, m.d2h = TransferStats{}, TransferStats{}
+	m.reserves, m.reserveFails = 0, 0
+	m.memSamples = make(map[int][]MemSample)
+}
+
+// Report writes a human-readable summary, the moral equivalent of the
+// paper's internal tuning tool output.
+func (m *Monitor) Report(w io.Writer) {
+	kernels := m.Kernels()
+	evals := m.Evaluators()
+	h2d, d2h := m.Transfers()
+	ok, fail := m.ReserveCounts()
+
+	fmt.Fprintf(w, "=== GPU performance monitor ===\n")
+	fmt.Fprintf(w, "kernels:\n")
+	for _, k := range kernels {
+		avg := vtime.Duration(0)
+		if k.Count > 0 {
+			avg = k.Total / vtime.Duration(float64(k.Count))
+		}
+		fmt.Fprintf(w, "  %-24s calls=%-6d total=%-12s avg=%-12s max=%s\n",
+			k.Name, k.Count, k.Total, avg, k.Max)
+	}
+	fmt.Fprintf(w, "transfers:\n")
+	fmt.Fprintf(w, "  h2d: %d copies, %.1f MB, %s\n", h2d.Count, float64(h2d.Bytes)/(1<<20), h2d.Total)
+	fmt.Fprintf(w, "  d2h: %d copies, %.1f MB, %s\n", d2h.Count, float64(d2h.Bytes)/(1<<20), d2h.Total)
+	fmt.Fprintf(w, "reservations: %d ok, %d failed\n", ok, fail)
+	if len(evals) > 0 {
+		fmt.Fprintf(w, "evaluators:\n")
+		for _, e := range evals {
+			fmt.Fprintf(w, "  %-24s calls=%-6d rows=%-12d total=%s\n", e.Name, e.Count, e.Rows, e.Total)
+		}
+	}
+	if devs := m.Devices(); len(devs) > 0 {
+		fmt.Fprintf(w, "device memory:\n")
+		for _, d := range devs {
+			series := m.MemSeries(d)
+			var peak, total int64
+			for _, s := range series {
+				if s.Used > peak {
+					peak = s.Used
+				}
+				total = s.Total
+			}
+			pctOf := 0.0
+			if total > 0 {
+				pctOf = float64(peak) / float64(total) * 100
+			}
+			fmt.Fprintf(w, "  gpu%d: %d samples, peak %.1f MB (%.1f%% of capacity)\n",
+				d, len(series), float64(peak)/(1<<20), pctOf)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+func TestKernelAggregation(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "groupby_k1", Modeled: 10 * vtime.Millisecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "groupby_k1", Modeled: 30 * vtime.Millisecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "radix_sort", Modeled: 5 * vtime.Millisecond})
+
+	ks := m.Kernels()
+	if len(ks) != 2 {
+		t.Fatalf("kernels = %d, want 2", len(ks))
+	}
+	if ks[0].Name != "groupby_k1" || ks[0].Count != 2 || ks[0].Total != 40*vtime.Millisecond {
+		t.Errorf("top kernel = %+v", ks[0])
+	}
+	if ks[0].Max != 30*vtime.Millisecond {
+		t.Errorf("max = %v, want 30ms", ks[0].Max)
+	}
+}
+
+func TestTransferAggregation(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventTransferH2D, Bytes: 1024, Modeled: vtime.Microsecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventTransferH2D, Bytes: 2048, Modeled: vtime.Microsecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventTransferD2H, Bytes: 512, Modeled: vtime.Microsecond})
+	h2d, d2h := m.Transfers()
+	if h2d.Count != 2 || h2d.Bytes != 3072 {
+		t.Errorf("h2d = %+v", h2d)
+	}
+	if d2h.Count != 1 || d2h.Bytes != 512 {
+		t.Errorf("d2h = %+v", d2h)
+	}
+}
+
+func TestReserveCounts(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventReserve, Bytes: 100})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventReserveFail, Bytes: 100})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventReserve, Bytes: 100})
+	ok, fail := m.ReserveCounts()
+	if ok != 2 || fail != 1 {
+		t.Errorf("reserves = (%d, %d), want (2, 1)", ok, fail)
+	}
+}
+
+func TestEvaluators(t *testing.T) {
+	m := New()
+	m.RecordEvaluator("HASH", 1000, vtime.Millisecond)
+	m.RecordEvaluator("HASH", 2000, vtime.Millisecond)
+	m.RecordEvaluator("MEMCPY", 500, 10*vtime.Millisecond)
+	evals := m.Evaluators()
+	if len(evals) != 2 {
+		t.Fatalf("evals = %d, want 2", len(evals))
+	}
+	if evals[0].Name != "MEMCPY" {
+		t.Errorf("top evaluator by time = %s, want MEMCPY", evals[0].Name)
+	}
+	if evals[1].Rows != 3000 || evals[1].Count != 2 {
+		t.Errorf("HASH stats = %+v", evals[1])
+	}
+}
+
+func TestMemSeries(t *testing.T) {
+	m := New()
+	m.RecordMemSample(0, vtime.Time(1), 4<<30, 12<<30)
+	m.RecordMemSample(0, vtime.Time(2), 8<<30, 12<<30)
+	m.RecordMemSample(1, vtime.Time(1), 1<<30, 12<<30)
+	if got := m.Devices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Devices = %v", got)
+	}
+	s := m.MemSeries(0)
+	if len(s) != 2 || s[1].Used != 8<<30 {
+		t.Errorf("series = %+v", s)
+	}
+	// Returned slice is a copy.
+	s[0].Used = 0
+	if m.MemSeries(0)[0].Used != 4<<30 {
+		t.Error("MemSeries must return a copy")
+	}
+}
+
+func TestResetAndReport(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "k", Modeled: vtime.Second})
+	m.RecordEvaluator("LCOG", 5, vtime.Millisecond)
+	var sb strings.Builder
+	m.Report(&sb)
+	out := sb.String()
+	for _, want := range []string{"kernels:", "k", "transfers:", "reservations:", "LCOG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	m.Reset()
+	if len(m.Kernels()) != 0 || len(m.Evaluators()) != 0 {
+		t.Error("Reset did not clear telemetry")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "k", Modeled: vtime.Microsecond})
+				m.RecordEvaluator("HASH", 1, vtime.Nanosecond)
+				m.RecordMemSample(0, vtime.Time(i), int64(i), 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if ks := m.Kernels(); ks[0].Count != 8000 {
+		t.Errorf("kernel count = %d, want 8000", ks[0].Count)
+	}
+	if len(m.MemSeries(0)) != 8000 {
+		t.Errorf("mem samples = %d, want 8000", len(m.MemSeries(0)))
+	}
+}
+
+func TestReportIncludesMemorySummary(t *testing.T) {
+	m := New()
+	m.RecordMemSample(0, vtime.Time(1), 6<<30, 12<<30)
+	m.RecordMemSample(0, vtime.Time(2), 0, 12<<30)
+	var sb strings.Builder
+	m.Report(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "device memory:") || !strings.Contains(out, "gpu0") {
+		t.Errorf("report missing memory summary:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0% of capacity") {
+		t.Errorf("report missing peak percentage:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package murmur
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors produced by the canonical C++ MurmurHash3_x64_128
+// implementation with seed 0.
+func TestSum128Vectors(t *testing.T) {
+	cases := []struct {
+		in     string
+		h1, h2 uint64
+	}{
+		{"", 0x0000000000000000, 0x0000000000000000},
+		{"hello", 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		{"The quick brown fox jumps over the lazy dog", 0xe34bbc7bbc071b6c, 0x7a433ca9c49a9347},
+	}
+	for _, c := range cases {
+		h1, h2 := Sum128([]byte(c.in), 0)
+		if h1 != c.h1 || h2 != c.h2 {
+			t.Errorf("Sum128(%q) = (%#x, %#x), want (%#x, %#x)", c.in, h1, h2, c.h1, c.h2)
+		}
+	}
+}
+
+func TestSum128AllTailLengths(t *testing.T) {
+	// Exercise every tail-length branch (0..15 plus full blocks) and check
+	// determinism and that a one-byte change changes the hash.
+	buf := make([]byte, 40)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	for n := 0; n <= len(buf); n++ {
+		h1a, h2a := Sum128(buf[:n], 42)
+		h1b, h2b := Sum128(buf[:n], 42)
+		if h1a != h1b || h2a != h2b {
+			t.Fatalf("non-deterministic at n=%d", n)
+		}
+		if n > 0 {
+			mod := append([]byte(nil), buf[:n]...)
+			mod[n-1] ^= 0x01
+			m1, m2 := Sum128(mod, 42)
+			if m1 == h1a && m2 == h2a {
+				t.Errorf("flipping last byte at n=%d did not change hash", n)
+			}
+		}
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	in := []byte("grouping-key")
+	a, _ := Sum128(in, 1)
+	b, _ := Sum128(in, 2)
+	if a == b {
+		t.Error("different seeds should produce different hashes")
+	}
+}
+
+func TestSum64Uint64Distribution(t *testing.T) {
+	// Rough avalanche check: consecutive integers should spread across
+	// buckets nearly uniformly.
+	const buckets = 64
+	counts := make([]int, buckets)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		counts[Sum64Uint64(i, 0)%buckets]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d entries, want ~%d", b, c, want)
+		}
+	}
+}
+
+func TestSum64MatchesSum128(t *testing.T) {
+	f := func(data []byte, seed uint64) bool {
+		h1, _ := Sum128(data, seed)
+		return Sum64(data, seed) == h1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64VsBytesAgreeOnMixing(t *testing.T) {
+	// Sum64Uint64 is a different construction than Sum128 over 8 bytes, but
+	// both must be deterministic and sensitive to every input bit.
+	f := func(v uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return Sum64Uint64(v, 7) == Sum64Uint64(v, 7) &&
+			Sum64Uint64(v, 7) != Sum64Uint64(v^1, 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package optimizer provides the planning metadata the hybrid engine's
+// path decisions run on: per-table column statistics (row counts,
+// distinct-value estimates, min/max), group-count estimation for
+// group-by queries, predicate selectivity guesses, and the Figure-3
+// decision procedure with its thresholds T1 (too few rows), T2 (too few
+// groups) and T3 (too many rows for device memory).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/kmv"
+)
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Name string
+	Type columnar.Type
+	// NDV is the estimated number of distinct values.
+	NDV uint64
+	// Nulls is the number of NULL rows.
+	Nulls int
+	// MinI/MaxI bound Int64 columns (valid when the column has a non-null
+	// row).
+	MinI, MaxI int64
+	// MinF/MaxF bound Float64 columns.
+	MinF, MaxF float64
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Table   string
+	Rows    int
+	Columns map[string]ColumnStats
+}
+
+// Analyze computes statistics for every column of tbl. NDV for string
+// columns is exact (the dictionary size); numeric columns use a KMV
+// sketch, matching the engine's runtime estimator.
+func Analyze(tbl *columnar.Table) *TableStats {
+	ts := &TableStats{
+		Table:   tbl.Name(),
+		Rows:    tbl.Rows(),
+		Columns: make(map[string]ColumnStats, tbl.NumColumns()),
+	}
+	for _, col := range tbl.Columns() {
+		cs := ColumnStats{Name: col.Name(), Type: col.Type()}
+		switch c := col.(type) {
+		case *columnar.StringColumn:
+			cs.NDV = uint64(c.DictSize())
+			for i := 0; i < c.Len(); i++ {
+				if c.IsNull(i) {
+					cs.Nulls++
+				}
+			}
+		case *columnar.Int64Column:
+			sk := kmv.MustNew(kmv.DefaultK)
+			first := true
+			for i, v := range c.Data() {
+				if c.IsNull(i) {
+					cs.Nulls++
+					continue
+				}
+				sk.AddUint64(uint64(v))
+				if first || v < cs.MinI {
+					cs.MinI = v
+				}
+				if first || v > cs.MaxI {
+					cs.MaxI = v
+				}
+				first = false
+			}
+			cs.NDV = sk.EstimateUint64()
+		case *columnar.Float64Column:
+			sk := kmv.MustNew(kmv.DefaultK)
+			first := true
+			for i, v := range c.Data() {
+				if c.IsNull(i) {
+					cs.Nulls++
+					continue
+				}
+				sk.AddUint64(math.Float64bits(v))
+				if first || v < cs.MinF {
+					cs.MinF = v
+				}
+				if first || v > cs.MaxF {
+					cs.MaxF = v
+				}
+				first = false
+			}
+			cs.NDV = sk.EstimateUint64()
+		}
+		if cs.NDV == 0 && tbl.Rows() > 0 && cs.Nulls < tbl.Rows() {
+			cs.NDV = 1
+		}
+		ts.Columns[col.Name()] = cs
+	}
+	return ts
+}
+
+// EstimateGroups estimates the group count for grouping on the named
+// columns: the product of per-column NDVs, capped by the row count.
+// Unknown columns contribute a conservative sqrt(rows).
+func (ts *TableStats) EstimateGroups(cols []string, rows int64) uint64 {
+	if rows <= 0 {
+		return 0
+	}
+	est := 1.0
+	for _, c := range cols {
+		if cs, ok := ts.Columns[c]; ok && cs.NDV > 0 {
+			est *= float64(cs.NDV)
+		} else {
+			est *= math.Sqrt(float64(rows))
+		}
+		if est > float64(rows) {
+			return uint64(rows)
+		}
+	}
+	return uint64(est + 0.5)
+}
+
+// Selectivity guesses what fraction of rows a predicate keeps. The engine
+// uses it to size downstream estimates; exact counts replace it at
+// runtime once the scan has executed.
+type Selectivity float64
+
+// Standard selectivity guesses, System-R style.
+const (
+	SelEquality Selectivity = 0.01
+	SelRange    Selectivity = 0.33
+	SelIn       Selectivity = 0.05
+	SelDefault  Selectivity = 0.5
+)
+
+// --- Figure 3: path selection ---
+
+// Thresholds are the paper's T1/T2/T3 knobs.
+type Thresholds struct {
+	// T1Rows: at or below this many input rows the CPU is already fast
+	// and transfer overhead dominates — stay on the host.
+	T1Rows int64
+	// T2Groups: at or below this many groups *and* small rows the CPU
+	// wins; with rows above T1 and groups above T2 the GPU path opens.
+	T2Groups int64
+	// T3Rows: above this many rows the input cannot fit device memory;
+	// the prototype processes such queries on the CPU (partitioning
+	// across CPU+GPU is future work in the paper).
+	T3Rows int64
+}
+
+// DefaultThresholds returns the calibrated defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		T1Rows:   50_000,
+		T2Groups: 4,
+		T3Rows:   200_000_000,
+	}
+}
+
+// Decision says where a group-by/aggregation (or sort) should run.
+type Decision int
+
+// Decisions.
+const (
+	// UseCPU keeps the whole chain on the host.
+	UseCPU Decision = iota
+	// UseGPU offloads the heavy phase to a device.
+	UseGPU
+)
+
+func (d Decision) String() string {
+	if d == UseCPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// Reason explains a Decision.
+type Reason int
+
+// Reasons.
+const (
+	// ReasonEligible: rows and groups clear T1/T2 and memory fits.
+	ReasonEligible Reason = iota
+	// ReasonSmallRows: rows <= T1.
+	ReasonSmallRows
+	// ReasonSmallGroups: groups <= T2.
+	ReasonSmallGroups
+	// ReasonTooManyRows: rows > T3.
+	ReasonTooManyRows
+	// ReasonMemory: the up-front demand exceeds every device's capacity.
+	ReasonMemory
+	// ReasonNoDevice: no GPU configured.
+	ReasonNoDevice
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonEligible:
+		return "eligible"
+	case ReasonSmallRows:
+		return "rows<=T1"
+	case ReasonSmallGroups:
+		return "groups<=T2"
+	case ReasonTooManyRows:
+		return "rows>T3"
+	case ReasonMemory:
+		return "exceeds-device-memory"
+	case ReasonNoDevice:
+		return "no-device"
+	default:
+		return "unknown"
+	}
+}
+
+// Estimate is the metadata a decision runs on: optimizer estimates before
+// execution, or exact counts once the chain's first phase has run.
+type Estimate struct {
+	Rows         int64
+	Groups       int64
+	MemoryDemand int64
+}
+
+// Decide implements Figure 3. maxDeviceMem is the largest single device's
+// capacity (0 means no device).
+func Decide(est Estimate, th Thresholds, maxDeviceMem int64) (Decision, Reason) {
+	if maxDeviceMem <= 0 {
+		return UseCPU, ReasonNoDevice
+	}
+	if est.Rows <= th.T1Rows {
+		return UseCPU, ReasonSmallRows
+	}
+	if est.Groups > 0 && est.Groups <= th.T2Groups {
+		return UseCPU, ReasonSmallGroups
+	}
+	if th.T3Rows > 0 && est.Rows > th.T3Rows {
+		return UseCPU, ReasonTooManyRows
+	}
+	if est.MemoryDemand > maxDeviceMem {
+		return UseCPU, ReasonMemory
+	}
+	return UseGPU, ReasonEligible
+}
+
+func (ts *TableStats) String() string {
+	return fmt.Sprintf("stats(%s: %d rows, %d columns)", ts.Table, ts.Rows, len(ts.Columns))
+}

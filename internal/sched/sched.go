@@ -1,0 +1,214 @@
+// Package sched implements the multi-GPU task scheduler of paper
+// Section 2.2.
+//
+// Every kernel call knows its device-memory demand in advance (computed
+// from the query type, input size and internal data-structure sizes), so
+// scheduling is admission control: the scheduler tracks, per device, the
+// number of outstanding jobs and the free device memory, and places each
+// task on the least-loaded device that can satisfy its whole demand up
+// front. Devices need not be homogeneous.
+//
+// When no device fits, the caller chooses between the two behaviours of
+// Section 2.1.1: wait until memory becomes available, or fall back to the
+// CPU path.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blugpu/internal/gpu"
+)
+
+// ErrNoDevice is returned by TryPlace when no device can currently satisfy
+// the task's memory demand.
+var ErrNoDevice = errors.New("sched: no device can satisfy the request")
+
+// ErrTooLarge is returned when the demand exceeds every device's total
+// memory: waiting would never help. The engine sends such queries down the
+// CPU path (the paper's prototype does the same above threshold T3).
+var ErrTooLarge = errors.New("sched: request exceeds every device's capacity")
+
+// Scheduler places tasks across a fleet of (possibly heterogeneous) GPUs.
+// It is safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	devices []*gpu.Device
+}
+
+// New builds a scheduler over the given devices.
+func New(devices ...*gpu.Device) (*Scheduler, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("sched: at least one device required")
+	}
+	s := &Scheduler{devices: devices}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Devices returns the managed fleet.
+func (s *Scheduler) Devices() []*gpu.Device { return s.devices }
+
+// Placement is a task admitted to a device: a reservation covering its
+// whole memory demand. Release both frees the reservation and wakes any
+// tasks blocked in Place.
+type Placement struct {
+	sched *Scheduler
+	res   *gpu.Reservation
+	once  sync.Once
+}
+
+// Device returns the device the task was placed on.
+func (p *Placement) Device() *gpu.Device { return p.res.Device() }
+
+// Reservation returns the underlying memory reservation.
+func (p *Placement) Reservation() *gpu.Reservation { return p.res }
+
+// Release frees the reservation and wakes waiting tasks. Idempotent.
+func (p *Placement) Release() {
+	p.once.Do(func() {
+		p.res.Release()
+		p.sched.mu.Lock()
+		p.sched.cond.Broadcast()
+		p.sched.mu.Unlock()
+	})
+}
+
+// TryPlace attempts to admit a task needing memNeed bytes, without
+// blocking. Among devices with enough free memory it picks the one with
+// the fewest outstanding jobs, breaking ties toward the most free memory.
+func (s *Scheduler) TryPlace(memNeed int64) (*Placement, error) {
+	if memNeed <= 0 {
+		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tryPlaceLocked(memNeed)
+}
+
+func (s *Scheduler) tryPlaceLocked(memNeed int64) (*Placement, error) {
+	var best *gpu.Device
+	bestJobs := 0
+	var bestFree int64
+	fitsAnywhere := false
+	for _, d := range s.devices {
+		if memNeed <= d.TotalMemory() {
+			fitsAnywhere = true
+		}
+		free := d.FreeMemory()
+		if free < memNeed {
+			continue
+		}
+		jobs := d.Outstanding()
+		if jobs >= d.Spec().MaxConcurrentKernels {
+			continue
+		}
+		if best == nil || jobs < bestJobs || (jobs == bestJobs && free > bestFree) {
+			best, bestJobs, bestFree = d, jobs, free
+		}
+	}
+	if best == nil {
+		if !fitsAnywhere {
+			return nil, ErrTooLarge
+		}
+		return nil, ErrNoDevice
+	}
+	res, err := best.Reserve(memNeed)
+	if err != nil {
+		// Raced with a direct reservation on the device.
+		return nil, ErrNoDevice
+	}
+	return &Placement{sched: s, res: res}, nil
+}
+
+// Place admits a task needing memNeed bytes, blocking until a device can
+// satisfy it. It returns ErrTooLarge immediately when no device could ever
+// fit the demand.
+func (s *Scheduler) Place(memNeed int64) (*Placement, error) {
+	if memNeed <= 0 {
+		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		p, err := s.tryPlaceLocked(memNeed)
+		if err == nil {
+			return p, nil
+		}
+		if errors.Is(err, ErrTooLarge) {
+			return nil, err
+		}
+		s.cond.Wait()
+	}
+}
+
+// PlacePartitioned splits a demand too large for one device across
+// several, reserving a chunk on every device that can take one (paper
+// Section 2.2: large inputs are range-partitioned across GPUs and the
+// partial results merged). The caller gets one placement per chunk and the
+// chunk sizes; it returns ErrNoDevice if the combined free memory cannot
+// cover the demand right now.
+func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, error) {
+	if memNeed <= 0 {
+		return nil, nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	remaining := memNeed
+	var placements []*Placement
+	var sizes []int64
+	rollback := func() {
+		for _, p := range placements {
+			p.res.Release()
+		}
+	}
+	for _, d := range s.devices {
+		if remaining == 0 {
+			break
+		}
+		free := d.FreeMemory()
+		if free <= 0 {
+			continue
+		}
+		chunk := remaining
+		if chunk > free {
+			chunk = free
+		}
+		res, err := d.Reserve(chunk)
+		if err != nil {
+			continue
+		}
+		placements = append(placements, &Placement{sched: s, res: res})
+		sizes = append(sizes, chunk)
+		remaining -= chunk
+	}
+	if remaining > 0 {
+		rollback()
+		return nil, nil, ErrNoDevice
+	}
+	return placements, sizes, nil
+}
+
+// Snapshot reports the fleet state for monitoring and tests.
+type Snapshot struct {
+	Device      int
+	Outstanding int
+	FreeMemory  int64
+	TotalMemory int64
+}
+
+// Snapshot returns the current per-device state.
+func (s *Scheduler) Snapshot() []Snapshot {
+	out := make([]Snapshot, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = Snapshot{
+			Device:      d.ID(),
+			Outstanding: d.Outstanding(),
+			FreeMemory:  d.FreeMemory(),
+			TotalMemory: d.TotalMemory(),
+		}
+	}
+	return out
+}

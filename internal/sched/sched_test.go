@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+func twoK40s() (*Scheduler, []*gpu.Device) {
+	d0 := gpu.NewDevice(0, vtime.TeslaK40())
+	d1 := gpu.NewDevice(1, vtime.TeslaK40())
+	s, err := New(d0, d1)
+	if err != nil {
+		panic(err)
+	}
+	return s, []*gpu.Device{d0, d1}
+}
+
+func TestNewRequiresDevices(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty fleet should be rejected")
+	}
+}
+
+func TestTryPlacePicksLeastLoaded(t *testing.T) {
+	s, devs := twoK40s()
+	// Load device 0 with a big reservation so device 1 has more free memory.
+	r, err := devs[0].Reserve(8 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	p, err := s.TryPlace(6 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	if p.Device().ID() != 1 {
+		t.Errorf("placed on device %d, want 1 (more free memory)", p.Device().ID())
+	}
+}
+
+func TestTryPlaceErrNoDevice(t *testing.T) {
+	s, devs := twoK40s()
+	r0, _ := devs[0].Reserve(11 << 30)
+	r1, _ := devs[1].Reserve(11 << 30)
+	defer r0.Release()
+	defer r1.Release()
+	if _, err := s.TryPlace(4 << 30); !errors.Is(err, ErrNoDevice) {
+		t.Errorf("want ErrNoDevice, got %v", err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	s, _ := twoK40s()
+	if _, err := s.TryPlace(64 << 30); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+	if _, err := s.Place(64 << 30); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Place should not block on impossible demand, got %v", err)
+	}
+}
+
+func TestInvalidDemand(t *testing.T) {
+	s, _ := twoK40s()
+	if _, err := s.TryPlace(0); err == nil {
+		t.Error("TryPlace(0) should fail")
+	}
+	if _, err := s.Place(-1); err == nil {
+		t.Error("Place(-1) should fail")
+	}
+	if _, _, err := s.PlacePartitioned(0); err == nil {
+		t.Error("PlacePartitioned(0) should fail")
+	}
+}
+
+func TestPlaceWaitsForRelease(t *testing.T) {
+	s, _ := twoK40s()
+	// Fill both devices via the scheduler.
+	p0, err := s.TryPlace(11 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.TryPlace(11 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Placement, 1)
+	go func() {
+		p, err := s.Place(4 << 30)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- p
+	}()
+	select {
+	case <-done:
+		t.Fatal("Place returned before memory was released")
+	case <-time.After(30 * time.Millisecond):
+	}
+	p0.Release()
+	select {
+	case p := <-done:
+		p.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("Place did not wake after release")
+	}
+	p1.Release()
+}
+
+func TestPlacementReleaseIdempotent(t *testing.T) {
+	s, devs := twoK40s()
+	p, err := s.TryPlace(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	p.Release()
+	if devs[0].FreeMemory() != devs[0].TotalMemory() || devs[1].FreeMemory() != devs[1].TotalMemory() {
+		t.Error("double release corrupted device accounting")
+	}
+}
+
+func TestPlacePartitioned(t *testing.T) {
+	s, devs := twoK40s()
+	// 20 GB demand cannot fit on one 12 GB card but fits across two.
+	placements, sizes, err := s.PlacePartitioned(20 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, sz := range sizes {
+		total += sz
+	}
+	if total != 20<<30 {
+		t.Errorf("chunk sizes sum to %d, want %d", total, int64(20)<<30)
+	}
+	if len(placements) != 2 {
+		t.Errorf("placements = %d, want 2", len(placements))
+	}
+	for _, p := range placements {
+		p.Release()
+	}
+	for _, d := range devs {
+		if d.FreeMemory() != d.TotalMemory() {
+			t.Error("partitioned release leaked memory")
+		}
+	}
+}
+
+func TestPlacePartitionedRollsBackOnFailure(t *testing.T) {
+	s, devs := twoK40s()
+	r, _ := devs[1].Reserve(11 << 30)
+	defer r.Release()
+	// 20 GB no longer fits across the fleet; the chunk reserved on device
+	// 0 must be rolled back.
+	if _, _, err := s.PlacePartitioned(20 << 30); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+	if devs[0].FreeMemory() != devs[0].TotalMemory() {
+		t.Error("failed partitioned placement leaked memory on device 0")
+	}
+}
+
+func TestConcurrentPlacement(t *testing.T) {
+	s, devs := twoK40s()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := s.Place(2 << 30)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			p.Release()
+		}()
+	}
+	wg.Wait()
+	for _, d := range devs {
+		if d.FreeMemory() != d.TotalMemory() {
+			t.Errorf("device %d leaked memory", d.ID())
+		}
+	}
+}
+
+func TestHeterogeneousFleet(t *testing.T) {
+	small := vtime.TeslaK40()
+	small.DeviceMemory = 2 << 30
+	small.Name = "small"
+	d0 := gpu.NewDevice(0, small)
+	d1 := gpu.NewDevice(1, vtime.TeslaK40())
+	s, _ := New(d0, d1)
+	// A 4 GB task can only go to the K40.
+	p, err := s.TryPlace(4 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	if p.Device().ID() != 1 {
+		t.Errorf("4GB task placed on device %d, want 1", p.Device().ID())
+	}
+	snaps := s.Snapshot()
+	if len(snaps) != 2 || snaps[0].TotalMemory != 2<<30 {
+		t.Errorf("snapshot mismatch: %+v", snaps)
+	}
+}

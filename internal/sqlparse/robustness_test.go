@@ -1,0 +1,77 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds arbitrary bytes and mutated valid queries:
+// the parser must return (stmt, nil) or (nil, err), never panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	base := "SELECT a, SUM(b) AS s FROM t JOIN d ON x = y WHERE a BETWEEN 1 AND 9 GROUP BY a HAVING s > 2 ORDER BY s DESC LIMIT 5"
+	// Truncations at every byte offset.
+	for i := 0; i <= len(base); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", i, r)
+				}
+			}()
+			Parse(base[:i])
+		}()
+	}
+	// Token deletions.
+	words := strings.Fields(base)
+	for i := range words {
+		mutated := strings.Join(append(append([]string{}, words[:i]...), words[i+1:]...), " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic deleting token %d (%q): %v", i, words[i], r)
+				}
+			}()
+			Parse(mutated)
+		}()
+	}
+}
+
+// TestValidQueriesAllReparse: every workload query must survive a
+// parse -> render -> parse round trip with an identical rendering.
+func TestRenderedQueriesReparse(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT a, b FROM t WHERE a > 1 AND b IN (1, 2) ORDER BY a LIMIT 3",
+		"SELECT a, SUM(b) AS s, RANK() OVER (PARTITION BY a ORDER BY s DESC) AS r FROM t GROUP BY a",
+		"SELECT a FROM t WHERE NOT a = 1 OR b IS NOT NULL",
+		"SELECT a + b * 2 AS z FROM t WHERE c BETWEEN -1 AND 1",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("round trip diverged:\n%s\n%s", s1.String(), s2.String())
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package vtime
+
+import "math"
+
+// CostModel bundles the hardware specs with calibrated per-operation
+// throughput rates. All rates are in operations per second; CPU rates are
+// per effective core (see CPUSpec.EffectiveParallelism), GPU rates are for
+// the whole device at full occupancy.
+//
+// The constants are calibrated so that the relative shapes of the paper's
+// results hold: CPU wins on small inputs (kernel launch + PCIe transfer
+// overhead), the GPU wins on large group-by/aggregation/sort work by
+// integer factors, shared-memory grouping beats the global-table kernel
+// when the groups fit in 48 KiB, and the row-lock kernel beats
+// per-aggregate atomics when there are many aggregate functions or low
+// contention.
+type CostModel struct {
+	CPU  CPUSpec
+	GPU  GPUSpec
+	PCIe PCIeSpec
+
+	// --- CPU rates (per effective core) ---
+
+	// CPUScanRate: dictionary-encoded column scan + predicate, rows/s.
+	CPUScanRate float64
+	// CPUHashBuildRate: hash-table build, rows/s.
+	CPUHashBuildRate float64
+	// CPUHashProbeRate: hash-table probe, rows/s.
+	CPUHashProbeRate float64
+	// CPUGroupByRate: local-hash-table grouping (LGHT), rows/s, while the
+	// hash tables fit in cache.
+	CPUGroupByRate float64
+	// CPUGroupByRateLarge: LGHT throughput once the tables far exceed
+	// cache and every probe misses (the regime where the device's memory
+	// bandwidth advantage pays off).
+	CPUGroupByRateLarge float64
+	// CPUGroupByCacheGroups is the group count up to which LGHT runs at
+	// the cached rate; the rate declines log-linearly to the large rate
+	// at 64x this count.
+	CPUGroupByCacheGroups float64
+	// CPUAggRate: one aggregate update, updates/s.
+	CPUAggRate float64
+	// CPUMergeRate: merging local hash tables into the global table,
+	// entries/s.
+	CPUMergeRate float64
+	// CPUSortRate: comparison-sort key operations (n*log2(n) of them), /s.
+	CPUSortRate float64
+	// CPUKeyGenRate: partial-key/payload generation for sort, rows/s.
+	CPUKeyGenRate float64
+	// CPUExprRate: scalar expression evaluations, /s.
+	CPUExprRate float64
+	// CPUMemBandwidthBps: host memory bandwidth for bulk copies (MEMCPY
+	// evaluator staging into pinned memory).
+	CPUMemBandwidthBps float64
+
+	// --- GPU rates (whole device) ---
+
+	// GPUKernelLaunch is the fixed cost of launching one kernel.
+	GPUKernelLaunch Duration
+	// GPURadixSortRate: Merrill LSD radix sort over (key32,payload32)
+	// pairs, keys/s.
+	GPURadixSortRate float64
+	// GPUHashInsertRate: global-hash-table probe/insert, rows/s at low
+	// contention.
+	GPUHashInsertRate float64
+	// GPUAtomicRate: atomic aggregate updates, /s at low contention.
+	GPUAtomicRate float64
+	// GPUAtomicContention scales the serialization penalty when many rows
+	// collapse onto few groups (hot addresses serialize).
+	GPUAtomicContention float64
+	// GPUAtomicContentionCap bounds the atomic serialization multiplier.
+	GPUAtomicContentionCap float64
+	// GPULockRate: spin-lock acquire+release pairs, /s.
+	GPULockRate float64
+	// GPULockContention scales lock serialization with rows/groups.
+	GPULockContention float64
+	// GPULockContentionCap bounds the lock serialization multiplier.
+	GPULockContentionCap float64
+	// GPUPlainAggRate: non-atomic aggregate updates under a held row lock
+	// (kernel 3's inner loop), /s.
+	GPUPlainAggRate float64
+	// GPUSharedGroupRate: shared-memory (SMX-local) grouping, rows/s.
+	GPUSharedGroupRate float64
+	// GPUMergeRate: merging SMX-local tables into device memory, entries/s.
+	GPUMergeRate float64
+	// GPUScanRate: device-side streaming over input rows (reads feeding the
+	// grouping kernels), rows/s.
+	GPUScanRate float64
+}
+
+// Default returns the calibrated cost model for the paper's testbed:
+// POWER8 S824 host, Tesla K40 devices, PCIe gen3.
+func Default() *CostModel {
+	return &CostModel{
+		CPU:  PowerS824(),
+		GPU:  TeslaK40(),
+		PCIe: PCIeGen3(),
+
+		CPUScanRate:           220e6,
+		CPUHashBuildRate:      35e6,
+		CPUHashProbeRate:      60e6,
+		CPUGroupByRate:        14e6,
+		CPUGroupByRateLarge:   3.5e6,
+		CPUGroupByCacheGroups: 4096,
+		CPUAggRate:            120e6,
+		CPUMergeRate:          45e6,
+		CPUSortRate:           110e6,
+		CPUKeyGenRate:         160e6,
+		CPUExprRate:           300e6,
+		CPUMemBandwidthBps:    100e9,
+
+		GPUKernelLaunch:        10 * Microsecond,
+		GPURadixSortRate:       1.0e9,
+		GPUHashInsertRate:      3e9,
+		GPUAtomicRate:          3e9,
+		GPUAtomicContention:    0.004,
+		GPUAtomicContentionCap: 50,
+		GPULockRate:            1e9,
+		GPULockContention:      0.008,
+		GPULockContentionCap:   100,
+		GPUPlainAggRate:        10e9,
+		GPUSharedGroupRate:     5.5e9,
+		GPUMergeRate:           1.2e9,
+		GPUScanRate:            8e9,
+	}
+}
+
+// CPUGroupByRateFor returns the LGHT throughput (rows/s/core) at the
+// given group count: the cached rate up to CPUGroupByCacheGroups, then a
+// log-linear decline to CPUGroupByRateLarge at 64x that count. This is
+// the cache-miss wall that makes very large grouping sets the GPU's best
+// case in the paper's Section 5.3.
+func (m *CostModel) CPUGroupByRateFor(groups float64) float64 {
+	lo := m.CPUGroupByCacheGroups
+	if groups <= lo || lo <= 0 {
+		return m.CPUGroupByRate
+	}
+	hi := lo * 64
+	if groups >= hi {
+		return m.CPUGroupByRateLarge
+	}
+	// Interpolate in log space between the two rates.
+	t := math.Log(groups/lo) / math.Log(64)
+	return m.CPUGroupByRate * math.Pow(m.CPUGroupByRateLarge/m.CPUGroupByRate, t)
+}
+
+// AtomicContentionFactor returns the serialization multiplier (>= 1) for
+// atomic aggregate updates when rows collapse onto few groups: the hotter
+// a hash-table row, the more the device serializes on it.
+func (m *CostModel) AtomicContentionFactor(rows, groups float64) float64 {
+	if groups <= 0 || rows <= groups {
+		return 1
+	}
+	f := 1 + m.GPUAtomicContention*(rows/groups-1)
+	if f > m.GPUAtomicContentionCap {
+		f = m.GPUAtomicContentionCap
+	}
+	return f
+}
+
+// LockContentionFactor is the lock analogue of AtomicContentionFactor;
+// locks degrade faster under contention (paper Section 4.4).
+func (m *CostModel) LockContentionFactor(rows, groups float64) float64 {
+	if groups <= 0 || rows <= groups {
+		return 1
+	}
+	f := 1 + m.GPULockContention*(rows/groups-1)
+	if f > m.GPULockContentionCap {
+		f = m.GPULockContentionCap
+	}
+	return f
+}
+
+// CPUTime models `work` operations at `rate` ops/s/core spread over
+// `degree` threads on the host.
+func (m *CostModel) CPUTime(work float64, rate float64, degree int) Duration {
+	if work <= 0 || rate <= 0 {
+		return 0
+	}
+	p := m.CPU.EffectiveParallelism(degree)
+	return Duration(work / (rate * p))
+}
+
+// GPUTime models `work` operations at `rate` ops/s on the device,
+// including one kernel launch.
+func (m *CostModel) GPUTime(work float64, rate float64) Duration {
+	if rate <= 0 {
+		return m.GPUKernelLaunch
+	}
+	if work < 0 {
+		work = 0
+	}
+	return m.GPUKernelLaunch + Duration(work/rate)
+}
+
+// Transfer models one host<->device copy.
+func (m *CostModel) Transfer(bytes int64, pinned bool) Duration {
+	return m.PCIe.TransferTime(bytes, pinned)
+}
+
+// DeviceFill models initializing n bytes of device memory at full
+// device-memory bandwidth (the parallel mask copy of Section 4.3.1).
+func (m *CostModel) DeviceFill(bytes int64) Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return Duration(float64(bytes) / m.GPU.MemBandwidthBps)
+}
+
+// HostCopy models copying n bytes host-to-host (e.g. the MEMCPY evaluator
+// staging column data into the pinned segment) across `degree` threads.
+func (m *CostModel) HostCopy(bytes int64, degree int) Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	p := m.CPU.EffectiveParallelism(degree)
+	perCore := m.CPUMemBandwidthBps / float64(m.CPU.Cores)
+	bw := perCore * p
+	if bw > m.CPUMemBandwidthBps {
+		bw = m.CPUMemBandwidthBps
+	}
+	return Duration(float64(bytes) / bw)
+}

@@ -1,0 +1,132 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPUGroupByRateFor(t *testing.T) {
+	m := Default()
+	// Below the cache cliff: full rate.
+	if got := m.CPUGroupByRateFor(100); got != m.CPUGroupByRate {
+		t.Errorf("cached rate = %v", got)
+	}
+	if got := m.CPUGroupByRateFor(m.CPUGroupByCacheGroups); got != m.CPUGroupByRate {
+		t.Errorf("at cliff = %v", got)
+	}
+	// Far beyond: the large-table rate.
+	if got := m.CPUGroupByRateFor(m.CPUGroupByCacheGroups * 1000); got != m.CPUGroupByRateLarge {
+		t.Errorf("large rate = %v", got)
+	}
+	// Monotone non-increasing in between.
+	prev := m.CPUGroupByRate
+	for g := m.CPUGroupByCacheGroups; g < m.CPUGroupByCacheGroups*64; g *= 2 {
+		r := m.CPUGroupByRateFor(g)
+		if r > prev+1e-9 {
+			t.Fatalf("rate not monotone at %v groups: %v > %v", g, r, prev)
+		}
+		prev = r
+	}
+	// Degenerate model with no cliff configured.
+	m2 := *m
+	m2.CPUGroupByCacheGroups = 0
+	if m2.CPUGroupByRateFor(1e9) != m2.CPUGroupByRate {
+		t.Error("zero cliff should disable degradation")
+	}
+}
+
+func TestContentionFactors(t *testing.T) {
+	m := Default()
+	// No contention at or below one row per group.
+	if m.AtomicContentionFactor(100, 100) != 1 || m.AtomicContentionFactor(50, 100) != 1 {
+		t.Error("low ratios should not contend")
+	}
+	if m.AtomicContentionFactor(0, 0) != 1 {
+		t.Error("degenerate inputs should be 1")
+	}
+	// Grows with ratio, capped.
+	f10 := m.AtomicContentionFactor(1000, 100)
+	f100 := m.AtomicContentionFactor(10000, 100)
+	if !(f100 > f10 && f10 > 1) {
+		t.Errorf("atomic contention not increasing: %v, %v", f10, f100)
+	}
+	if got := m.AtomicContentionFactor(1e12, 1); got != m.GPUAtomicContentionCap {
+		t.Errorf("atomic cap = %v, want %v", got, m.GPUAtomicContentionCap)
+	}
+	// Locks degrade faster and have their own cap.
+	if m.LockContentionFactor(10000, 100) <= m.AtomicContentionFactor(10000, 100) {
+		t.Error("locks should contend harder than atomics")
+	}
+	if got := m.LockContentionFactor(1e12, 1); got != m.GPULockContentionCap {
+		t.Errorf("lock cap = %v", got)
+	}
+	if m.LockContentionFactor(10, 100) != 1 {
+		t.Error("lock factor at low ratio should be 1")
+	}
+}
+
+func TestHostCopy(t *testing.T) {
+	m := Default()
+	if m.HostCopy(0, 8) != 0 {
+		t.Error("zero bytes should be free")
+	}
+	one := m.HostCopy(1<<30, 1)
+	all := m.HostCopy(1<<30, 24)
+	if all >= one {
+		t.Error("more threads should not slow the copy")
+	}
+	// Bandwidth saturates: degree beyond cores cannot exceed the bus.
+	sat := m.HostCopy(1<<30, 96)
+	floor := Duration(float64(1<<30) / m.CPUMemBandwidthBps)
+	if sat < floor-1e-12 {
+		t.Errorf("copy faster than the memory bus: %v < %v", sat, floor)
+	}
+}
+
+func TestGPUTimeEdgeCases(t *testing.T) {
+	m := Default()
+	// Zero rate degenerates to launch cost.
+	if m.GPUTime(100, 0) != m.GPUKernelLaunch {
+		t.Error("zero rate should cost one launch")
+	}
+	// Negative work clamps.
+	if m.GPUTime(-5, 1e9) != m.GPUKernelLaunch {
+		t.Error("negative work should clamp to zero")
+	}
+	if m.CPUTime(100, 0, 4) != 0 {
+		t.Error("zero rate CPU time should be 0")
+	}
+	if m.CPUTime(-1, 1e9, 4) != 0 {
+		t.Error("negative CPU work should be 0")
+	}
+}
+
+func TestDurationMinMaxBothBranches(t *testing.T) {
+	if Max(2*Second, Second) != 2*Second || Max(Second, 2*Second) != 2*Second {
+		t.Error("Max broken")
+	}
+	if Min(2*Second, Second) != Second || Min(Second, 2*Second) != Second {
+		t.Error("Min broken")
+	}
+}
+
+func TestEffectiveParallelismZeroDegree(t *testing.T) {
+	cpu := PowerS824()
+	if cpu.EffectiveParallelism(0) != 1 || cpu.EffectiveParallelism(-3) != 1 {
+		t.Error("non-positive degree should give parallelism 1")
+	}
+}
+
+func TestRateInterpolationContinuity(t *testing.T) {
+	// The log-linear interpolation should meet its endpoints.
+	m := Default()
+	lo, hi := m.CPUGroupByCacheGroups, m.CPUGroupByCacheGroups*64
+	atLo := m.CPUGroupByRateFor(lo * 1.0000001)
+	if math.Abs(atLo-m.CPUGroupByRate)/m.CPUGroupByRate > 0.01 {
+		t.Errorf("discontinuity at the cliff: %v vs %v", atLo, m.CPUGroupByRate)
+	}
+	atHi := m.CPUGroupByRateFor(hi * 0.9999999)
+	if math.Abs(atHi-m.CPUGroupByRateLarge)/m.CPUGroupByRateLarge > 0.01 {
+		t.Errorf("discontinuity at the floor: %v vs %v", atHi, m.CPUGroupByRateLarge)
+	}
+}

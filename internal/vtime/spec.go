@@ -1,0 +1,129 @@
+package vtime
+
+// GPUSpec describes a GPU device for the cost model. The defaults mirror
+// the Nvidia Tesla K40 cards used in the paper's testbed, but devices need
+// not be homogeneous: the multi-GPU scheduler supports mixed fleets.
+type GPUSpec struct {
+	Name string
+
+	// CUDACores is the number of scalar cores (K40: 2880).
+	CUDACores int
+	// SMXCount is the number of streaming multiprocessors (K40: 15).
+	SMXCount int
+	// ClockHz is the core clock (K40 boost: 745 MHz).
+	ClockHz float64
+	// MemBandwidthBps is device-memory bandwidth in bytes/sec (K40: 288 GB/s).
+	MemBandwidthBps float64
+	// DeviceMemory is total device memory in bytes (K40: 12 GB).
+	DeviceMemory int64
+	// SharedMemPerSMX is the configurable shared-memory/L1 pool per SMX in
+	// bytes (Kepler: 64 KiB, split 48/16 by the group-by kernels).
+	SharedMemPerSMX int
+	// MaxConcurrentKernels bounds kernels resident on the device at once
+	// (Kepler Hyper-Q: 32).
+	MaxConcurrentKernels int
+}
+
+// TeslaK40 returns the spec of the paper's accelerator.
+func TeslaK40() GPUSpec {
+	return GPUSpec{
+		Name:                 "Tesla K40",
+		CUDACores:            2880,
+		SMXCount:             15,
+		ClockHz:              745e6,
+		MemBandwidthBps:      288e9,
+		DeviceMemory:         12 << 30,
+		SharedMemPerSMX:      64 << 10,
+		MaxConcurrentKernels: 32,
+	}
+}
+
+// CPUSpec describes the host for the cost model. The defaults mirror the
+// paper's IBM Power S824: 2 sockets, 24 cores, SMT-4 (96 hardware
+// threads), 3.92 GHz.
+type CPUSpec struct {
+	Name string
+	// Cores is the number of physical cores.
+	Cores int
+	// SMT is the number of hardware threads per core.
+	SMT int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// SMTScaling is the throughput multiplier gained by filling all SMT
+	// threads of a core relative to one thread per core. Analytic
+	// operators are memory-bound, so SMT-4 adds modest throughput
+	// (~1.3x), which is why the paper's Table 3 gains barely move with
+	// intra-query degree but grow with concurrent streams.
+	SMTScaling float64
+}
+
+// PowerS824 returns the spec of the paper's host system.
+func PowerS824() CPUSpec {
+	return CPUSpec{
+		Name:       "IBM Power S824",
+		Cores:      24,
+		SMT:        4,
+		ClockHz:    3.92e9,
+		SMTScaling: 1.3,
+	}
+}
+
+// HardwareThreads returns the total number of schedulable hardware threads.
+func (c CPUSpec) HardwareThreads() int { return c.Cores * c.SMT }
+
+// EffectiveParallelism converts a requested thread count into an effective
+// core-equivalent parallelism, accounting for diminishing SMT returns.
+// degree <= Cores scales linearly; beyond that, the extra SMT threads add
+// throughput up to Cores*SMTScaling at full SMT occupancy.
+func (c CPUSpec) EffectiveParallelism(degree int) float64 {
+	if degree <= 0 {
+		return 1
+	}
+	if degree <= c.Cores {
+		return float64(degree)
+	}
+	maxThreads := c.HardwareThreads()
+	if degree > maxThreads {
+		degree = maxThreads
+	}
+	// Linear interpolation between 1x at Cores threads and SMTScaling at
+	// full SMT occupancy.
+	extra := float64(degree-c.Cores) / float64(maxThreads-c.Cores)
+	return float64(c.Cores) * (1 + extra*(c.SMTScaling-1))
+}
+
+// PCIeSpec describes the host-device interconnect. Pinned (registered)
+// host memory transfers are ~4x faster than unregistered transfers, per
+// the paper's Section 2.1.2 measurement on PCIe gen3.
+type PCIeSpec struct {
+	Name string
+	// PinnedBps is host<->device bandwidth from registered memory.
+	PinnedBps float64
+	// UnpinnedBps is bandwidth from unregistered memory.
+	UnpinnedBps float64
+	// Latency is the fixed per-transfer setup cost.
+	Latency Duration
+}
+
+// PCIeGen3 returns the paper's interconnect: ~12 GB/s effective pinned
+// bandwidth on a x16 link, 4x slower unpinned.
+func PCIeGen3() PCIeSpec {
+	return PCIeSpec{
+		Name:        "PCIe gen3 x16",
+		PinnedBps:   12e9,
+		UnpinnedBps: 3e9,
+		Latency:     25 * Microsecond,
+	}
+}
+
+// TransferTime models one host<->device copy of n bytes.
+func (p PCIeSpec) TransferTime(bytes int64, pinned bool) Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := p.UnpinnedBps
+	if pinned {
+		bw = p.PinnedBps
+	}
+	return p.Latency + Duration(float64(bytes)/bw)
+}

@@ -1,0 +1,93 @@
+// Package vtime provides the virtual-time foundation for the hybrid
+// CPU/GPU query engine.
+//
+// Every operator in the engine executes functionally on real data, but the
+// elapsed time it reports is *modeled*: computed from the amount of work it
+// measured (rows, bytes, hash collisions, lock acquisitions) and a set of
+// device parameters describing the paper's testbed (IBM POWER8 S824 host,
+// Nvidia Tesla K40 GPUs, PCIe gen3 interconnect). This lets a pure-Go,
+// stdlib-only build reproduce the *shape* of the paper's results — which
+// path wins where, and by roughly what factor — without CUDA hardware.
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Duration is a span of virtual time, in seconds. It is a distinct type
+// from time.Duration so that modeled time can never be accidentally mixed
+// with wall-clock time.
+type Duration float64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1e-9
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+)
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Milliseconds returns the duration as a float64 number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) * 1e3 }
+
+// Microseconds returns the duration as a float64 number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) * 1e6 }
+
+// String formats the duration with a unit chosen by magnitude.
+func (d Duration) String() string {
+	abs := math.Abs(float64(d))
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.1fns", float64(d)*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.2fµs", float64(d)*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.2fms", float64(d)*1e3)
+	case abs < 60:
+		return fmt.Sprintf("%.3fs", float64(d))
+	case abs < 3600:
+		return fmt.Sprintf("%.1fm", float64(d)/60)
+	default:
+		return fmt.Sprintf("%.2fh", float64(d)/3600)
+	}
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Time is an instant on a virtual clock, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Add advances the instant by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is later than u.
+func (t Time) After(u Time) bool { return t > u }

@@ -1,0 +1,174 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{5 * Nanosecond, "5.0ns"},
+		{3 * Microsecond, "3.00µs"},
+		{250 * Millisecond, "250.00ms"},
+		{2 * Second, "2.000s"},
+		{90 * Second, "1.5m"},
+		{2 * Hour, "2.00h"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%v seconds).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Millisecond
+	if d.Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", d.Seconds())
+	}
+	if d.Milliseconds() != 1500 {
+		t.Errorf("Milliseconds() = %v, want 1500", d.Milliseconds())
+	}
+	if math.Abs(d.Microseconds()-1.5e6) > 1e-6 {
+		t.Errorf("Microseconds() = %v, want 1.5e6", d.Microseconds())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(Second, Minute) != Minute {
+		t.Error("Max(1s, 1m) should be 1m")
+	}
+	if Min(Second, Minute) != Second {
+		t.Error("Min(1s, 1m) should be 1s")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Second)
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Error("ordering broken")
+	}
+	if got := t1.Sub(t0); got != 5*Second {
+		t.Errorf("Sub = %v, want 5s", got)
+	}
+}
+
+func TestEffectiveParallelism(t *testing.T) {
+	cpu := PowerS824()
+	if got := cpu.EffectiveParallelism(1); got != 1 {
+		t.Errorf("degree 1 => %v, want 1", got)
+	}
+	if got := cpu.EffectiveParallelism(24); got != 24 {
+		t.Errorf("degree 24 => %v, want 24", got)
+	}
+	full := cpu.EffectiveParallelism(96)
+	want := 24 * cpu.SMTScaling
+	if math.Abs(full-want) > 1e-9 {
+		t.Errorf("degree 96 => %v, want %v", full, want)
+	}
+	// Requests beyond the hardware thread count clamp.
+	if cpu.EffectiveParallelism(1000) != full {
+		t.Error("beyond HW threads should clamp to full SMT occupancy")
+	}
+	// Monotone non-decreasing in degree.
+	prev := 0.0
+	for d := 1; d <= 96; d++ {
+		p := cpu.EffectiveParallelism(d)
+		if p < prev {
+			t.Fatalf("EffectiveParallelism not monotone at degree %d: %v < %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestTransferPinnedFaster(t *testing.T) {
+	p := PCIeGen3()
+	const n = 64 << 20
+	pinned := p.TransferTime(n, true)
+	unpinned := p.TransferTime(n, false)
+	ratio := unpinned.Seconds() / pinned.Seconds()
+	// Paper: registered-memory transfers are "more than 4X faster".
+	if ratio < 3.5 {
+		t.Errorf("unpinned/pinned ratio = %.2f, want ~4x", ratio)
+	}
+	if p.TransferTime(0, true) != 0 {
+		t.Error("zero-byte transfer should be free")
+	}
+}
+
+func TestCostModelBasics(t *testing.T) {
+	m := Default()
+	// More parallelism should never be slower.
+	t1 := m.CPUTime(1e9, m.CPUScanRate, 1)
+	t24 := m.CPUTime(1e9, m.CPUScanRate, 24)
+	if t24 >= t1 {
+		t.Errorf("24-way scan (%v) should beat 1-way (%v)", t24, t1)
+	}
+	// GPU time includes launch overhead.
+	if m.GPUTime(0, m.GPUHashInsertRate) < m.GPUKernelLaunch {
+		t.Error("GPU time must include kernel launch")
+	}
+	// Device fill is bandwidth bound.
+	fill := m.DeviceFill(288e9 / 10)
+	if math.Abs(fill.Seconds()-0.1) > 1e-9 {
+		t.Errorf("DeviceFill(28.8GB) = %v, want 100ms", fill)
+	}
+	if m.DeviceFill(0) != 0 {
+		t.Error("DeviceFill(0) should be 0")
+	}
+}
+
+func TestGPUWinsBigGroupBy(t *testing.T) {
+	// Sanity calibration: a 100M-row group-by should be several times
+	// faster on the device than on 24 host cores, even counting transfer.
+	m := Default()
+	const rows = 100e6
+	cpu := m.CPUTime(rows, m.CPUGroupByRate, 24) + m.CPUTime(rows, m.CPUAggRate, 24)
+	gpu := m.Transfer(int64(rows*12), true) + m.GPUTime(rows, m.GPUHashInsertRate) + m.GPUTime(rows, m.GPUAtomicRate)
+	if gpu >= cpu {
+		t.Errorf("GPU (%v) should beat CPU (%v) on 100M-row group-by", gpu, cpu)
+	}
+}
+
+func TestCPUWinsSmallGroupBy(t *testing.T) {
+	// ...and the CPU should win on a small one (transfer+launch dominate).
+	m := Default()
+	const rows = 20e3
+	cpu := m.CPUTime(rows, m.CPUGroupByRate, 24) + m.CPUTime(rows, m.CPUAggRate, 24)
+	gpu := m.Transfer(int64(rows*12), true) + m.GPUTime(rows, m.GPUHashInsertRate) + m.GPUTime(rows, m.GPUAtomicRate)
+	if cpu >= gpu {
+		t.Errorf("CPU (%v) should beat GPU (%v) on 20K-row group-by", cpu, gpu)
+	}
+}
+
+func TestCPUTimeProperties(t *testing.T) {
+	m := Default()
+	f := func(work uint32, degree uint8) bool {
+		d := int(degree%96) + 1
+		dur := m.CPUTime(float64(work), m.CPUScanRate, d)
+		return dur >= 0 && !math.IsNaN(dur.Seconds()) && !math.IsInf(dur.Seconds(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferMonotoneInBytes(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.Transfer(lo, true) <= m.Transfer(hi, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

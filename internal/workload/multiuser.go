@@ -1,0 +1,56 @@
+package workload
+
+// UserMix describes a multi-user BD Insights run — the paper's "several
+// modes with both single user and varying multi-user combinations using
+// the Apache JMETER load driver". Each user belongs to one analyst class
+// and cycles that class's queries.
+type UserMix struct {
+	// Simple is the number of Returns Dashboard Analyst users.
+	Simple int
+	// Intermediate is the number of Sales Report Analyst users.
+	Intermediate int
+	// Complex is the number of Data Scientist users.
+	Complex int
+	// QueriesPerUser bounds each user's stream length (0 = one full pass
+	// over the user's class).
+	QueriesPerUser int
+}
+
+// Users returns the total user count.
+func (m UserMix) Users() int { return m.Simple + m.Intermediate + m.Complex }
+
+// DefaultUserMix mirrors the workload's class proportions at ten users:
+// seven dashboard analysts, two report analysts, one data scientist.
+func DefaultUserMix() UserMix {
+	return UserMix{Simple: 7, Intermediate: 2, Complex: 1, QueriesPerUser: 5}
+}
+
+// BDInsightsStreams builds one query stream per user. User k of a class
+// starts at a different offset into the class's query list, so concurrent
+// users are not lock-stepped on identical statements.
+func BDInsightsStreams(mix UserMix) [][]Query {
+	bd := BDInsights()
+	classes := []struct {
+		count int
+		pool  []Query
+	}{
+		{mix.Simple, Filter(bd, Simple)},
+		{mix.Intermediate, Filter(bd, Intermediate)},
+		{mix.Complex, Filter(bd, Complex)},
+	}
+	var streams [][]Query
+	for _, c := range classes {
+		for u := 0; u < c.count; u++ {
+			n := mix.QueriesPerUser
+			if n <= 0 || n > len(c.pool) {
+				n = len(c.pool)
+			}
+			stream := make([]Query, 0, n)
+			for i := 0; i < n; i++ {
+				stream = append(stream, c.pool[(u*3+i)%len(c.pool)])
+			}
+			streams = append(streams, stream)
+		}
+	}
+	return streams
+}

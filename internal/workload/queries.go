@@ -1,0 +1,320 @@
+package workload
+
+import "fmt"
+
+// Class labels a query's BD Insights user class.
+type Class string
+
+// Query classes.
+const (
+	// Simple: Returns Dashboard Analysts — short, narrow range, one fact
+	// table (paper: avg ~150 ms; never sent to the GPU).
+	Simple Class = "simple"
+	// Intermediate: Sales Report Analysts — moderate complexity, broader
+	// data range (paper: avg ~30 s; little GPU headroom).
+	Intermediate Class = "intermediate"
+	// Complex: Data Scientists — long-running, complicated constructs
+	// over large or full ranges (paper: ~20% GPU gain).
+	Complex Class = "complex"
+)
+
+// Query is one benchmark query.
+type Query struct {
+	ID    string
+	Class Class
+	SQL   string
+	// MemoryHeavy marks the ROLAP queries whose device-memory demand
+	// exceeded the K40 in the paper (12 of 46).
+	MemoryHeavy bool
+	// UsesGPUOps reports whether the query contains the operations the
+	// prototype offloads (group by / aggregation / sort).
+	UsesGPUOps bool
+}
+
+// BDInsights returns the 100-query BD Insights workload: 70 simple, 25
+// intermediate, 5 complex, mirroring the paper's class mix.
+func BDInsights() []Query {
+	var qs []Query
+
+	// --- 70 simple: returns-dashboard probes. Narrow date windows over a
+	// fact table; cheap aggregates or plain selections.
+	simpleTemplates := []func(i int) string{
+		func(i int) string {
+			lo := (i * 37) % 1700
+			return fmt.Sprintf(`SELECT sr_store_sk, SUM(sr_return_amt) AS total_ret, COUNT(*) AS cnt
+FROM store_returns WHERE sr_returned_date_sk BETWEEN %d AND %d
+GROUP BY sr_store_sk ORDER BY total_ret DESC LIMIT 10`, lo, lo+30)
+		},
+		func(i int) string {
+			lo := (i * 53) % 1700
+			return fmt.Sprintf(`SELECT sr_reason_sk, COUNT(*) AS cnt, AVG(sr_return_amt) AS avg_amt
+FROM store_returns WHERE sr_returned_date_sk BETWEEN %d AND %d
+GROUP BY sr_reason_sk ORDER BY cnt DESC LIMIT 5`, lo, lo+14)
+		},
+		func(i int) string {
+			amt := 100 + (i*29)%2000
+			return fmt.Sprintf(`SELECT sr_item_sk, sr_return_amt, sr_return_quantity
+FROM store_returns WHERE sr_return_amt > %d LIMIT 100`, amt)
+		},
+		func(i int) string {
+			lo := (i * 41) % 1700
+			return fmt.Sprintf(`SELECT wr_reason_sk, SUM(wr_return_amt) AS amt, COUNT(*) AS cnt
+FROM web_returns WHERE wr_returned_date_sk BETWEEN %d AND %d
+GROUP BY wr_reason_sk ORDER BY amt DESC LIMIT 8`, lo, lo+21)
+		},
+		func(i int) string {
+			lo := (i * 61) % 1700
+			return fmt.Sprintf(`SELECT cr_reason_sk, SUM(cr_return_amount) AS amt
+FROM catalog_returns WHERE cr_returned_date_sk BETWEEN %d AND %d
+GROUP BY cr_reason_sk ORDER BY amt DESC LIMIT 8`, lo, lo+21)
+		},
+		func(i int) string {
+			q := 1 + (i*7)%15
+			return fmt.Sprintf(`SELECT sr_customer_sk, sr_return_amt FROM store_returns
+WHERE sr_return_quantity = %d AND sr_return_amt > 500 LIMIT 50`, q)
+		},
+		func(i int) string {
+			lo := (i * 47) % 1700
+			return fmt.Sprintf(`SELECT r_reason_desc, COUNT(*) AS cnt
+FROM store_returns JOIN reason ON sr_reason_sk = r_reason_sk
+WHERE sr_returned_date_sk BETWEEN %d AND %d
+GROUP BY r_reason_desc ORDER BY cnt DESC LIMIT 5`, lo, lo+7)
+		},
+	}
+	for i := 0; i < 70; i++ {
+		sql := simpleTemplates[i%len(simpleTemplates)](i)
+		qs = append(qs, Query{
+			ID:    fmt.Sprintf("bd-simple-%02d", i+1),
+			Class: Simple,
+			SQL:   sql,
+		})
+	}
+
+	// --- 25 intermediate: sales reports over fact + 1-2 dimensions.
+	interTemplates := []func(i int) string{
+		func(i int) string {
+			year := 2000 + i%5
+			return fmt.Sprintf(`SELECT d_moy, SUM(ss_net_paid) AS revenue, SUM(ss_net_profit) AS profit
+FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk
+WHERE d_year = %d GROUP BY d_moy ORDER BY revenue DESC`, year)
+		},
+		func(i int) string {
+			return fmt.Sprintf(`SELECT i_category, SUM(cs_net_paid) AS rev, COUNT(*) AS cnt
+FROM catalog_sales JOIN item ON cs_item_sk = i_item_sk
+WHERE cs_quantity BETWEEN %d AND %d
+GROUP BY i_category ORDER BY rev DESC LIMIT 10`, 1+i%20, 40+i%40)
+		},
+		func(i int) string {
+			year := 2000 + i%5
+			return fmt.Sprintf(`SELECT s_state, d_qoy, SUM(ss_net_paid) AS rev, AVG(ss_quantity) AS avg_qty
+FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk
+JOIN store ON ss_store_sk = s_store_sk
+WHERE d_year = %d GROUP BY s_state, d_qoy ORDER BY rev DESC`, year)
+		},
+		func(i int) string {
+			return fmt.Sprintf(`SELECT web_name, SUM(ws_net_paid) AS rev, COUNT(*) AS orders
+FROM web_sales JOIN web_site ON ws_web_site_sk = web_site_sk
+WHERE ws_quantity > %d GROUP BY web_name ORDER BY rev DESC`, 5+i%30)
+		},
+		func(i int) string {
+			return fmt.Sprintf(`SELECT i_brand, MIN(ss_sales_price) AS mn, MAX(ss_sales_price) AS mx, AVG(ss_sales_price) AS av
+FROM store_sales JOIN item ON ss_item_sk = i_item_sk
+WHERE ss_quantity BETWEEN %d AND %d
+GROUP BY i_brand ORDER BY av DESC LIMIT 12`, 1+i%10, 50+i%50)
+		},
+	}
+	for i := 0; i < 25; i++ {
+		sql := interTemplates[i%len(interTemplates)](i)
+		qs = append(qs, Query{
+			ID:         fmt.Sprintf("bd-inter-%02d", i+1),
+			Class:      Intermediate,
+			SQL:        sql,
+			UsesGPUOps: true,
+		})
+	}
+
+	// --- 5 complex: deep-dive analytics with multi-joins, wide grouping
+	// sets, sorting and RANK.
+	complexSQL := []string{
+		// C1: category/brand/month revenue cube with ranking.
+		`SELECT i_category, i_brand, d_moy, SUM(ss_net_paid) AS rev, SUM(ss_net_profit) AS profit,
+  AVG(ss_quantity) AS aq, RANK() OVER (ORDER BY rev DESC) AS rnk
+FROM store_sales JOIN item ON ss_item_sk = i_item_sk
+JOIN date_dim ON ss_sold_date_sk = d_date_sk
+GROUP BY i_category, i_brand, d_moy ORDER BY rnk LIMIT 100`,
+		// C2: per-customer spend distribution (high-cardinality grouping).
+		`SELECT ss_customer_sk, SUM(ss_net_paid) AS spend, COUNT(*) AS trips,
+  MAX(ss_net_paid) AS biggest
+FROM store_sales WHERE ss_customer_sk IS NOT NULL
+GROUP BY ss_customer_sk ORDER BY spend DESC LIMIT 200`,
+		// C3: store x category profitability with many aggregates.
+		`SELECT s_store_name, i_category, SUM(ss_net_profit) AS profit, SUM(ss_net_paid) AS rev,
+  MIN(ss_net_profit) AS worst, MAX(ss_net_profit) AS best, AVG(ss_sales_price) AS asp, COUNT(*) AS cnt
+FROM store_sales JOIN store ON ss_store_sk = s_store_sk
+JOIN item ON ss_item_sk = i_item_sk
+GROUP BY s_store_name, i_category ORDER BY profit DESC`,
+		// C4: catalog vs demographic deep dive.
+		`SELECT cd_education_status, cd_marital_status, SUM(cs_net_paid) AS rev, AVG(cs_quantity) AS aq
+FROM catalog_sales JOIN customer ON cs_bill_customer_sk = c_customer_sk
+JOIN customer_demographics ON c_current_cdemo_sk = cd_demo_sk
+GROUP BY cd_education_status, cd_marital_status ORDER BY rev DESC`,
+		// C5: web conversion funnel by site and quarter, ranked.
+		`SELECT web_name, d_qoy, SUM(ws_net_paid) AS rev, COUNT(*) AS orders,
+  RANK() OVER (PARTITION BY web_name ORDER BY rev DESC) AS qrank
+FROM web_sales JOIN web_site ON ws_web_site_sk = web_site_sk
+JOIN date_dim ON ws_sold_date_sk = d_date_sk
+GROUP BY web_name, d_qoy ORDER BY rev DESC`,
+	}
+	for i, sql := range complexSQL {
+		qs = append(qs, Query{
+			ID:         fmt.Sprintf("bd-complex-%d", i+1),
+			Class:      Complex,
+			SQL:        sql,
+			UsesGPUOps: true,
+		})
+	}
+	return qs
+}
+
+// CognosROLAP returns the 46-query Cognos ROLAP workload: complex
+// analytical queries mixing join, group by and sort, some driving SORT
+// through RANK(). Twelve are memory-heavy (high-cardinality grouping over
+// the largest fact), matching the 12 the paper could not fit on the K40.
+func CognosROLAP() []Query {
+	var qs []Query
+	add := func(sql string, heavy bool) {
+		qs = append(qs, Query{
+			ID:          fmt.Sprintf("rolap-q%02d", len(qs)+1),
+			Class:       Complex,
+			SQL:         sql,
+			MemoryHeavy: heavy,
+			UsesGPUOps:  true,
+		})
+	}
+
+	// 34 device-friendly analytical queries from 7 parametrized shapes.
+	for i := 0; i < 34; i++ {
+		switch i % 7 {
+		case 0:
+			add(fmt.Sprintf(`SELECT i_category, d_year, SUM(ss_net_paid) AS rev, COUNT(*) AS cnt
+FROM store_sales JOIN item ON ss_item_sk = i_item_sk
+JOIN date_dim ON ss_sold_date_sk = d_date_sk
+WHERE d_year = %d GROUP BY i_category, d_year ORDER BY rev DESC`, 2000+i%5), false)
+		case 1:
+			add(fmt.Sprintf(`SELECT s_state, SUM(ss_net_profit) AS profit, AVG(ss_sales_price) AS asp
+FROM store_sales JOIN store ON ss_store_sk = s_store_sk
+WHERE ss_quantity BETWEEN %d AND %d
+GROUP BY s_state ORDER BY profit DESC`, 1+i, 60+i), false)
+		case 2:
+			add(fmt.Sprintf(`SELECT i_brand, i_class, SUM(cs_net_paid) AS rev, MAX(cs_net_profit) AS best
+FROM catalog_sales JOIN item ON cs_item_sk = i_item_sk
+WHERE cs_quantity > %d
+GROUP BY i_brand, i_class ORDER BY rev DESC LIMIT 50`, i%25), false)
+		case 3:
+			add(fmt.Sprintf(`SELECT d_moy, sm_type, SUM(ws_net_paid) AS rev,
+  RANK() OVER (PARTITION BY sm_type ORDER BY rev DESC) AS rnk
+FROM web_sales JOIN date_dim ON ws_sold_date_sk = d_date_sk
+JOIN ship_mode ON ws_ship_mode_sk = sm_ship_mode_sk
+WHERE d_year = %d GROUP BY d_moy, sm_type ORDER BY rnk LIMIT 60`, 2000+i%5), false)
+		case 4:
+			add(fmt.Sprintf(`SELECT ca_state, SUM(cs_net_paid) AS rev, COUNT(*) AS cnt, AVG(cs_quantity) AS aq
+FROM catalog_sales JOIN customer ON cs_bill_customer_sk = c_customer_sk
+JOIN customer_address ON c_current_addr_sk = ca_address_sk
+WHERE cs_sales_price > %d GROUP BY ca_state ORDER BY rev DESC`, 10+i*3), false)
+		case 5:
+			add(fmt.Sprintf(`SELECT t_shift, d_dow, SUM(ss_net_paid) AS rev, COUNT(*) AS baskets
+FROM store_sales JOIN time_dim ON ss_sold_time_sk = t_time_sk
+JOIN date_dim ON ss_sold_date_sk = d_date_sk
+WHERE d_year = %d GROUP BY t_shift, d_dow ORDER BY rev DESC`, 2000+i%5), false)
+		case 6:
+			add(fmt.Sprintf(`SELECT hd_buy_potential, SUM(ss_net_paid) AS rev, AVG(ss_quantity) AS aq,
+  RANK() OVER (ORDER BY rev DESC) AS rnk
+FROM store_sales JOIN customer ON ss_customer_sk = c_customer_sk
+JOIN household_demographics ON c_current_hdemo_sk = hd_demo_sk
+WHERE ss_quantity > %d GROUP BY hd_buy_potential ORDER BY rnk`, i%20), false)
+		}
+	}
+
+	// 12 memory-heavy: grouping on the highest-cardinality keys over the
+	// biggest fact — the class whose device-memory demand exceeded the
+	// 12 GB K40 in the paper.
+	for i := 0; i < 12; i++ {
+		switch i % 3 {
+		case 0:
+			add(fmt.Sprintf(`SELECT ss_ticket_number, SUM(ss_net_paid) AS basket, COUNT(*) AS items,
+  MIN(ss_sales_price) AS mn, MAX(ss_sales_price) AS mx
+FROM store_sales WHERE ss_quantity > %d
+GROUP BY ss_ticket_number ORDER BY basket DESC LIMIT 100`, i), true)
+		case 1:
+			add(fmt.Sprintf(`SELECT ss_customer_sk, ss_item_sk, SUM(ss_net_paid) AS spend, COUNT(*) AS cnt
+FROM store_sales WHERE ss_customer_sk IS NOT NULL AND ss_quantity > %d
+GROUP BY ss_customer_sk, ss_item_sk ORDER BY spend DESC LIMIT 100`, i), true)
+		case 2:
+			add(fmt.Sprintf(`SELECT cs_bill_customer_sk, SUM(cs_net_paid) AS spend, AVG(cs_quantity) AS aq,
+  MAX(cs_net_profit) AS best, MIN(cs_net_profit) AS worst, COUNT(*) AS cnt
+FROM catalog_sales WHERE cs_quantity > %d
+GROUP BY cs_bill_customer_sk ORDER BY spend DESC LIMIT 100`, i), true)
+		}
+	}
+	return qs
+}
+
+// ThreadGroup is one JMeter-style group: Threads concurrent users each
+// running Queries back to back.
+type ThreadGroup struct {
+	Name    string
+	Threads int
+	Queries []Query
+}
+
+// MixedThreadGroups reconstructs the Section 5.3 concurrent test: five
+// thread groups of two threads (10 users). Three groups pair a
+// GPU-moderate ROLAP complex query with a BD simple query; the fourth
+// runs BD complex Q1 and Q3 plus a simple query; the fifth runs two
+// hand-written queries that group by and sort a very large grouping set
+// ("as many groups as there are rows").
+func MixedThreadGroups() []ThreadGroup {
+	bd := BDInsights()
+	rolap := CognosROLAP()
+	byID := func(qs []Query, id string) Query {
+		for _, q := range qs {
+			if q.ID == id {
+				return q
+			}
+		}
+		panic("workload: unknown query id " + id)
+	}
+
+	handwritten := []Query{
+		{
+			ID: "hand-1", Class: Complex, UsesGPUOps: true,
+			SQL: `SELECT ss_ticket_number, ss_item_sk, SUM(ss_net_paid) AS paid, SUM(ss_quantity) AS q
+FROM store_sales GROUP BY ss_ticket_number, ss_item_sk ORDER BY paid DESC LIMIT 50`,
+		},
+		{
+			ID: "hand-2", Class: Complex, UsesGPUOps: true,
+			SQL: `SELECT ss_customer_sk, ss_sold_date_sk, SUM(ss_net_profit) AS profit, COUNT(*) AS cnt
+FROM store_sales WHERE ss_customer_sk IS NOT NULL
+GROUP BY ss_customer_sk, ss_sold_date_sk ORDER BY profit DESC LIMIT 50`,
+		},
+	}
+
+	return []ThreadGroup{
+		{Name: "rolap-moderate-1", Threads: 2, Queries: []Query{byID(rolap, "rolap-q01"), byID(bd, "bd-simple-01")}},
+		{Name: "rolap-moderate-2", Threads: 2, Queries: []Query{byID(rolap, "rolap-q02"), byID(bd, "bd-simple-02")}},
+		{Name: "rolap-moderate-3", Threads: 2, Queries: []Query{byID(rolap, "rolap-q04"), byID(bd, "bd-simple-03")}},
+		{Name: "bd-complex", Threads: 2, Queries: []Query{byID(bd, "bd-complex-1"), byID(bd, "bd-complex-3"), byID(bd, "bd-simple-04")}},
+		{Name: "gpu-heavy", Threads: 2, Queries: handwritten},
+	}
+}
+
+// Filter returns the queries of one class.
+func Filter(qs []Query, c Class) []Query {
+	var out []Query
+	for _, q := range qs {
+		if q.Class == c {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,472 @@
+package workload
+
+import (
+	"fmt"
+
+	"blugpu/internal/columnar"
+)
+
+// Shared vocabulary for generated attributes.
+var (
+	dayNames    = []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	monthNames  = []string{"January", "February", "March", "April", "May", "June", "July", "August", "September", "October", "November", "December"}
+	states      = []string{"AL", "CA", "CO", "FL", "GA", "IL", "MI", "NY", "OH", "TX", "VA", "WA"}
+	categories  = []string{"Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women"}
+	brands      = []string{"amalgamalg", "edu packscholar", "exportiunivamalg", "importoamalg", "scholaramalgamalg", "univmaxi", "brandbrand", "corpbrand"}
+	classes     = []string{"accent", "classical", "dresses", "estate", "fragrances", "mens watch", "pants", "romance", "self-help", "wallpaper"}
+	maritals    = []string{"S", "M", "D", "W", "U"}
+	educations  = []string{"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree", "Unknown"}
+	genders     = []string{"M", "F"}
+	shipTypes   = []string{"EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY"}
+	reasonsDesc = []string{"Did not like the color", "Did not like the model", "Did not fit", "Gift exchange", "Found a better price", "Damaged", "Wrong size", "Changed mind"}
+	buyPot      = []string{"0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"}
+)
+
+// --- dimensions ---
+
+func genDateDim(n int) *columnar.Table {
+	sk := columnar.NewInt64Builder("d_date_sk")
+	year := columnar.NewInt64Builder("d_year")
+	moy := columnar.NewInt64Builder("d_moy")
+	dom := columnar.NewInt64Builder("d_dom")
+	qoy := columnar.NewInt64Builder("d_qoy")
+	dow := columnar.NewInt64Builder("d_dow")
+	dname := columnar.NewStringBuilder("d_day_name")
+	mname := columnar.NewStringBuilder("d_month_name")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		y := 2000 + i/365
+		doy := i % 365
+		m := doy / 31
+		if m > 11 {
+			m = 11
+		}
+		year.Append(int64(y))
+		moy.Append(int64(m + 1))
+		dom.Append(int64(doy%31 + 1))
+		qoy.Append(int64(m/3 + 1))
+		dow.Append(int64(i % 7))
+		dname.Append(dayNames[i%7])
+		mname.Append(monthNames[m])
+	}
+	return columnar.MustNewTable("date_dim", sk.Build(), year.Build(), moy.Build(),
+		dom.Build(), qoy.Build(), dow.Build(), dname.Build(), mname.Build())
+}
+
+func genTimeDim(n int) *columnar.Table {
+	sk := columnar.NewInt64Builder("t_time_sk")
+	hour := columnar.NewInt64Builder("t_hour")
+	minute := columnar.NewInt64Builder("t_minute")
+	shift := columnar.NewStringBuilder("t_shift")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		h := i / 60
+		hour.Append(int64(h))
+		minute.Append(int64(i % 60))
+		switch {
+		case h < 8:
+			shift.Append("third")
+		case h < 16:
+			shift.Append("first")
+		default:
+			shift.Append("second")
+		}
+	}
+	return columnar.MustNewTable("time_dim", sk.Build(), hour.Build(), minute.Build(), shift.Build())
+}
+
+func genItem(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("i_item_sk")
+	brand := columnar.NewStringBuilder("i_brand")
+	cat := columnar.NewStringBuilder("i_category")
+	class := columnar.NewStringBuilder("i_class")
+	price := columnar.NewFloat64Builder("i_current_price")
+	mfg := columnar.NewInt64Builder("i_manufact_id")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		brand.Append(brands[r.intn(len(brands))])
+		cat.Append(categories[r.intn(len(categories))])
+		class.Append(classes[r.intn(len(classes))])
+		price.Append(float64(r.rangeInt(1, 300)) + 0.99)
+		mfg.Append(int64(r.intn(100)))
+	}
+	return columnar.MustNewTable("item", sk.Build(), brand.Build(), cat.Build(),
+		class.Build(), price.Build(), mfg.Build())
+}
+
+func genCustomer(sz Sizes, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("c_customer_sk")
+	bm := columnar.NewInt64Builder("c_birth_month")
+	by := columnar.NewInt64Builder("c_birth_year")
+	addr := columnar.NewInt64Builder("c_current_addr_sk")
+	cdemo := columnar.NewInt64Builder("c_current_cdemo_sk")
+	hdemo := columnar.NewInt64Builder("c_current_hdemo_sk")
+	for i := 0; i < sz.Customer; i++ {
+		sk.Append(int64(i))
+		bm.Append(int64(r.rangeInt(1, 12)))
+		by.Append(int64(r.rangeInt(1930, 2005)))
+		addr.Append(int64(r.intn(sz.CustomerAddr)))
+		cdemo.Append(int64(r.intn(sz.CustomerDemo)))
+		hdemo.Append(int64(r.intn(sz.HouseholdDemo)))
+	}
+	return columnar.MustNewTable("customer", sk.Build(), bm.Build(), by.Build(),
+		addr.Build(), cdemo.Build(), hdemo.Build())
+}
+
+func genCustomerAddress(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("ca_address_sk")
+	state := columnar.NewStringBuilder("ca_state")
+	zip := columnar.NewInt64Builder("ca_zip")
+	gmt := columnar.NewInt64Builder("ca_gmt_offset")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		state.Append(states[r.intn(len(states))])
+		zip.Append(int64(r.rangeInt(10000, 99999)))
+		gmt.Append(int64(-r.rangeInt(5, 8)))
+	}
+	return columnar.MustNewTable("customer_address", sk.Build(), state.Build(), zip.Build(), gmt.Build())
+}
+
+func genCustomerDemo(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("cd_demo_sk")
+	gender := columnar.NewStringBuilder("cd_gender")
+	marital := columnar.NewStringBuilder("cd_marital_status")
+	edu := columnar.NewStringBuilder("cd_education_status")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		gender.Append(genders[r.intn(len(genders))])
+		marital.Append(maritals[r.intn(len(maritals))])
+		edu.Append(educations[r.intn(len(educations))])
+	}
+	return columnar.MustNewTable("customer_demographics", sk.Build(), gender.Build(),
+		marital.Build(), edu.Build())
+}
+
+func genHouseholdDemo(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("hd_demo_sk")
+	income := columnar.NewInt64Builder("hd_income_band_sk")
+	buy := columnar.NewStringBuilder("hd_buy_potential")
+	dep := columnar.NewInt64Builder("hd_dep_count")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		income.Append(int64(r.intn(20)))
+		buy.Append(buyPot[r.intn(len(buyPot))])
+		dep.Append(int64(r.intn(10)))
+	}
+	return columnar.MustNewTable("household_demographics", sk.Build(), income.Build(),
+		buy.Build(), dep.Build())
+}
+
+func genStore(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("s_store_sk")
+	name := columnar.NewStringBuilder("s_store_name")
+	state := columnar.NewStringBuilder("s_state")
+	market := columnar.NewInt64Builder("s_market_id")
+	sqft := columnar.NewInt64Builder("s_floor_space")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		name.Append(fmt.Sprintf("Store #%d", i+1))
+		state.Append(states[r.intn(len(states))])
+		market.Append(int64(r.rangeInt(1, 6)))
+		sqft.Append(int64(r.rangeInt(5_000_000, 9_000_000)))
+	}
+	return columnar.MustNewTable("store", sk.Build(), name.Build(), state.Build(),
+		market.Build(), sqft.Build())
+}
+
+func genPromotion(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("p_promo_sk")
+	name := columnar.NewStringBuilder("p_promo_name")
+	channel := columnar.NewStringBuilder("p_channel")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		name.Append(fmt.Sprintf("promo-%d", i))
+		channel.Append([]string{"mail", "email", "tv", "radio", "event"}[r.intn(5)])
+	}
+	return columnar.MustNewTable("promotion", sk.Build(), name.Build(), channel.Build())
+}
+
+func genWarehouse(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("w_warehouse_sk")
+	name := columnar.NewStringBuilder("w_warehouse_name")
+	state := columnar.NewStringBuilder("w_state")
+	sqft := columnar.NewInt64Builder("w_warehouse_sq_ft")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		name.Append(fmt.Sprintf("Warehouse %d", i+1))
+		state.Append(states[r.intn(len(states))])
+		sqft.Append(int64(r.rangeInt(50_000, 990_000)))
+	}
+	return columnar.MustNewTable("warehouse", sk.Build(), name.Build(), state.Build(), sqft.Build())
+}
+
+func genWebSite(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("web_site_sk")
+	name := columnar.NewStringBuilder("web_name")
+	class := columnar.NewStringBuilder("web_class")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		name.Append(fmt.Sprintf("site_%d", i))
+		class.Append([]string{"Unknown", "business", "consumer"}[r.intn(3)])
+	}
+	return columnar.MustNewTable("web_site", sk.Build(), name.Build(), class.Build())
+}
+
+func genWebPage(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("wp_web_page_sk")
+	typ := columnar.NewStringBuilder("wp_type")
+	links := columnar.NewInt64Builder("wp_link_count")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		typ.Append([]string{"order", "feedback", "general", "protected", "welcome"}[r.intn(5)])
+		links.Append(int64(r.rangeInt(2, 25)))
+	}
+	return columnar.MustNewTable("web_page", sk.Build(), typ.Build(), links.Build())
+}
+
+func genCallCenter(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("cc_call_center_sk")
+	name := columnar.NewStringBuilder("cc_name")
+	emp := columnar.NewInt64Builder("cc_employees")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		name.Append(fmt.Sprintf("call center %d", i+1))
+		emp.Append(int64(r.rangeInt(50, 700)))
+	}
+	return columnar.MustNewTable("call_center", sk.Build(), name.Build(), emp.Build())
+}
+
+func genCatalogPage(n int, r *rng) *columnar.Table {
+	sk := columnar.NewInt64Builder("cp_catalog_page_sk")
+	cat := columnar.NewInt64Builder("cp_catalog_number")
+	typ := columnar.NewStringBuilder("cp_type")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		cat.Append(int64(r.rangeInt(1, 20)))
+		typ.Append([]string{"bi-annual", "quarterly", "monthly"}[r.intn(3)])
+	}
+	return columnar.MustNewTable("catalog_page", sk.Build(), cat.Build(), typ.Build())
+}
+
+func genShipMode(n int) *columnar.Table {
+	sk := columnar.NewInt64Builder("sm_ship_mode_sk")
+	typ := columnar.NewStringBuilder("sm_type")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		typ.Append(shipTypes[i%len(shipTypes)])
+	}
+	return columnar.MustNewTable("ship_mode", sk.Build(), typ.Build())
+}
+
+func genReason(n int) *columnar.Table {
+	sk := columnar.NewInt64Builder("r_reason_sk")
+	desc := columnar.NewStringBuilder("r_reason_desc")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		desc.Append(reasonsDesc[i%len(reasonsDesc)])
+	}
+	return columnar.MustNewTable("reason", sk.Build(), desc.Build())
+}
+
+func genIncomeBand(n int) *columnar.Table {
+	sk := columnar.NewInt64Builder("ib_income_band_sk")
+	lower := columnar.NewInt64Builder("ib_lower_bound")
+	upper := columnar.NewInt64Builder("ib_upper_bound")
+	for i := 0; i < n; i++ {
+		sk.Append(int64(i))
+		lower.Append(int64(i * 10000))
+		upper.Append(int64((i+1)*10000 - 1))
+	}
+	return columnar.MustNewTable("income_band", sk.Build(), lower.Build(), upper.Build())
+}
+
+// --- facts ---
+
+func genStoreSales(sz Sizes, r *rng) *columnar.Table {
+	n := sz.StoreSales
+	date := columnar.NewInt64Builder("ss_sold_date_sk")
+	tm := columnar.NewInt64Builder("ss_sold_time_sk")
+	item := columnar.NewInt64Builder("ss_item_sk")
+	cust := columnar.NewInt64Builder("ss_customer_sk")
+	store := columnar.NewInt64Builder("ss_store_sk")
+	promo := columnar.NewInt64Builder("ss_promo_sk")
+	ticket := columnar.NewInt64Builder("ss_ticket_number")
+	qty := columnar.NewInt64Builder("ss_quantity")
+	whole := columnar.NewFloat64Builder("ss_wholesale_cost")
+	list := columnar.NewFloat64Builder("ss_list_price")
+	sales := columnar.NewFloat64Builder("ss_sales_price")
+	paid := columnar.NewFloat64Builder("ss_net_paid")
+	profit := columnar.NewFloat64Builder("ss_net_profit")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		tm.Append(int64(r.intn(sz.TimeDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		if r.intn(50) == 0 {
+			cust.AppendNull()
+		} else {
+			cust.Append(int64(r.zipfish(sz.Customer)))
+		}
+		store.Append(int64(r.intn(sz.Store)))
+		promo.Append(int64(r.intn(sz.Promotion)))
+		ticket.Append(int64(i / 4)) // ~4 line items per ticket
+		q := r.rangeInt(1, 100)
+		qty.Append(int64(q))
+		w := float64(r.rangeInt(1, 100)) + 0.25
+		l := w * (1.2 + r.float())
+		s := l * (0.5 + r.float()/2)
+		whole.Append(w)
+		list.Append(l)
+		sales.Append(s)
+		paid.Append(s * float64(q))
+		profit.Append((s - w) * float64(q))
+	}
+	return columnar.MustNewTable("store_sales", date.Build(), tm.Build(), item.Build(),
+		cust.Build(), store.Build(), promo.Build(), ticket.Build(), qty.Build(),
+		whole.Build(), list.Build(), sales.Build(), paid.Build(), profit.Build())
+}
+
+func genStoreReturns(sz Sizes, r *rng) *columnar.Table {
+	n := sz.StoreReturns
+	date := columnar.NewInt64Builder("sr_returned_date_sk")
+	item := columnar.NewInt64Builder("sr_item_sk")
+	cust := columnar.NewInt64Builder("sr_customer_sk")
+	store := columnar.NewInt64Builder("sr_store_sk")
+	reason := columnar.NewInt64Builder("sr_reason_sk")
+	qty := columnar.NewInt64Builder("sr_return_quantity")
+	amt := columnar.NewFloat64Builder("sr_return_amt")
+	fee := columnar.NewFloat64Builder("sr_fee")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		cust.Append(int64(r.zipfish(sz.Customer)))
+		store.Append(int64(r.intn(sz.Store)))
+		reason.Append(int64(r.intn(sz.Reason)))
+		q := r.rangeInt(1, 20)
+		qty.Append(int64(q))
+		amt.Append(float64(q) * (float64(r.rangeInt(1, 150)) + 0.75))
+		fee.Append(float64(r.rangeInt(0, 100)))
+	}
+	return columnar.MustNewTable("store_returns", date.Build(), item.Build(), cust.Build(),
+		store.Build(), reason.Build(), qty.Build(), amt.Build(), fee.Build())
+}
+
+func genCatalogSales(sz Sizes, r *rng) *columnar.Table {
+	n := sz.CatalogSales
+	date := columnar.NewInt64Builder("cs_sold_date_sk")
+	item := columnar.NewInt64Builder("cs_item_sk")
+	cust := columnar.NewInt64Builder("cs_bill_customer_sk")
+	cc := columnar.NewInt64Builder("cs_call_center_sk")
+	page := columnar.NewInt64Builder("cs_catalog_page_sk")
+	ship := columnar.NewInt64Builder("cs_ship_mode_sk")
+	wh := columnar.NewInt64Builder("cs_warehouse_sk")
+	qty := columnar.NewInt64Builder("cs_quantity")
+	price := columnar.NewFloat64Builder("cs_sales_price")
+	paid := columnar.NewFloat64Builder("cs_net_paid")
+	profit := columnar.NewFloat64Builder("cs_net_profit")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		cust.Append(int64(r.zipfish(sz.Customer)))
+		cc.Append(int64(r.intn(sz.CallCenter)))
+		page.Append(int64(r.intn(sz.CatalogPage)))
+		ship.Append(int64(r.intn(sz.ShipMode)))
+		wh.Append(int64(r.intn(sz.Warehouse)))
+		q := r.rangeInt(1, 100)
+		qty.Append(int64(q))
+		s := float64(r.rangeInt(1, 300)) + 0.5
+		price.Append(s)
+		paid.Append(s * float64(q))
+		profit.Append(s*float64(q)*0.3 - float64(r.rangeInt(0, 50)))
+	}
+	return columnar.MustNewTable("catalog_sales", date.Build(), item.Build(), cust.Build(),
+		cc.Build(), page.Build(), ship.Build(), wh.Build(), qty.Build(),
+		price.Build(), paid.Build(), profit.Build())
+}
+
+func genCatalogReturns(sz Sizes, r *rng) *columnar.Table {
+	n := sz.CatalogReturns
+	date := columnar.NewInt64Builder("cr_returned_date_sk")
+	item := columnar.NewInt64Builder("cr_item_sk")
+	cust := columnar.NewInt64Builder("cr_refunded_customer_sk")
+	reason := columnar.NewInt64Builder("cr_reason_sk")
+	qty := columnar.NewInt64Builder("cr_return_quantity")
+	amt := columnar.NewFloat64Builder("cr_return_amount")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		cust.Append(int64(r.zipfish(sz.Customer)))
+		reason.Append(int64(r.intn(sz.Reason)))
+		q := r.rangeInt(1, 20)
+		qty.Append(int64(q))
+		amt.Append(float64(q) * (float64(r.rangeInt(1, 200)) + 0.33))
+	}
+	return columnar.MustNewTable("catalog_returns", date.Build(), item.Build(),
+		cust.Build(), reason.Build(), qty.Build(), amt.Build())
+}
+
+func genWebSales(sz Sizes, r *rng) *columnar.Table {
+	n := sz.WebSales
+	date := columnar.NewInt64Builder("ws_sold_date_sk")
+	item := columnar.NewInt64Builder("ws_item_sk")
+	cust := columnar.NewInt64Builder("ws_bill_customer_sk")
+	site := columnar.NewInt64Builder("ws_web_site_sk")
+	page := columnar.NewInt64Builder("ws_web_page_sk")
+	ship := columnar.NewInt64Builder("ws_ship_mode_sk")
+	qty := columnar.NewInt64Builder("ws_quantity")
+	price := columnar.NewFloat64Builder("ws_sales_price")
+	paid := columnar.NewFloat64Builder("ws_net_paid")
+	profit := columnar.NewFloat64Builder("ws_net_profit")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		cust.Append(int64(r.zipfish(sz.Customer)))
+		site.Append(int64(r.intn(sz.WebSite)))
+		page.Append(int64(r.intn(sz.WebPage)))
+		ship.Append(int64(r.intn(sz.ShipMode)))
+		q := r.rangeInt(1, 100)
+		qty.Append(int64(q))
+		s := float64(r.rangeInt(1, 300)) + 0.5
+		price.Append(s)
+		paid.Append(s * float64(q))
+		profit.Append(s*float64(q)*0.25 - float64(r.rangeInt(0, 40)))
+	}
+	return columnar.MustNewTable("web_sales", date.Build(), item.Build(), cust.Build(),
+		site.Build(), page.Build(), ship.Build(), qty.Build(), price.Build(),
+		paid.Build(), profit.Build())
+}
+
+func genWebReturns(sz Sizes, r *rng) *columnar.Table {
+	n := sz.WebReturns
+	date := columnar.NewInt64Builder("wr_returned_date_sk")
+	item := columnar.NewInt64Builder("wr_item_sk")
+	cust := columnar.NewInt64Builder("wr_refunded_customer_sk")
+	reason := columnar.NewInt64Builder("wr_reason_sk")
+	qty := columnar.NewInt64Builder("wr_return_quantity")
+	amt := columnar.NewFloat64Builder("wr_return_amt")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.zipfish(sz.Item)))
+		cust.Append(int64(r.zipfish(sz.Customer)))
+		reason.Append(int64(r.intn(sz.Reason)))
+		q := r.rangeInt(1, 15)
+		qty.Append(int64(q))
+		amt.Append(float64(q) * (float64(r.rangeInt(1, 180)) + 0.5))
+	}
+	return columnar.MustNewTable("web_returns", date.Build(), item.Build(), cust.Build(),
+		reason.Build(), qty.Build(), amt.Build())
+}
+
+func genInventory(sz Sizes, r *rng) *columnar.Table {
+	n := sz.Inventory
+	date := columnar.NewInt64Builder("inv_date_sk")
+	item := columnar.NewInt64Builder("inv_item_sk")
+	wh := columnar.NewInt64Builder("inv_warehouse_sk")
+	qoh := columnar.NewInt64Builder("inv_quantity_on_hand")
+	for i := 0; i < n; i++ {
+		date.Append(int64(r.intn(sz.DateDim)))
+		item.Append(int64(r.intn(sz.Item)))
+		wh.Append(int64(r.intn(sz.Warehouse)))
+		qoh.Append(int64(r.intn(1000)))
+	}
+	return columnar.MustNewTable("inventory", date.Build(), item.Build(), wh.Build(), qoh.Build())
+}
