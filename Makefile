@@ -1,0 +1,26 @@
+GO ?= go
+
+# Packages with parallel host-side execution; the race target drives the
+# differential tests (degrees 1/2/8) under the race detector.
+PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
+                ./internal/evaluator ./internal/bsort ./internal/engine
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(PARALLEL_PKGS)
+
+bench:
+	$(GO) test -bench 'ParallelGather|PartialKeyBuild' -benchmem -run '^$$' \
+		./internal/columnar ./internal/bsort
+
+check: vet test race

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"blugpu/internal/des"
 	"blugpu/internal/engine"
@@ -97,6 +98,12 @@ type QueryRun struct {
 	GPUOn   vtime.Duration
 	GPUOff  vtime.Duration
 	GPUUsed bool
+	// WallOn/WallOff are the real elapsed times of the functional
+	// execution on this machine. They track the host worker pool (engine
+	// Degree), unlike the modeled columns, which simulate the paper's
+	// testbed and are run-to-run stable.
+	WallOn  time.Duration
+	WallOff time.Duration
 	// Reason is the group-by path note from the operator stats.
 	Reason string
 	// Demand is the largest device-memory demand the query placed.
@@ -119,12 +126,16 @@ func (r QueryRun) Gain() float64 {
 func (h *Harness) RunBoth(q workload.Query) (QueryRun, error) {
 	run := QueryRun{Query: q}
 	h.Eng.SetGPUEnabled(true)
+	start := time.Now()
 	on, err := h.Eng.Query(q.SQL)
+	run.WallOn = time.Since(start)
 	if err != nil {
 		return run, fmt.Errorf("%s (gpu on): %w", q.ID, err)
 	}
 	h.Eng.SetGPUEnabled(false)
+	start = time.Now()
 	off, err := h.Eng.Query(q.SQL)
+	run.WallOff = time.Since(start)
 	if err != nil {
 		return run, fmt.Errorf("%s (gpu off): %w", q.ID, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"blugpu/internal/parallel"
 	"blugpu/internal/sched"
 	"blugpu/internal/vtime"
 )
@@ -61,9 +62,7 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 	if cfg.Model == nil {
 		return nil, Stats{}, errors.New("bsort: Config.Model is required")
 	}
-	if cfg.Degree < 1 {
-		cfg.Degree = 1
-	}
+	cfg.Degree = parallel.Degree(cfg.Degree)
 	if cfg.GPUThreshold <= 0 {
 		cfg.GPUThreshold = DefaultGPUThreshold
 	}
@@ -74,23 +73,29 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 	}
 
 	entries := make([]Entry, n)
-	for i := 0; i < n; i++ {
-		entries[i] = MakeEntry(0, uint32(i))
-	}
+	parallel.For(n, keygenGrain, cfg.Degree, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			entries[i] = MakeEntry(0, uint32(i))
+		}
+	})
 
 	var queue []job
 	var keygenRows int64
 	var cpuWork float64
 	gpuBusy := map[int]vtime.Duration{}
 
-	// rekey regenerates the partial keys for a job's range at its depth.
-	// Payloads survive every sort, so the key source is always consulted
-	// fresh ("subsequent fetches of the next partial key").
+	// rekey regenerates the partial keys for a job's range at its depth,
+	// split across the worker pool — the paper's "partial key buffer ...
+	// built by parallel host threads". Payloads survive every sort, so the
+	// key source is always consulted fresh ("subsequent fetches of the
+	// next partial key"), and each worker writes a disjoint range.
 	rekey := func(r Range, depth int) {
-		for i := r.Lo; i < r.Hi; i++ {
-			p := entries[i].Payload()
-			entries[i] = MakeEntry(src.PartialKey(int32(p), depth), p)
-		}
+		parallel.For(r.Len(), keygenGrain, cfg.Degree, func(lo, hi, _ int) {
+			for i := r.Lo + lo; i < r.Lo + hi; i++ {
+				p := entries[i].Payload()
+				entries[i] = MakeEntry(src.PartialKey(int32(p), depth), p)
+			}
+		})
 		keygenRows += int64(r.Len())
 	}
 
@@ -98,23 +103,8 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 		// Conflict-free range partitioning by the leading key byte: each
 		// partition sorts independently, so no merge step is ever needed.
 		rekey(Range{0, n}, 0)
-		var counts [256]int
-		for _, e := range entries {
-			counts[e.Key()>>24]++
-		}
-		offsets := make([]int, 257)
-		for b := 0; b < 256; b++ {
-			offsets[b+1] = offsets[b] + counts[b]
-		}
 		scratch := make([]Entry, n)
-		next := make([]int, 256)
-		copy(next, offsets[:256])
-		for _, e := range entries {
-			b := e.Key() >> 24
-			scratch[next[b]] = e
-			next[b]++
-		}
-		copy(entries, scratch)
+		offsets := partitionTopByte(entries, cfg.Degree, scratch)
 		cpuWork += float64(n) // one extra linear pass
 		// Group the 256 buckets into ~Partitions contiguous jobs.
 		per := (n + cfg.Partitions - 1) / cfg.Partitions
@@ -175,19 +165,11 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 		}
 
 		// Host path: finish this range completely (all remaining depths
-		// plus the row-id tie-break), so it never requeues.
-		lo, hi, depth := j.r.Lo, j.r.Hi, j.depth
-		sort.Slice(entries[lo:hi], func(a, b int) bool {
-			pa, pb := entries[lo+a].Payload(), entries[lo+b].Payload()
-			for d := depth; d < src.MaxDepth(); d++ {
-				ka, kb := src.PartialKey(int32(pa), d), src.PartialKey(int32(pb), d)
-				if ka != kb {
-					return ka < kb
-				}
-			}
-			return pa < pb
-		})
-		cpuWork += nlogn(j.r.Len()) * float64(src.MaxDepth()-depth)
+		// plus the row-id tie-break), so it never requeues. Large ranges
+		// partition by leading byte and sort bucket-parallel; the modeled
+		// cost charge is per-range, so it is identical at any degree.
+		hostSortRange(entries, j.r, j.depth, src, cfg.Degree)
+		cpuWork += nlogn(j.r.Len()) * float64(src.MaxDepth()-j.depth)
 		st.CPUJobs++
 	}
 

@@ -1,8 +1,18 @@
 package columnar
 
+import "blugpu/internal/parallel"
+
+// gatherGrain is the minimum rows per worker for parallel gathers: below
+// it, goroutine handoff costs more than the copy itself.
+const gatherGrain = 2048
+
 // Gather builds a new column containing the given rows, in order. The
 // executor uses it to materialize filtered, joined, sorted and limited
 // intermediates without re-encoding dictionaries.
+//
+// Gather is the sequential reference; GatherDegree is the parallel path
+// the engine threads its Degree into, and the differential tests assert
+// the two produce identical columns.
 func (c *Int64Column) Gather(name string, rows []int32) *Int64Column {
 	data := make([]int64, len(rows))
 	var nulls *Bitmap
@@ -51,6 +61,102 @@ func (c *StringColumn) Gather(name string, rows []int32) *StringColumn {
 	return &StringColumn{name: name, dict: c.dict, codes: codes, nulls: nulls}
 }
 
+// GatherDegree is the parallel Gather: disjoint row ranges are copied by
+// the worker pool, each worker writing its own 64-aligned region of the
+// output (and of the shared null bitmap), so the result is bit-identical
+// to Gather at any degree.
+func (c *Int64Column) GatherDegree(name string, rows []int32, degree int) *Int64Column {
+	n := len(rows)
+	data := make([]int64, n)
+	if c.nulls == nil {
+		parallel.For(n, gatherGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				data[i] = c.data[rows[i]]
+			}
+		})
+		return &Int64Column{name: name, data: data}
+	}
+	nulls, found := NewBitmap(n), make([]bool, parallel.Workers(n, gatherGrain, degree))
+	parallel.For(n, gatherGrain, degree, func(lo, hi, worker int) {
+		any := false
+		for i := lo; i < hi; i++ {
+			data[i] = c.data[rows[i]]
+			if c.IsNull(int(rows[i])) {
+				nulls.Set(i)
+				any = true
+			}
+		}
+		found[worker] = any
+	})
+	return &Int64Column{name: name, data: data, nulls: keepNulls(nulls, found)}
+}
+
+// GatherDegree is the parallel Gather for float columns.
+func (c *Float64Column) GatherDegree(name string, rows []int32, degree int) *Float64Column {
+	n := len(rows)
+	data := make([]float64, n)
+	if c.nulls == nil {
+		parallel.For(n, gatherGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				data[i] = c.data[rows[i]]
+			}
+		})
+		return &Float64Column{name: name, data: data}
+	}
+	nulls, found := NewBitmap(n), make([]bool, parallel.Workers(n, gatherGrain, degree))
+	parallel.For(n, gatherGrain, degree, func(lo, hi, worker int) {
+		any := false
+		for i := lo; i < hi; i++ {
+			data[i] = c.data[rows[i]]
+			if c.IsNull(int(rows[i])) {
+				nulls.Set(i)
+				any = true
+			}
+		}
+		found[worker] = any
+	})
+	return &Float64Column{name: name, data: data, nulls: keepNulls(nulls, found)}
+}
+
+// GatherDegree is the parallel Gather for dictionary columns; the
+// dictionary is shared with the source, only codes are copied.
+func (c *StringColumn) GatherDegree(name string, rows []int32, degree int) *StringColumn {
+	n := len(rows)
+	codes := make([]int32, n)
+	if c.nulls == nil {
+		parallel.For(n, gatherGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				codes[i] = c.codes[rows[i]]
+			}
+		})
+		return &StringColumn{name: name, dict: c.dict, codes: codes}
+	}
+	nulls, found := NewBitmap(n), make([]bool, parallel.Workers(n, gatherGrain, degree))
+	parallel.For(n, gatherGrain, degree, func(lo, hi, worker int) {
+		any := false
+		for i := lo; i < hi; i++ {
+			codes[i] = c.codes[rows[i]]
+			if c.IsNull(int(rows[i])) {
+				nulls.Set(i)
+				any = true
+			}
+		}
+		found[worker] = any
+	})
+	return &StringColumn{name: name, dict: c.dict, codes: codes, nulls: keepNulls(nulls, found)}
+}
+
+// keepNulls drops the bitmap when no worker found a null, matching the
+// sequential Gather's lazily-allocated bitmap exactly.
+func keepNulls(nulls *Bitmap, found []bool) *Bitmap {
+	for _, f := range found {
+		if f {
+			return nulls
+		}
+	}
+	return nil
+}
+
 // GatherColumn dispatches Gather over the concrete column types.
 func GatherColumn(c Column, name string, rows []int32) Column {
 	switch col := c.(type) {
@@ -74,6 +180,31 @@ func GatherColumn(c Column, name string, rows []int32) Column {
 	}
 }
 
+// GatherColumnDegree dispatches GatherDegree over the concrete column
+// types; the generic fallback materializes values on the worker pool.
+func GatherColumnDegree(c Column, name string, rows []int32, degree int) Column {
+	switch col := c.(type) {
+	case *Int64Column:
+		return col.GatherDegree(name, rows, degree)
+	case *Float64Column:
+		return col.GatherDegree(name, rows, degree)
+	case *StringColumn:
+		return col.GatherDegree(name, rows, degree)
+	default:
+		vals := make([]Value, len(rows))
+		parallel.For(len(rows), gatherGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				vals[i] = c.Value(int(rows[i]))
+			}
+		})
+		out, err := ColumnFromValues(name, c.Type(), vals)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+}
+
 // GatherTable materializes the given rows of tbl, in order, under a new
 // table name.
 func GatherTable(name string, tbl *Table, rows []int32) *Table {
@@ -82,4 +213,26 @@ func GatherTable(name string, tbl *Table, rows []int32) *Table {
 		cols[i] = GatherColumn(c, c.Name(), rows)
 	}
 	return MustNewTable(name, cols...)
+}
+
+// GatherTableDegree materializes the given rows of tbl on the worker
+// pool: rows are split across workers within each column.
+func GatherTableDegree(name string, tbl *Table, rows []int32, degree int) *Table {
+	cols := make([]Column, tbl.NumColumns())
+	for i, c := range tbl.Columns() {
+		cols[i] = GatherColumnDegree(c, c.Name(), rows, degree)
+	}
+	return MustNewTable(name, cols...)
+}
+
+// IotaRows returns [0, n) as row ids, filled by the worker pool — the
+// "select everything" row vector scans and renames start from.
+func IotaRows(n, degree int) []int32 {
+	rows := make([]int32, n)
+	parallel.For(n, gatherGrain, degree, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			rows[i] = int32(i)
+		}
+	})
+	return rows
 }

@@ -9,6 +9,7 @@ import (
 	"blugpu/internal/evaluator"
 	"blugpu/internal/groupby"
 	"blugpu/internal/optimizer"
+	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
 	"blugpu/internal/sched"
 	"blugpu/internal/vtime"
@@ -177,10 +178,14 @@ func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out 
 
 	var tcols []columnar.Column
 	for fi, field := range chain.Fields {
+		// Key decode is per-group independent; the column builder pass in
+		// ColumnFromValues stays sequential.
 		vals := make([]columnar.Value, groups)
-		for g := 0; g < groups; g++ {
-			vals[g] = keyVal(g, fi)
-		}
+		parallel.For(groups, exprGrain, e.cfg.Degree, func(lo, hi, _ int) {
+			for g := lo; g < hi; g++ {
+				vals[g] = keyVal(g, fi)
+			}
+		})
 		col, err := columnar.ColumnFromValues(field.Column, field.Type, vals)
 		if err != nil {
 			return nil, err

@@ -5,8 +5,13 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/expr"
+	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
 )
+
+// exprGrain is the minimum rows per worker for parallel expression
+// evaluation; interpreted Eval calls are heavy enough for small chunks.
+const exprGrain = 512
 
 // exec dispatches one plan node.
 func (e *Engine) exec(n plan.Node) (*frame, error) {
@@ -67,12 +72,12 @@ func (e *Engine) execFilter(n *plan.Filter) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel, err := expr.EvalPredicate(f.tbl, n.Pred)
+	sel, err := expr.EvalPredicateDegree(f.tbl, n.Pred, e.cfg.Degree)
 	if err != nil {
 		return nil, err
 	}
-	rows := sel.Indices()
-	out := columnar.GatherTable(f.tbl.Name()+"_f", f.tbl, rows)
+	rows := sel.IndicesDegree(e.cfg.Degree)
+	out := columnar.GatherTableDegree(f.tbl.Name()+"_f", f.tbl, rows, e.cfg.Degree)
 	t := e.model.CPUTime(float64(f.tbl.Rows()), e.model.CPUExprRate, e.cfg.Degree) +
 		e.model.CPUTime(float64(len(rows)*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(f, t)
@@ -158,7 +163,7 @@ func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
 		if !wanted(c.Name()) {
 			continue
 		}
-		cols = append(cols, columnar.GatherColumn(c, c.Name(), leftRows))
+		cols = append(cols, columnar.GatherColumnDegree(c, c.Name(), leftRows, e.cfg.Degree))
 	}
 	for _, c := range right.Columns() {
 		if left.tbl.HasColumn(c.Name()) {
@@ -170,7 +175,7 @@ func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
 		if !wanted(c.Name()) {
 			continue
 		}
-		cols = append(cols, columnar.GatherColumn(c, c.Name(), rightRows))
+		cols = append(cols, columnar.GatherColumnDegree(c, c.Name(), rightRows, e.cfg.Degree))
 	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("engine: join of %s would produce no columns", n.Table)
@@ -199,7 +204,7 @@ func (e *Engine) execDerive(n *plan.Derive) (*frame, error) {
 	}
 	cols := append([]columnar.Column{}, f.tbl.Columns()...)
 	for _, dc := range n.Cols {
-		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr)
+		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr, e.cfg.Degree)
 		if err != nil {
 			return nil, err
 		}
@@ -230,10 +235,10 @@ func (e *Engine) execProject(n *plan.Project) (*frame, error) {
 			if src == nil {
 				return nil, fmt.Errorf("engine: unknown column %q", ref.Name)
 			}
-			cols[i] = renameColumn(src, dc.Name)
+			cols[i] = renameColumn(src, dc.Name, e.cfg.Degree)
 			continue
 		}
-		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr)
+		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr, e.cfg.Degree)
 		if err != nil {
 			return nil, err
 		}
@@ -260,30 +265,40 @@ func (e *Engine) execLimit(n *plan.Limit) (*frame, error) {
 	if limit > f.tbl.Rows() {
 		limit = f.tbl.Rows()
 	}
-	rows := make([]int32, limit)
-	for i := range rows {
-		rows[i] = int32(i)
-	}
-	f.tbl = columnar.GatherTable(f.tbl.Name()+"_l", f.tbl, rows)
+	rows := columnar.IotaRows(limit, e.cfg.Degree)
+	f.tbl = columnar.GatherTableDegree(f.tbl.Name()+"_l", f.tbl, rows, e.cfg.Degree)
 	f.ops = append(f.ops, OpStat{Op: "limit", Rows: f.tbl.Rows()})
 	return f, nil
 }
 
 // evalToColumn computes an expression for every row into a typed column.
-func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr) (columnar.Column, error) {
+// Rows evaluate in parallel into a value vector (expression evaluation is
+// row-independent); the builder pass stays sequential, so the column —
+// including its lazily allocated null bitmap — is identical at any degree.
+func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr, degree int) (columnar.Column, error) {
 	t, err := ex.TypeOf(tbl)
 	if err != nil {
 		return nil, err
 	}
 	n := tbl.Rows()
+	vals := make([]columnar.Value, n)
+	err = parallel.ForErr(n, exprGrain, degree, func(lo, hi, _ int) error {
+		for i := lo; i < hi; i++ {
+			v, err := ex.Eval(tbl, i)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	switch t {
 	case columnar.Int64:
 		b := columnar.NewInt64Builder(name)
-		for i := 0; i < n; i++ {
-			v, err := ex.Eval(tbl, i)
-			if err != nil {
-				return nil, err
-			}
+		for _, v := range vals {
 			if v.Null {
 				b.AppendNull()
 			} else {
@@ -293,11 +308,7 @@ func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr) (columnar.Colu
 		return b.Build(), nil
 	case columnar.Float64:
 		b := columnar.NewFloat64Builder(name)
-		for i := 0; i < n; i++ {
-			v, err := ex.Eval(tbl, i)
-			if err != nil {
-				return nil, err
-			}
+		for _, v := range vals {
 			if v.Null {
 				b.AppendNull()
 			} else {
@@ -307,11 +318,7 @@ func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr) (columnar.Colu
 		return b.Build(), nil
 	case columnar.String:
 		b := columnar.NewStringBuilder(name)
-		for i := 0; i < n; i++ {
-			v, err := ex.Eval(tbl, i)
-			if err != nil {
-				return nil, err
-			}
+		for _, v := range vals {
 			if v.Null {
 				b.AppendNull()
 			} else {
@@ -323,14 +330,11 @@ func evalToColumn(tbl *columnar.Table, name string, ex expr.Expr) (columnar.Colu
 	return nil, fmt.Errorf("engine: unsupported expression type %v", t)
 }
 
-// renameColumn returns src under a new name without copying data.
-func renameColumn(src columnar.Column, name string) columnar.Column {
+// renameColumn returns src under a new name without copying the values.
+func renameColumn(src columnar.Column, name string, degree int) columnar.Column {
 	if src.Name() == name {
 		return src
 	}
-	all := make([]int32, src.Len())
-	for i := range all {
-		all[i] = int32(i)
-	}
-	return columnar.GatherColumn(src, name, all)
+	all := columnar.IotaRows(src.Len(), degree)
+	return columnar.GatherColumnDegree(src, name, all, degree)
 }

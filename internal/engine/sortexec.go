@@ -5,13 +5,16 @@ import (
 
 	"blugpu/internal/bsort"
 	"blugpu/internal/columnar"
+	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
 )
 
 // encodeSortKeys builds fixed-width binary-sortable keys for the rows of
 // tbl under the given sort keys: per column a 4-byte NULL flag (NULLs
-// first) followed by the order-preserving encoding of the value.
-func encodeSortKeys(tbl *columnar.Table, keys []plan.SortKey) ([][]byte, error) {
+// first) followed by the order-preserving encoding of the value. Columns
+// are validated up front so the per-row encoding — each row an
+// independent allocation — can run across the worker pool.
+func encodeSortKeys(tbl *columnar.Table, keys []plan.SortKey, degree int) ([][]byte, error) {
 	n := tbl.Rows()
 	type colEnc struct {
 		col  columnar.Column
@@ -23,51 +26,56 @@ func encodeSortKeys(tbl *columnar.Table, keys []plan.SortKey) ([][]byte, error) 
 		if col == nil {
 			return nil, fmt.Errorf("engine: unknown sort column %q", k.Column)
 		}
+		switch col.(type) {
+		case *columnar.Int64Column, *columnar.Float64Column, *columnar.StringColumn:
+		default:
+			return nil, fmt.Errorf("engine: cannot sort column type %v", col.Type())
+		}
 		encs[i] = colEnc{col: col, desc: k.Desc}
 	}
 	out := make([][]byte, n)
-	for r := 0; r < n; r++ {
-		var key []byte
-		for _, enc := range encs {
-			null := enc.col.IsNull(r)
-			flag := uint32(1)
-			if null {
-				flag = 0 // NULLs sort first
+	parallel.For(n, exprGrain, degree, func(lo, hi, _ int) {
+		for r := lo; r < hi; r++ {
+			var key []byte
+			for _, enc := range encs {
+				null := enc.col.IsNull(r)
+				flag := uint32(1)
+				if null {
+					flag = 0 // NULLs sort first
+				}
+				key = bsort.AppendUint32Key(key, flag, enc.desc)
+				switch c := enc.col.(type) {
+				case *columnar.Int64Column:
+					v := int64(0)
+					if !null {
+						v = c.Int64(r)
+					}
+					key = bsort.AppendInt64Key(key, v, enc.desc)
+				case *columnar.Float64Column:
+					v := 0.0
+					if !null {
+						v = c.Float64(r)
+					}
+					key = bsort.AppendFloat64Key(key, v, enc.desc)
+				case *columnar.StringColumn:
+					// The dictionary is sorted, so codes are order-preserving.
+					code := uint32(0)
+					if !null {
+						code = uint32(c.Code(r))
+					}
+					key = bsort.AppendUint32Key(key, code, enc.desc)
+				}
 			}
-			key = bsort.AppendUint32Key(key, flag, enc.desc)
-			switch c := enc.col.(type) {
-			case *columnar.Int64Column:
-				v := int64(0)
-				if !null {
-					v = c.Int64(r)
-				}
-				key = bsort.AppendInt64Key(key, v, enc.desc)
-			case *columnar.Float64Column:
-				v := 0.0
-				if !null {
-					v = c.Float64(r)
-				}
-				key = bsort.AppendFloat64Key(key, v, enc.desc)
-			case *columnar.StringColumn:
-				// The dictionary is sorted, so codes are order-preserving.
-				code := uint32(0)
-				if !null {
-					code = uint32(c.Code(r))
-				}
-				key = bsort.AppendUint32Key(key, code, enc.desc)
-			default:
-				return nil, fmt.Errorf("engine: cannot sort column type %v", enc.col.Type())
-			}
+			out[r] = bsort.EncodePad(key)
 		}
-		out[r] = bsort.EncodePad(key)
-	}
+	})
 	return out, nil
 }
 
 // hybridSort sorts tbl's rows by keys through the hybrid job-queue sort
 // and returns the permutation plus the sort stats.
 func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame) ([]int32, bsort.Stats, error) {
-	encoded, err := encodeSortKeys(tbl, keys)
+	encoded, err := encodeSortKeys(tbl, keys, e.cfg.Degree)
 	if err != nil {
 		return nil, bsort.Stats{}, err
 	}
@@ -119,7 +127,7 @@ func (e *Engine) execSort(n *plan.Sort) (*frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.tbl = columnar.GatherTable(f.tbl.Name()+"_s", f.tbl, perm)
+		f.tbl = columnar.GatherTableDegree(f.tbl.Name()+"_s", f.tbl, perm, e.cfg.Degree)
 		f.ops = append(f.ops, OpStat{
 			Op:      "sort",
 			Detail:  fmt.Sprintf("jobs=%d gpu=%d cpu=%d", stats.Jobs, stats.GPUJobs, stats.CPUJobs),
@@ -156,11 +164,11 @@ func (e *Engine) execWindow(n *plan.Window) (*frame, error) {
 			Modeled: stats.Modeled,
 		})
 
-		partKeys, err := encodeSortKeys(tbl, partitionKeys(n))
+		partKeys, err := encodeSortKeys(tbl, partitionKeys(n), e.cfg.Degree)
 		if err != nil {
 			return nil, err
 		}
-		orderKeys, err := encodeSortKeys(tbl, n.OrderBy)
+		orderKeys, err := encodeSortKeys(tbl, n.OrderBy, e.cfg.Degree)
 		if err != nil {
 			return nil, err
 		}

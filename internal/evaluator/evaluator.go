@@ -21,8 +21,12 @@ import (
 	"blugpu/internal/kmv"
 	"blugpu/internal/monitor"
 	"blugpu/internal/murmur"
+	"blugpu/internal/parallel"
 	"blugpu/internal/vtime"
 )
+
+// evalGrain is the minimum rows per worker for the parallel evaluators.
+const evalGrain = 1024
 
 // AggColumn is one aggregation request: a function over a column.
 // Count with an empty column is COUNT(*); Count with a column is
@@ -97,14 +101,14 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 	if deps.Model == nil {
 		return nil, errors.New("evaluator: Deps.Model is required")
 	}
-	if deps.Degree < 1 {
-		deps.Degree = 1
-	}
+	// An unset degree means "use the machine", not "run sequentially":
+	// the evaluators are the paper's parallel host threads.
+	deps.Degree = parallel.Degree(deps.Degree)
 	if len(spec.Keys) == 0 {
 		return nil, errors.New("evaluator: at least one grouping column required")
 	}
 
-	rows := selectedRows(tbl, sel)
+	rows := selectedRows(tbl, sel, deps.Degree)
 	n := len(rows)
 	record := func(name string, nrows int64, d vtime.Duration) {
 		if deps.Monitor != nil {
@@ -113,7 +117,7 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 	}
 
 	// --- LCOG: load grouping key columns, compute field geometry ---
-	fields, err := planKeyFields(tbl, spec.Keys)
+	fields, err := planKeyFields(tbl, spec.Keys, deps.Degree)
 	if err != nil {
 		return nil, err
 	}
@@ -130,29 +134,37 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 
 	in := &groupby.Input{NumRows: n}
 	var ccatT vtime.Duration
+	// Each worker packs a disjoint row range into preallocated vectors,
+	// so parallel CCAT output is bit-identical to the sequential pack.
 	if wide {
 		in.KeyBytes = totalBytes
 		in.WideKeys = make([][]byte, n)
 		flat := make([]byte, n*totalBytes)
-		for i, r := range rows {
-			key := flat[i*totalBytes : (i+1)*totalBytes]
-			for _, f := range fields {
-				encodeWideField(tbl, f, int(r), key[f.ByteOffset:f.ByteOffset+f.Bytes])
+		parallel.For(n, evalGrain, deps.Degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				r := rows[i]
+				key := flat[i*totalBytes : (i+1)*totalBytes]
+				for _, f := range fields {
+					encodeWideField(tbl, f, int(r), key[f.ByteOffset:f.ByteOffset+f.Bytes])
+				}
+				in.WideKeys[i] = key
 			}
-			in.WideKeys[i] = key
-		}
+		})
 		ccatT = deps.Model.CPUTime(float64(n*len(fields)), deps.Model.CPUExprRate, deps.Degree)
 	} else {
 		in.KeyBytes = 8
 		in.KeyBits = totalBits
 		in.Keys = make([]uint64, n)
-		for i, r := range rows {
-			var key uint64
-			for _, f := range fields {
-				key |= narrowCode(tbl, f, int(r)) << uint(f.BitOffset)
+		parallel.For(n, evalGrain, deps.Degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				r := rows[i]
+				var key uint64
+				for _, f := range fields {
+					key |= narrowCode(tbl, f, int(r)) << uint(f.BitOffset)
+				}
+				in.Keys[i] = key
 			}
-			in.Keys[i] = key
-		}
+		})
 		if len(fields) > 1 {
 			ccatT = deps.Model.CPUTime(float64(n*len(fields)), deps.Model.CPUExprRate, deps.Degree)
 		}
@@ -162,7 +174,7 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 	// --- LCOV + aggregation specs ---
 	var lcovRows int64
 	for _, a := range spec.Aggs {
-		aspec, payload, err := buildPayload(tbl, rows, a)
+		aspec, payload, err := buildPayload(tbl, rows, a, deps.Degree)
 		if err != nil {
 			return nil, err
 		}
@@ -176,25 +188,40 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 	record("LCOV", lcovRows, lcovT)
 
 	// --- HASH + KMV ---
+	// Each worker hashes its row range into a private KMV sketch; the
+	// sketches merge at the end. The union of per-part k-minimum sets
+	// contains the global k minima, and merging is order-independent,
+	// so the estimate is identical to the sequential sketch's.
 	in.Hashes = make([]uint64, n)
+	nw := parallel.Workers(n, evalGrain, deps.Degree)
+	sketches := make([]*kmv.Sketch, nw)
+	for i := range sketches {
+		sketches[i] = kmv.MustNew(kmv.DefaultK)
+	}
+	parallel.For(n, evalGrain, deps.Degree, func(lo, hi, worker int) {
+		sk := sketches[worker]
+		if wide {
+			for i := lo; i < hi; i++ {
+				h := murmur.Sum64(in.WideKeys[i], 0x5bd1e995)
+				in.Hashes[i] = h
+				sk.AddHash(h)
+			}
+		} else {
+			// The HASH evaluator mixes the packed key into a hashed
+			// value; the kernel's "mod hash" then maps it onto the
+			// table with a mask. Feeding raw packed codes straight to
+			// linear probing would cluster catastrophically —
+			// dictionary codes are dense and sequential.
+			for i := lo; i < hi; i++ {
+				h := murmur.Sum64Uint64(in.Keys[i], 0x5bd1e995)
+				in.Hashes[i] = h
+				sk.AddHash(h)
+			}
+		}
+	})
 	sketch := kmv.MustNew(kmv.DefaultK)
-	if wide {
-		for i, k := range in.WideKeys {
-			h := murmur.Sum64(k, 0x5bd1e995)
-			in.Hashes[i] = h
-			sketch.AddHash(h)
-		}
-	} else {
-		// The HASH evaluator mixes the packed key into a hashed value;
-		// the kernel's "mod hash" then maps it onto the table with a
-		// mask. Feeding raw packed codes straight to linear probing
-		// would cluster catastrophically — dictionary codes are dense
-		// and sequential.
-		for i, k := range in.Keys {
-			h := murmur.Sum64Uint64(k, 0x5bd1e995)
-			in.Hashes[i] = h
-			sketch.AddHash(h)
-		}
+	for _, sk := range sketches {
+		sketch.Merge(sk)
 	}
 	in.EstGroups = sketch.EstimateUint64()
 	hashT := deps.Model.CPUTime(float64(n), deps.Model.CPUExprRate, deps.Degree)
@@ -208,7 +235,7 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 		if stagedBytes > 0 {
 			if deps.Registry != nil {
 				if blk, err := deps.Registry.Alloc(int(stagedBytes)); err == nil {
-					stageCopy(blk.Bytes(), in)
+					stageCopy(blk.Bytes(), in, deps.Degree)
 					res.Staged = blk
 					res.Pinned = true
 				}
@@ -271,21 +298,17 @@ func decodeCode(code uint64, f KeyField) columnar.Value {
 
 // --- helpers ---
 
-func selectedRows(tbl *columnar.Table, sel *columnar.Bitmap) []int32 {
+func selectedRows(tbl *columnar.Table, sel *columnar.Bitmap, degree int) []int32 {
 	if sel == nil {
-		rows := make([]int32, tbl.Rows())
-		for i := range rows {
-			rows[i] = int32(i)
-		}
-		return rows
+		return columnar.IotaRows(tbl.Rows(), degree)
 	}
-	return sel.Indices()
+	return sel.IndicesDegree(degree)
 }
 
 // planKeyFields computes per-column packing geometry. Int columns are
 // rebased to their min so the code fits the value range; string columns
 // use dictionary codes. A NULL code is reserved when the column has nulls.
-func planKeyFields(tbl *columnar.Table, keys []string) ([]KeyField, error) {
+func planKeyFields(tbl *columnar.Table, keys []string, degree int) ([]KeyField, error) {
 	fields := make([]KeyField, 0, len(keys))
 	bitOff, byteOff := 0, 0
 	for _, name := range keys {
@@ -312,23 +335,7 @@ func planKeyFields(tbl *columnar.Table, keys []string) ([]KeyField, error) {
 			f.Bits = bitsFor(span)
 			f.Bytes = 4
 		case *columnar.Int64Column:
-			minV, maxV := int64(math.MaxInt64), int64(math.MinInt64)
-			any := false
-			for i, v := range c.Data() {
-				if c.IsNull(i) {
-					continue
-				}
-				any = true
-				if v < minV {
-					minV = v
-				}
-				if v > maxV {
-					maxV = v
-				}
-			}
-			if !any {
-				minV, maxV = 0, 0
-			}
+			minV, maxV := columnMinMax(c, degree)
 			f.MinI = minV
 			span := uint64(maxV-minV) + 1
 			if hasNull {
@@ -347,6 +354,52 @@ func planKeyFields(tbl *columnar.Table, keys []string) ([]KeyField, error) {
 		fields = append(fields, f)
 	}
 	return fields, nil
+}
+
+// columnMinMax scans for the non-null value range with per-worker
+// partial minima/maxima reduced in worker order (min/max are exact and
+// commutative, so the result is degree-independent).
+func columnMinMax(c *columnar.Int64Column, degree int) (minV, maxV int64) {
+	data := c.Data()
+	nw := parallel.Workers(len(data), evalGrain, degree)
+	mins := make([]int64, nw)
+	maxs := make([]int64, nw)
+	anys := make([]bool, nw)
+	parallel.For(len(data), evalGrain, degree, func(lo, hi, worker int) {
+		mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+		any := false
+		for i := lo; i < hi; i++ {
+			if c.IsNull(i) {
+				continue
+			}
+			any = true
+			if v := data[i]; v < mn {
+				mn = v
+			}
+			if v := data[i]; v > mx {
+				mx = v
+			}
+		}
+		mins[worker], maxs[worker], anys[worker] = mn, mx, any
+	})
+	minV, maxV = int64(math.MaxInt64), int64(math.MinInt64)
+	any := false
+	for w := 0; w < nw; w++ {
+		if !anys[w] {
+			continue
+		}
+		any = true
+		if mins[w] < minV {
+			minV = mins[w]
+		}
+		if maxs[w] > maxV {
+			maxV = maxs[w]
+		}
+	}
+	if !any {
+		return 0, 0
+	}
+	return minV, maxV
 }
 
 // narrowCode returns the packed code of field f at row r.
@@ -403,7 +456,7 @@ func encodeWideField(tbl *columnar.Table, f KeyField, r int, dst []byte) {
 // buildPayload materializes one aggregate's payload vector. NULL inputs
 // become the aggregate's identity so they cannot affect the result;
 // COUNT(col) is rewritten to SUM(0/1).
-func buildPayload(tbl *columnar.Table, rows []int32, a AggColumn) (groupby.AggSpec, []uint64, error) {
+func buildPayload(tbl *columnar.Table, rows []int32, a AggColumn, degree int) (groupby.AggSpec, []uint64, error) {
 	if a.Kind == groupby.Count && a.Column == "" {
 		return groupby.AggSpec{Kind: groupby.Count}, nil, nil
 	}
@@ -414,11 +467,13 @@ func buildPayload(tbl *columnar.Table, rows []int32, a AggColumn) (groupby.AggSp
 	if a.Kind == groupby.Count {
 		// COUNT(col): sum 1 for non-null rows.
 		payload := make([]uint64, len(rows))
-		for i, r := range rows {
-			if !col.IsNull(int(r)) {
-				payload[i] = 1
+		parallel.For(len(rows), evalGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				if !col.IsNull(int(rows[i])) {
+					payload[i] = 1
+				}
 			}
-		}
+		})
 		return groupby.AggSpec{Kind: groupby.Sum, Type: columnar.Int64}, payload, nil
 	}
 	spec := groupby.AggSpec{Kind: a.Kind}
@@ -432,55 +487,79 @@ func buildPayload(tbl *columnar.Table, rows []int32, a AggColumn) (groupby.AggSp
 	}
 	identity := spec.InitWord()
 	payload := make([]uint64, len(rows))
-	for i, r := range rows {
-		if col.IsNull(int(r)) {
-			payload[i] = identity
-			continue
+	parallel.For(len(rows), evalGrain, degree, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			r := int(rows[i])
+			if col.IsNull(r) {
+				payload[i] = identity
+				continue
+			}
+			switch c := col.(type) {
+			case *columnar.Int64Column:
+				payload[i] = uint64(c.Int64(r))
+			case *columnar.Float64Column:
+				payload[i] = math.Float64bits(c.Float64(r))
+			}
 		}
-		switch c := col.(type) {
-		case *columnar.Int64Column:
-			payload[i] = uint64(c.Int64(int(r)))
-		case *columnar.Float64Column:
-			payload[i] = math.Float64bits(c.Float64(int(r)))
-		}
-	}
+	})
 	return spec, payload, nil
 }
 
 // stageCopy writes the kernel input vectors into the pinned block — the
-// MEMCPY evaluator's actual byte traffic.
-func stageCopy(dst []byte, in *groupby.Input) {
-	off := 0
-	put := func(v uint64) {
+// MEMCPY evaluator's actual byte traffic. Every row's destination offset
+// is computable up front (keys, then hashes, then payloads, 8-byte
+// words), so workers copy disjoint regions and the staged bytes are
+// identical to a sequential copy.
+func stageCopy(dst []byte, in *groupby.Input, degree int) {
+	put := func(off int, v uint64) {
 		if off+8 <= len(dst) {
 			binary.LittleEndian.PutUint64(dst[off:], v)
-			off += 8
 		}
 	}
+	n := in.NumRows
+	off := 0
 	if in.Wide() {
-		for _, k := range in.WideKeys {
-			for len(k) >= 8 {
-				put(binary.LittleEndian.Uint64(k))
-				k = k[8:]
+		wpk := (in.KeyBytes + 7) / 8 // words per padded wide key
+		parallel.For(n, evalGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				k := in.WideKeys[i]
+				o := off + i*wpk*8
+				for len(k) >= 8 {
+					put(o, binary.LittleEndian.Uint64(k))
+					k = k[8:]
+					o += 8
+				}
+				if len(k) > 0 {
+					var tail [8]byte
+					copy(tail[:], k)
+					put(o, binary.LittleEndian.Uint64(tail[:]))
+				}
 			}
-			if len(k) > 0 {
-				var tail [8]byte
-				copy(tail[:], k)
-				put(binary.LittleEndian.Uint64(tail[:]))
-			}
-		}
+		})
+		off += n * wpk * 8
 	} else {
-		for _, k := range in.Keys {
-			put(k)
+		parallel.For(n, evalGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				put(off+i*8, in.Keys[i])
+			}
+		})
+		off += n * 8
+	}
+	parallel.For(n, evalGrain, degree, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			put(off+i*8, in.Hashes[i])
 		}
-	}
-	for _, h := range in.Hashes {
-		put(h)
-	}
+	})
+	off += len(in.Hashes) * 8
 	for _, p := range in.Payloads {
-		for _, v := range p {
-			put(v)
-		}
+		p := p
+		base := off
+		parallel.For(len(p), evalGrain, degree, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				put(base+i*8, p[i])
+			}
+		})
+		off += len(p) * 8
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"blugpu/internal/columnar"
+	"blugpu/internal/parallel"
 )
 
 // Expr is a scalar expression over one table's row.
@@ -506,7 +507,8 @@ func coerce(l, r columnar.Value) (columnar.Value, columnar.Value, error) {
 
 // EvalPredicate evaluates pred for every row of tbl and returns the
 // selection bitmap (rows where the predicate is TRUE; FALSE and NULL are
-// excluded, per SQL WHERE semantics).
+// excluded, per SQL WHERE semantics). It is the sequential reference for
+// EvalPredicateDegree.
 func EvalPredicate(tbl *columnar.Table, pred Expr) (*columnar.Bitmap, error) {
 	if _, err := pred.TypeOf(tbl); err != nil {
 		return nil, err
@@ -520,6 +522,38 @@ func EvalPredicate(tbl *columnar.Table, pred Expr) (*columnar.Bitmap, error) {
 		if truth(v) == tTrue {
 			bm.Set(i)
 		}
+	}
+	return bm, nil
+}
+
+// predicateGrain is the minimum rows per worker for parallel predicate
+// scans; row-at-a-time Eval is slow enough that small chunks still pay.
+const predicateGrain = 512
+
+// EvalPredicateDegree is the parallel predicate scan: disjoint 64-aligned
+// row ranges are evaluated by the worker pool, each worker setting bits
+// only in its own words of the shared bitmap. Expressions are read-only
+// over the table, so the result is identical to EvalPredicate at any
+// degree.
+func EvalPredicateDegree(tbl *columnar.Table, pred Expr, degree int) (*columnar.Bitmap, error) {
+	if _, err := pred.TypeOf(tbl); err != nil {
+		return nil, err
+	}
+	bm := columnar.NewBitmap(tbl.Rows())
+	err := parallel.ForErr(tbl.Rows(), predicateGrain, degree, func(lo, hi, _ int) error {
+		for i := lo; i < hi; i++ {
+			v, err := pred.Eval(tbl, i)
+			if err != nil {
+				return err
+			}
+			if truth(v) == tTrue {
+				bm.Set(i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return bm, nil
 }
