@@ -1,9 +1,11 @@
 GO ?= go
 
 # Packages with parallel host-side execution; the race target drives the
-# differential tests (degrees 1/2/8) under the race detector.
+# differential tests (degrees 1/2/8) and the scheduler/fault stress tests
+# under the race detector.
 PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
-                ./internal/evaluator ./internal/bsort ./internal/engine
+                ./internal/evaluator ./internal/bsort ./internal/engine \
+                ./internal/sched ./internal/fault
 
 .PHONY: build vet test race bench check
 

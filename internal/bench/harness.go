@@ -19,6 +19,7 @@ import (
 
 	"blugpu/internal/des"
 	"blugpu/internal/engine"
+	"blugpu/internal/fault"
 	"blugpu/internal/optimizer"
 	"blugpu/internal/vtime"
 	"blugpu/internal/workload"
@@ -41,6 +42,9 @@ type Config struct {
 	DeviceMemory int64
 	// Race lets the GPU moderator race a second kernel per query.
 	Race bool
+	// Faults optionally injects GPU faults into the harness engine
+	// (robustness experiments); nil disables injection.
+	Faults *fault.Injector
 }
 
 // Harness owns the generated dataset and a hybrid engine.
@@ -89,6 +93,7 @@ func (h *Harness) newEngine(degree int, devMem int64) (*engine.Engine, error) {
 		DeviceSpec: spec,
 		Degree:     degree,
 		Race:       h.cfg.Race,
+		Faults:     h.cfg.Faults,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"blugpu/internal/gpu"
 	"blugpu/internal/parallel"
 	"blugpu/internal/sched"
 	"blugpu/internal/vtime"
@@ -28,6 +29,15 @@ type Config struct {
 	// (by leading key byte) before enqueueing, so multiple devices can
 	// work without a merge step.
 	Partitions int
+	// Monitor receives degradation events (GPU sort jobs routed to the
+	// host); may be nil.
+	Monitor Sink
+}
+
+// Sink receives sort-level degradation events. The engine's performance
+// monitor implements it structurally.
+type Sink interface {
+	RecordFallback(op string, faulted bool)
 }
 
 // DefaultGPUThreshold is the default CPU/GPU crossover in rows.
@@ -152,6 +162,7 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 				dups, t, gerr := gpuRadixSort(entries, j.r, placement.Reservation(), cfg.Model, cfg.Pinned)
 				placement.Release()
 				if gerr == nil {
+					cfg.Scheduler.ReportSuccess(placement.Device())
 					gpuBusy[placement.Device().ID()] += t
 					st.GPUJobs++
 					for _, d := range dups {
@@ -159,6 +170,17 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 					}
 					continue
 				}
+				// gpuRadixSort touches the host entries only after every
+				// transfer succeeded, so the range is intact for the host
+				// path below.
+				if errors.Is(gerr, gpu.ErrInjected) {
+					cfg.Scheduler.ReportFailure(placement.Device())
+				}
+				if cfg.Monitor != nil {
+					cfg.Monitor.RecordFallback("sort", errors.Is(gerr, gpu.ErrInjected))
+				}
+			} else if cfg.Monitor != nil {
+				cfg.Monitor.RecordFallback("sort", errors.Is(err, gpu.ErrInjected))
 			}
 			// No device admitted the job (or it failed): fall back to the
 			// host, like Section 2.1.1's fallback path.

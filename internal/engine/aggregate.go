@@ -1,17 +1,19 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/evaluator"
+	"blugpu/internal/gpu"
 	"blugpu/internal/groupby"
 	"blugpu/internal/optimizer"
 	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
-	"blugpu/internal/sched"
 	"blugpu/internal/vtime"
 )
 
@@ -100,11 +102,13 @@ func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
 	var out *groupby.Result
 	detail := ""
 	if decision == optimizer.UseGPU {
-		out, err = e.runAggregateGPU(in, demand, chain.Pinned, f)
-		if err != nil {
-			// Device full or admission failed: Section 2.1.1's fallback.
-			out = nil
+		gout, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f)
+		if gerr != nil {
+			// Device full, admission failed, or a GPU operation faulted:
+			// Section 2.1.1's fallback. The query never sees the error.
+			e.mon.RecordFallback("groupby", errors.Is(gerr, gpu.ErrInjected))
 		} else {
+			out = gout
 			detail = fmt.Sprintf("gpu/%s", out.Stats.Kernel)
 		}
 	}
@@ -134,41 +138,93 @@ func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
 	return f, nil
 }
 
-// runAggregateGPU places the task on the fleet and runs the device path.
+// maxGPUAttempts bounds the device attempts per group-by: the first try
+// plus one retry on a different device. Exhausting the attempts routes
+// the query to the CPU path (Section 2.1.1's fallback) — a query never
+// fails because a GPU operation failed.
+const maxGPUAttempts = 2
+
+// gpuRetryBackoff is the modeled delay charged to a query before it
+// retries a failed GPU operation on another device (doubling per
+// attempt).
+const gpuRetryBackoff = 100 * vtime.Microsecond
+
+// runAggregateGPU places the task on the fleet and runs the device path,
+// retrying once on a different device when an operation faults. Every
+// attempt's reservation is released exactly once, before any retry or
+// fallback runs.
 func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame) (*groupby.Result, error) {
 	if e.sched == nil {
 		return nil, errors.New("engine: no devices")
 	}
-	placement, err := e.sched.TryPlace(demand)
-	if err != nil {
-		if errors.Is(err, sched.ErrNoDevice) {
-			// Busy fleet: wait briefly is an option (Section 2.1.1); the
-			// prototype falls back to the CPU instead.
+	var exclude map[int]bool
+	backoff := gpuRetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < maxGPUAttempts; attempt++ {
+		placement, err := e.sched.TryPlaceExcluding(demand, exclude)
+		if err != nil {
+			// Busy fleet or the remaining devices' reservations faulted:
+			// waiting briefly is an option (Section 2.1.1); the prototype
+			// falls back to the CPU instead.
 			return nil, err
 		}
-		return nil, err
+		dev := placement.Device()
+		out, err := groupby.RunGPU(in, placement.Reservation(), e.model, groupby.GPUOptions{
+			Race:   e.cfg.Race,
+			Pinned: pinned,
+		})
+		placement.Release()
+		if err == nil {
+			e.sched.ReportSuccess(dev)
+			// Sample device memory for the monitor at the query's
+			// virtual-time offsets: the demand held for the kernel's
+			// duration, then released.
+			e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), demand, dev.TotalMemory())
+			e.addGPU(f, out.Stats.Modeled, demand)
+			e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), 0, dev.TotalMemory())
+			return out, nil
+		}
+		faulted := errors.Is(err, gpu.ErrInjected)
+		if faulted {
+			e.sched.ReportFailure(dev)
+		}
+		lastErr = err
+		if attempt+1 < maxGPUAttempts {
+			e.mon.RecordGPURetry("groupby", faulted)
+			if exclude == nil {
+				exclude = make(map[int]bool)
+			}
+			exclude[dev.ID()] = true
+			// Backoff is modeled, like everything else in the simulation.
+			f.modeled += backoff
+			backoff *= 2
+		}
 	}
-	defer placement.Release()
-	out, err := groupby.RunGPU(in, placement.Reservation(), e.model, groupby.GPUOptions{
-		Race:   e.cfg.Race,
-		Pinned: pinned,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Sample device memory for the monitor at the query's virtual-time
-	// offsets: the demand held for the kernel's duration, then released.
-	dev := placement.Device()
-	e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), demand, dev.TotalMemory())
-	e.addGPU(f, out.Stats.Modeled, demand)
-	e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), 0, dev.TotalMemory())
-	return out, nil
+	return nil, lastErr
 }
 
 // buildAggOutput decodes group keys and finalizes aggregates into the
 // result table.
+//
+// Groups are emitted in canonical packed-key order. Hash-table scan
+// order differs between the CPU chain, the three device kernels, and
+// the partitioned merge, so without a canonical order the same query
+// could return rows in different orders depending on which path ran —
+// and a fault-induced CPU fallback would no longer be bit-identical to
+// the GPU run. Sorting by key makes the output path-independent.
 func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out *groupby.Result, items []aggPlanItem) (*columnar.Table, error) {
 	groups := out.Groups
+	perm := make([]int, groups)
+	for i := range perm {
+		perm[i] = i
+	}
+	if in.Wide() {
+		sort.Slice(perm, func(a, b int) bool {
+			return bytes.Compare(out.WideKeys[perm[a]], out.WideKeys[perm[b]]) < 0
+		})
+	} else {
+		sort.Slice(perm, func(a, b int) bool { return out.Keys[perm[a]] < out.Keys[perm[b]] })
+	}
 	keyVal := func(g int, fi int) columnar.Value {
 		if in.Wide() {
 			return evaluator.DecodeWideKey(out.WideKeys[g], chain.Fields[fi])
@@ -183,7 +239,7 @@ func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out 
 		vals := make([]columnar.Value, groups)
 		parallel.For(groups, exprGrain, e.cfg.Degree, func(lo, hi, _ int) {
 			for g := lo; g < hi; g++ {
-				vals[g] = keyVal(g, fi)
+				vals[g] = keyVal(perm[g], fi)
 			}
 		})
 		col, err := columnar.ColumnFromValues(field.Column, field.Type, vals)
@@ -201,16 +257,16 @@ func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out 
 			counts := out.AggWords[item.countIdx]
 			b := columnar.NewFloat64Builder(item.out)
 			for g := 0; g < groups; g++ {
-				c := counts[g]
+				c := counts[perm[g]]
 				if c == 0 {
 					b.AppendNull()
 					continue
 				}
 				var sum float64
 				if spec.Type == columnar.Float64 {
-					sum = math.Float64frombits(words[g])
+					sum = math.Float64frombits(words[perm[g]])
 				} else {
-					sum = float64(int64(words[g]))
+					sum = float64(int64(words[perm[g]]))
 				}
 				b.Append(sum / float64(c))
 			}
@@ -218,7 +274,7 @@ func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out 
 		case spec.Type == columnar.Float64 && spec.Kind != groupby.Count:
 			b := columnar.NewFloat64Builder(item.out)
 			for g := 0; g < groups; g++ {
-				v := math.Float64frombits(words[g])
+				v := math.Float64frombits(words[perm[g]])
 				// MIN/MAX identity means every input was NULL.
 				if (spec.Kind == groupby.Min && math.IsInf(v, 1)) ||
 					(spec.Kind == groupby.Max && math.IsInf(v, -1)) {
@@ -231,7 +287,7 @@ func (e *Engine) buildAggOutput(chain *evaluator.Result, in *groupby.Input, out 
 		default:
 			b := columnar.NewInt64Builder(item.out)
 			for g := 0; g < groups; g++ {
-				v := int64(words[g])
+				v := int64(words[perm[g]])
 				if (spec.Kind == groupby.Min && v == math.MaxInt64) ||
 					(spec.Kind == groupby.Max && v == math.MinInt64) {
 					b.AppendNull()

@@ -19,6 +19,7 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/des"
+	"blugpu/internal/fault"
 	"blugpu/internal/gpu"
 	"blugpu/internal/hostmem"
 	"blugpu/internal/monitor"
@@ -48,6 +49,11 @@ type Config struct {
 	// GPUSortThreshold is the minimum sort-job size for the device
 	// (default bsort.DefaultGPUThreshold).
 	GPUSortThreshold int
+	// Faults optionally injects GPU faults at every device operation
+	// site for robustness testing (see internal/fault). nil disables
+	// injection. Whatever the injector does, queries never fail: every
+	// GPU error routes to the CPU path.
+	Faults *fault.Injector
 }
 
 // Engine executes SQL over registered columnar tables.
@@ -99,12 +105,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Devices > 0 {
 		for i := 0; i < cfg.Devices; i++ {
 			e.devices = append(e.devices, gpu.NewDevice(i, cfg.DeviceSpec,
-				gpu.WithSink(e.mon), gpu.WithModel(cfg.Model)))
+				gpu.WithSink(e.mon), gpu.WithModel(cfg.Model), gpu.WithFaults(cfg.Faults)))
 		}
 		s, err := sched.New(e.devices...)
 		if err != nil {
 			return nil, err
 		}
+		s.SetSink(e.mon)
 		e.sched = s
 	}
 	return e, nil
@@ -302,6 +309,11 @@ func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
 		Profile: des.Profile{Name: "query", Phases: mergePhases(f.phases)},
 		Ops:     f.ops,
 		GPUUsed: f.gpuUsed,
+	}
+	// The scheduler's breaker probations expire in virtual time; each
+	// query's modeled duration is what makes that clock move.
+	if e.sched != nil {
+		e.sched.Advance(res.Modeled)
 	}
 	return res, nil
 }

@@ -95,6 +95,7 @@ func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame) 
 		Degree:       e.cfg.Degree,
 		GPUThreshold: e.cfg.GPUSortThreshold,
 		Pinned:       pinned,
+		Monitor:      e.mon,
 	}
 	threshold := cfg.GPUThreshold
 	if threshold <= 0 {

@@ -1,0 +1,219 @@
+// Package fault provides a deterministic, seedable fault injector for
+// the simulated GPU substrate. The paper's infrastructure layer
+// (Section 2.1.1) is defined by its failure discipline — reserve the
+// whole device-memory demand up front and, on any failure, wait or fall
+// back to the CPU path — and this package exists to *prove* that
+// discipline: gpu.Device consults an Injector at every operation site
+// (reservation, H2D/D2H transfer, kernel launch), and an injector can
+// also declare a whole device lost mid-run.
+//
+// Decisions are deterministic and interleaving-independent: whether the
+// n-th operation at a given site on a given device fails depends only on
+// (seed, site, device, n), never on goroutine scheduling. Two runs with
+// the same seed and the same per-device operation sequences inject the
+// same faults, which is what makes differential fault-sweep testing
+// reproducible.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Injector
+// never injects, so callers need no guards.
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Site identifies a GPU operation site where faults can be injected.
+type Site int
+
+const (
+	// Reserve is the up-front device-memory reservation (models an
+	// out-of-memory or allocator failure).
+	Reserve Site = iota
+	// H2D is a host-to-device transfer.
+	H2D
+	// D2H is a device-to-host transfer.
+	D2H
+	// Kernel is a kernel launch/execution fault.
+	Kernel
+
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case Reserve:
+		return "reserve"
+	case H2D:
+		return "h2d"
+	case D2H:
+		return "d2h"
+	case Kernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+}
+
+// Sites lists every injectable site, in a stable order.
+func Sites() []Site { return []Site{Reserve, H2D, D2H, Kernel} }
+
+// Config sets the seed and the per-site fault probabilities, each in
+// [0, 1]. A zero Config injects nothing.
+type Config struct {
+	// Seed drives the deterministic decision hash. Two injectors with
+	// the same seed and rates make identical decisions.
+	Seed uint64
+	// Per-site fault probabilities.
+	Reserve float64
+	H2D     float64
+	D2H     float64
+	Kernel  float64
+}
+
+func (c Config) rate(s Site) float64 {
+	switch s {
+	case Reserve:
+		return c.Reserve
+	case H2D:
+		return c.H2D
+	case D2H:
+		return c.D2H
+	case Kernel:
+		return c.Kernel
+	default:
+		return 0
+	}
+}
+
+// Counts reports how many faults an injector has fired, by site.
+type Counts struct {
+	Reserve uint64
+	H2D     uint64
+	D2H     uint64
+	Kernel  uint64
+}
+
+// Total sums the per-site counts.
+func (c Counts) Total() uint64 { return c.Reserve + c.H2D + c.D2H + c.Kernel }
+
+type callKey struct {
+	site   Site
+	device int
+}
+
+// Injector decides, per operation, whether to inject a fault. The zero
+// value and nil both inject nothing.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	calls    map[callKey]uint64
+	injected [numSites]uint64
+	dead     map[int]bool
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:   cfg,
+		calls: make(map[callKey]uint64),
+		dead:  make(map[int]bool),
+	}
+}
+
+// Fail decides whether the current operation at site on device fails,
+// advancing that (site, device) operation counter. Operations on a dead
+// device always fail and are counted as injected faults.
+func (i *Injector) Fail(site Site, device int) bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.calls == nil {
+		i.calls = make(map[callKey]uint64)
+	}
+	k := callKey{site: site, device: device}
+	n := i.calls[k]
+	i.calls[k] = n + 1
+	if i.dead[device] {
+		i.injected[site]++
+		return true
+	}
+	rate := i.cfg.rate(site)
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 || unit(i.cfg.Seed, site, device, n) < rate {
+		i.injected[site]++
+		return true
+	}
+	return false
+}
+
+// KillDevice marks device lost: every subsequent operation on it fails
+// until ReviveDevice.
+func (i *Injector) KillDevice(device int) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dead == nil {
+		i.dead = make(map[int]bool)
+	}
+	i.dead[device] = true
+}
+
+// ReviveDevice undoes KillDevice.
+func (i *Injector) ReviveDevice(device int) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.dead, device)
+}
+
+// Dead reports whether device is currently marked lost.
+func (i *Injector) Dead(device int) bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dead[device]
+}
+
+// Counts returns the faults injected so far, by site.
+func (i *Injector) Counts() Counts {
+	if i == nil {
+		return Counts{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return Counts{
+		Reserve: i.injected[Reserve],
+		H2D:     i.injected[H2D],
+		D2H:     i.injected[D2H],
+		Kernel:  i.injected[Kernel],
+	}
+}
+
+// unit hashes (seed, site, device, n) to a uniform float64 in [0, 1)
+// with a splitmix64 finalizer, so each decision is an independent,
+// reproducible coin flip.
+func unit(seed uint64, site Site, device int, n uint64) float64 {
+	x := seed
+	x ^= 0x9e3779b97f4a7c15 * (uint64(site) + 1)
+	x ^= 0xbf58476d1ce4e5b9 * (uint64(int64(device)) + 0x100)
+	x ^= n * 0x94d049bb133111eb
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Two injectors with the same seed make identical decisions regardless
+// of how calls interleave across devices.
+func TestDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7, Kernel: 0.5, Reserve: 0.25})
+	b := New(Config{Seed: 7, Kernel: 0.5, Reserve: 0.25})
+
+	var seqA, seqB []bool
+	// a: device 0 then device 1; b: interleaved. Per-(site,device)
+	// sequences must still match.
+	for n := 0; n < 200; n++ {
+		seqA = append(seqA, a.Fail(Kernel, 0))
+	}
+	for n := 0; n < 200; n++ {
+		seqA = append(seqA, a.Fail(Kernel, 1))
+	}
+	var b0, b1 []bool
+	for n := 0; n < 200; n++ {
+		b1 = append(b1, b.Fail(Kernel, 1))
+		b0 = append(b0, b.Fail(Kernel, 0))
+	}
+	seqB = append(b0, b1...)
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d differs between interleavings", i)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		inj := New(Config{Seed: 42, H2D: rate})
+		const n = 5000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if inj.Fail(H2D, 0) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("rate %.2f: observed %.3f", rate, got)
+		}
+		if c := inj.Counts(); c.H2D != uint64(hits) || c.Total() != uint64(hits) {
+			t.Errorf("rate %.2f: counts %+v, want %d", rate, c, hits)
+		}
+	}
+}
+
+func TestOtherSitesUnaffected(t *testing.T) {
+	inj := New(Config{Seed: 1, Kernel: 1})
+	for i := 0; i < 100; i++ {
+		if inj.Fail(Reserve, 0) || inj.Fail(H2D, 0) || inj.Fail(D2H, 0) {
+			t.Fatal("fault injected at a zero-rate site")
+		}
+	}
+	if !inj.Fail(Kernel, 0) {
+		t.Fatal("rate-1 site did not fault")
+	}
+}
+
+func TestDeadDevice(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	if inj.Fail(Kernel, 1) {
+		t.Fatal("zero-rate injector faulted")
+	}
+	inj.KillDevice(1)
+	if !inj.Dead(1) || inj.Dead(0) {
+		t.Fatal("Dead() wrong after KillDevice(1)")
+	}
+	for _, s := range Sites() {
+		if !inj.Fail(s, 1) {
+			t.Fatalf("dead device did not fault at %s", s)
+		}
+		if inj.Fail(s, 0) {
+			t.Fatalf("living device faulted at %s", s)
+		}
+	}
+	if got := inj.Counts().Total(); got != 4 {
+		t.Fatalf("counts after dead-device ops: %d, want 4", got)
+	}
+	inj.ReviveDevice(1)
+	if inj.Dead(1) || inj.Fail(Kernel, 1) {
+		t.Fatal("device still failing after revive")
+	}
+}
+
+// Nil injectors never inject and never panic.
+func TestNilSafe(t *testing.T) {
+	var inj *Injector
+	if inj.Fail(Kernel, 0) || inj.Dead(0) {
+		t.Fatal("nil injector injected")
+	}
+	inj.KillDevice(0)
+	inj.ReviveDevice(0)
+	if inj.Counts().Total() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+// Concurrent use is safe and every fired fault is counted exactly once.
+func TestConcurrent(t *testing.T) {
+	inj := New(Config{Seed: 9, Kernel: 0.3, Reserve: 0.3})
+	const workers, per = 8, 500
+	hits := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if inj.Fail(Kernel, w%2) {
+					hits[w]++
+				}
+				if inj.Fail(Reserve, w%2) {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, h := range hits {
+		total += h
+	}
+	if got := inj.Counts().Total(); got != total {
+		t.Fatalf("counts %d, callers observed %d", got, total)
+	}
+}

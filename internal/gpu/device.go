@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"blugpu/internal/fault"
 	"blugpu/internal/vtime"
 )
 
@@ -44,6 +45,9 @@ const (
 	EventReserve
 	// EventReserveFail is a failed device-memory reservation.
 	EventReserveFail
+	// EventFault is an injected fault firing at an operation site (the
+	// Name field carries the fault.Site string).
+	EventFault
 )
 
 func (k EventKind) String() string {
@@ -58,6 +62,8 @@ func (k EventKind) String() string {
 		return "reserve"
 	case EventReserveFail:
 		return "reserve-fail"
+	case EventFault:
+		return "fault"
 	default:
 		return "unknown"
 	}
@@ -84,6 +90,7 @@ type Device struct {
 	spec  vtime.GPUSpec
 	sink  EventSink
 	model *vtime.CostModel
+	inj   *fault.Injector
 
 	mu          sync.Mutex
 	memUsed     int64 // bytes allocated or reserved
@@ -105,6 +112,11 @@ func WithSink(s EventSink) Option { return func(d *Device) { d.sink = s } }
 // WithSharedSplit sets the shared-memory portion of each SMX's 64 KiB
 // configurable pool (default: 48 KiB shared / 16 KiB L1).
 func WithSharedSplit(bytes int) Option { return func(d *Device) { d.sharedSplit = bytes } }
+
+// WithFaults attaches a fault injector consulted at every operation
+// site (reservation, transfers, kernel launches). A nil injector — the
+// default — never injects.
+func WithFaults(inj *fault.Injector) Option { return func(d *Device) { d.inj = inj } }
 
 // NewDevice creates a simulated device with the given id and spec.
 func NewDevice(id int, spec vtime.GPUSpec, opts ...Option) *Device {

@@ -1,0 +1,58 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"blugpu/internal/fault"
+)
+
+// ErrInjected marks an error as caused by fault injection (or simulated
+// device loss). It is always joined with a site-specific sentinel —
+// ErrOutOfMemory for reservations, ErrTransfer for copies,
+// ErrKernelFault for launches, ErrDeviceLost when the whole device is
+// gone — so existing errors.Is checks on those keep working while
+// degradation accounting can still distinguish injected faults from
+// organic admission failures.
+var ErrInjected = errors.New("gpu: injected fault")
+
+// ErrDeviceLost is returned for any operation on a device the injector
+// has marked dead.
+var ErrDeviceLost = errors.New("gpu: device lost")
+
+// ErrTransfer is a failed H2D or D2H transfer.
+var ErrTransfer = errors.New("gpu: transfer failed")
+
+// ErrKernelFault is a kernel that faulted at launch.
+var ErrKernelFault = errors.New("gpu: kernel fault")
+
+// Alive reports whether the device is functioning. A device is only
+// ever lost through the fault injector; without one it is always alive.
+func (d *Device) Alive() bool { return !d.inj.Dead(d.id) }
+
+// injectFault consults the injector at site and, when a fault fires,
+// emits an EventFault and returns the site-appropriate error (always
+// wrapping ErrInjected). It returns nil when no fault fires.
+//
+// Sites are placed so that a fault leaves all host-visible state
+// untouched: reservations fail before accounting, transfers before the
+// copy, kernels before the body runs.
+func (d *Device) injectFault(site fault.Site) error {
+	if !d.inj.Fail(site, d.id) {
+		return nil
+	}
+	d.emit(Event{Kind: EventFault, Name: site.String()})
+	var base error
+	switch site {
+	case fault.Reserve:
+		base = ErrOutOfMemory
+	case fault.H2D, fault.D2H:
+		base = ErrTransfer
+	case fault.Kernel:
+		base = ErrKernelFault
+	}
+	if d.inj.Dead(d.id) {
+		base = ErrDeviceLost
+	}
+	return fmt.Errorf("gpu: device %d: injected %s fault: %w: %w", d.id, site, base, ErrInjected)
+}

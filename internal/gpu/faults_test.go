@@ -1,0 +1,119 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"blugpu/internal/fault"
+	"blugpu/internal/vtime"
+)
+
+type faultEventSink struct{ faults []string }
+
+func (s *faultEventSink) RecordGPUEvent(e Event) {
+	if e.Kind == EventFault {
+		s.faults = append(s.faults, e.Name)
+	}
+}
+
+func TestInjectedReserveFault(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 1, Reserve: 1})
+	sink := &faultEventSink{}
+	d := NewDevice(0, vtime.TeslaK40(), WithFaults(inj), WithSink(sink))
+	_, err := d.Reserve(1 << 20)
+	if !errors.Is(err, ErrOutOfMemory) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrOutOfMemory+ErrInjected, got %v", err)
+	}
+	if d.UsedMemory() != 0 {
+		t.Error("faulted reservation changed memory accounting")
+	}
+	if len(sink.faults) != 1 || sink.faults[0] != "reserve" {
+		t.Errorf("fault events = %v, want [reserve]", sink.faults)
+	}
+}
+
+func TestInjectedTransferFaultLeavesDataUntouched(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 2, H2D: 1, D2H: 1})
+	d := NewDevice(0, vtime.TeslaK40(), WithFaults(inj))
+	res, err := d.Reserve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	buf, err := res.AllocWords(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CopyToDevice(buf, []uint64{1, 2, 3, 4}, false); !errors.Is(err, ErrTransfer) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("h2d: want ErrTransfer+ErrInjected, got %v", err)
+	}
+	for i, w := range buf.Words() {
+		if w != 0 {
+			t.Fatalf("faulted h2d wrote word %d = %d", i, w)
+		}
+	}
+	host := []uint64{9, 9, 9, 9}
+	if _, err := d.CopyFromDevice(host, buf, false); !errors.Is(err, ErrTransfer) {
+		t.Fatalf("d2h: want ErrTransfer, got %v", err)
+	}
+	for i, w := range host {
+		if w != 9 {
+			t.Fatalf("faulted d2h wrote host word %d = %d", i, w)
+		}
+	}
+}
+
+func TestInjectedKernelFaultSkipsBody(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 3, Kernel: 1})
+	d := NewDevice(0, vtime.TeslaK40(), WithFaults(inj))
+	ran := false
+	kr := d.RunKernel("k", nil, func(g *Grid) (vtime.Duration, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(kr.Err, ErrKernelFault) || !errors.Is(kr.Err, ErrInjected) {
+		t.Fatalf("want ErrKernelFault+ErrInjected, got %v", kr.Err)
+	}
+	if ran {
+		t.Error("faulted kernel body still ran")
+	}
+	if d.Outstanding() != 0 {
+		t.Error("faulted kernel left outstanding count nonzero")
+	}
+}
+
+func TestDeadDevice(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 4})
+	d := NewDevice(0, vtime.TeslaK40(), WithFaults(inj))
+	if !d.Alive() {
+		t.Fatal("device should start alive")
+	}
+	inj.KillDevice(0)
+	if d.Alive() {
+		t.Fatal("killed device reports alive")
+	}
+	if _, err := d.Reserve(1 << 20); !errors.Is(err, ErrDeviceLost) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrDeviceLost+ErrInjected, got %v", err)
+	}
+	inj.ReviveDevice(0)
+	if !d.Alive() {
+		t.Fatal("revived device reports dead")
+	}
+	res, err := d.Reserve(1 << 20)
+	if err != nil {
+		t.Fatalf("revived device should reserve: %v", err)
+	}
+	res.Release()
+}
+
+func TestNoInjectorNeverFaults(t *testing.T) {
+	d := NewDevice(0, vtime.TeslaK40())
+	if !d.Alive() {
+		t.Error("device without injector should be alive")
+	}
+	res, err := d.Reserve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blugpu/internal/fault"
 	"blugpu/internal/vtime"
 )
 
@@ -134,6 +135,10 @@ func (d *Device) RunKernel(name string, cancel *Cancel, body func(g *Grid) (vtim
 		d.kernels++
 		d.mu.Unlock()
 	}()
+
+	if err := d.injectFault(fault.Kernel); err != nil {
+		return KernelResult{Name: name, Err: err}
+	}
 
 	g := &Grid{dev: d, workers: deviceWorkers(), cancel: cancel}
 	modeled, err := body(g)

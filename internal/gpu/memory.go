@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"blugpu/internal/fault"
 )
 
 // ErrOutOfMemory is returned when a reservation or allocation exceeds the
@@ -29,6 +31,10 @@ type Reservation struct {
 func (d *Device) Reserve(n int64) (*Reservation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gpu: invalid reservation size %d", n)
+	}
+	if err := d.injectFault(fault.Reserve); err != nil {
+		d.emit(Event{Kind: EventReserveFail, Bytes: n})
+		return nil, err
 	}
 	d.mu.Lock()
 	if d.memUsed+n > d.spec.DeviceMemory {

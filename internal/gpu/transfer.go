@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"blugpu/internal/fault"
 	"blugpu/internal/vtime"
 )
 
@@ -25,6 +26,9 @@ func (d *Device) CopyToDevice(dst *Buffer, src []uint64, pinned bool) (vtime.Dur
 	if len(src) > dst.Len() {
 		return 0, fmt.Errorf("gpu: h2d copy of %d words into %d-word buffer", len(src), dst.Len())
 	}
+	if err := d.injectFault(fault.H2D); err != nil {
+		return 0, err
+	}
 	copy(dst.words, src)
 	bytes := int64(len(src)) * 8
 	t := d.modelRef().Transfer(bytes, pinned)
@@ -41,6 +45,9 @@ func (d *Device) CopyFromDevice(dst []uint64, src *Buffer, pinned bool) (vtime.D
 	n := len(dst)
 	if n > src.Len() {
 		n = src.Len()
+	}
+	if err := d.injectFault(fault.D2H); err != nil {
+		return 0, err
 	}
 	copy(dst[:n], src.words[:n])
 	bytes := int64(n) * 8

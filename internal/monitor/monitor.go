@@ -59,6 +59,7 @@ type Monitor struct {
 	reserves     uint64
 	reserveFails uint64
 	memSamples   map[int][]MemSample
+	degrade      degradeState
 }
 
 // New returns an empty monitor.
@@ -67,6 +68,7 @@ func New() *Monitor {
 		kernels:    make(map[string]*KernelStats),
 		evals:      make(map[string]*EvalStats),
 		memSamples: make(map[int][]MemSample),
+		degrade:    newDegradeState(),
 	}
 }
 
@@ -98,6 +100,8 @@ func (m *Monitor) RecordGPUEvent(e gpu.Event) {
 		m.reserves++
 	case gpu.EventReserveFail:
 		m.reserveFails++
+	case gpu.EventFault:
+		m.recordFault(e)
 	}
 }
 
@@ -193,6 +197,7 @@ func (m *Monitor) Reset() {
 	m.h2d, m.d2h = TransferStats{}, TransferStats{}
 	m.reserves, m.reserveFails = 0, 0
 	m.memSamples = make(map[int][]MemSample)
+	m.degrade = newDegradeState()
 }
 
 // Report writes a human-readable summary, the moral equivalent of the
@@ -242,4 +247,5 @@ func (m *Monitor) Report(w io.Writer) {
 				d, len(series), float64(peak)/(1<<20), pctOf)
 		}
 	}
+	m.reportRobustness(w)
 }

@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blugpu/internal/gpu"
+)
+
+// DegradeStats aggregates one degradation counter (same-placement
+// retries or CPU fallbacks) for one operation ("place", "groupby",
+// "sort").
+type DegradeStats struct {
+	Op    string
+	Count uint64
+	// Faulted is the subset of Count caused by injected faults or
+	// device loss, as opposed to organic admission races and memory
+	// pressure. Summed across retries and fallbacks it must equal the
+	// injected-fault total: every fault is accounted for.
+	Faulted uint64
+}
+
+type degradeState struct {
+	faults    map[string]uint64 // injected faults by site name
+	retries   map[string]*DegradeStats
+	fallbacks map[string]*DegradeStats
+	trips     uint64
+	recovers  uint64
+}
+
+func newDegradeState() degradeState {
+	return degradeState{
+		faults:    make(map[string]uint64),
+		retries:   make(map[string]*DegradeStats),
+		fallbacks: make(map[string]*DegradeStats),
+	}
+}
+
+// recordFault tallies one injected-fault event (gpu.EventFault carries
+// the site name). Called with m.mu held, from RecordGPUEvent.
+func (m *Monitor) recordFault(e gpu.Event) {
+	m.degrade.faults[e.Name]++
+}
+
+// RecordGPURetry implements the scheduler/engine retry half of the
+// degradation sink: the operation failed on one device and was retried
+// on another within the same query.
+func (m *Monitor) RecordGPURetry(op string, faulted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bump(m.degrade.retries, op, faulted)
+}
+
+// RecordFallback records a query routed to the CPU path after its GPU
+// attempt(s) failed.
+func (m *Monitor) RecordFallback(op string, faulted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bump(m.degrade.fallbacks, op, faulted)
+}
+
+// RecordBreaker records a circuit-breaker transition.
+func (m *Monitor) RecordBreaker(device int, tripped bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tripped {
+		m.degrade.trips++
+	} else {
+		m.degrade.recovers++
+	}
+}
+
+func bump(set map[string]*DegradeStats, op string, faulted bool) {
+	ds := set[op]
+	if ds == nil {
+		ds = &DegradeStats{Op: op}
+		set[op] = ds
+	}
+	ds.Count++
+	if faulted {
+		ds.Faulted++
+	}
+}
+
+// FaultCounts returns injected-fault counts keyed by site name
+// ("reserve", "h2d", "d2h", "kernel").
+func (m *Monitor) FaultCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.degrade.faults))
+	for k, v := range m.degrade.faults {
+		out[k] = v
+	}
+	return out
+}
+
+// FaultTotal returns the total number of injected faults observed.
+func (m *Monitor) FaultTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total uint64
+	for _, v := range m.degrade.faults {
+		total += v
+	}
+	return total
+}
+
+// Retries returns the same-placement retry stats, sorted by operation.
+func (m *Monitor) Retries() []DegradeStats { return m.degradeList(true) }
+
+// Fallbacks returns the CPU-fallback stats, sorted by operation.
+func (m *Monitor) Fallbacks() []DegradeStats { return m.degradeList(false) }
+
+func (m *Monitor) degradeList(retries bool) []DegradeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.degrade.fallbacks
+	if retries {
+		set = m.degrade.retries
+	}
+	out := make([]DegradeStats, 0, len(set))
+	for _, ds := range set {
+		out = append(out, *ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// BreakerCounts returns circuit-breaker (trips, recoveries).
+func (m *Monitor) BreakerCounts() (uint64, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degrade.trips, m.degrade.recovers
+}
+
+// reportRobustness appends the degradation section to Report when any
+// robustness counter is nonzero.
+func (m *Monitor) reportRobustness(w io.Writer) {
+	faults := m.FaultCounts()
+	retries := m.Retries()
+	fallbacks := m.Fallbacks()
+	trips, recovers := m.BreakerCounts()
+	if len(faults) == 0 && len(retries) == 0 && len(fallbacks) == 0 && trips == 0 {
+		return
+	}
+	fmt.Fprintf(w, "robustness:\n")
+	if len(faults) > 0 {
+		sites := make([]string, 0, len(faults))
+		for s := range faults {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		fmt.Fprintf(w, "  faults injected:")
+		var total uint64
+		for _, s := range sites {
+			fmt.Fprintf(w, " %s=%d", s, faults[s])
+			total += faults[s]
+		}
+		fmt.Fprintf(w, " (total %d)\n", total)
+	}
+	writeDegrade := func(label string, set []DegradeStats) {
+		if len(set) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %s:", label)
+		for _, ds := range set {
+			fmt.Fprintf(w, " %s=%d (faulted %d)", ds.Op, ds.Count, ds.Faulted)
+		}
+		fmt.Fprintln(w)
+	}
+	writeDegrade("retries", retries)
+	writeDegrade("cpu fallbacks", fallbacks)
+	if trips > 0 || recovers > 0 {
+		fmt.Fprintf(w, "  breaker: %d trips, %d recoveries\n", trips, recovers)
+	}
+}

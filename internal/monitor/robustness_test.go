@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"blugpu/internal/gpu"
+)
+
+func TestDegradationCounters(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventFault, Name: "kernel"})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventFault, Name: "kernel"})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventFault, Name: "reserve"})
+	m.RecordGPURetry("groupby", true)
+	m.RecordGPURetry("place", false)
+	m.RecordFallback("groupby", true)
+	m.RecordFallback("sort", false)
+	m.RecordBreaker(0, true)
+	m.RecordBreaker(0, false)
+
+	if got := m.FaultTotal(); got != 3 {
+		t.Errorf("FaultTotal = %d, want 3", got)
+	}
+	if c := m.FaultCounts(); c["kernel"] != 2 || c["reserve"] != 1 {
+		t.Errorf("FaultCounts = %v", c)
+	}
+	retries := m.Retries()
+	if len(retries) != 2 || retries[0].Op != "groupby" || retries[0].Faulted != 1 ||
+		retries[1].Op != "place" || retries[1].Faulted != 0 {
+		t.Errorf("Retries = %+v", retries)
+	}
+	fallbacks := m.Fallbacks()
+	if len(fallbacks) != 2 || fallbacks[0].Op != "groupby" || fallbacks[1].Op != "sort" {
+		t.Errorf("Fallbacks = %+v", fallbacks)
+	}
+	trips, recovers := m.BreakerCounts()
+	if trips != 1 || recovers != 1 {
+		t.Errorf("BreakerCounts = %d, %d", trips, recovers)
+	}
+
+	var sb strings.Builder
+	m.Report(&sb)
+	rep := sb.String()
+	for _, want := range []string{"robustness:", "faults injected:", "kernel=2", "retries:", "cpu fallbacks:", "breaker: 1 trips, 1 recoveries"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	m.Reset()
+	if m.FaultTotal() != 0 || len(m.Retries()) != 0 || len(m.Fallbacks()) != 0 {
+		t.Error("Reset did not clear degradation counters")
+	}
+	sb.Reset()
+	m.Report(&sb)
+	if strings.Contains(sb.String(), "robustness:") {
+		t.Error("robustness section printed with all counters zero")
+	}
+}

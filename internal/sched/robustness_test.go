@@ -1,0 +1,365 @@
+package sched
+
+// Robustness coverage: the Devices() copy, reservation-race retry across
+// the fleet, the circuit breaker's trip/probe/recover cycle, PlaceCtx
+// cancellation, partitioned rollback under injected faults, and
+// reservation-leak stress under -race.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"blugpu/internal/fault"
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// recordSink is a test Sink.
+type recordSink struct {
+	mu       sync.Mutex
+	retries  []string
+	faulted  int
+	trips    []int
+	recovers []int
+}
+
+func (r *recordSink) RecordGPURetry(op string, faulted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retries = append(r.retries, op)
+	if faulted {
+		r.faulted++
+	}
+}
+
+func (r *recordSink) RecordBreaker(device int, tripped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tripped {
+		r.trips = append(r.trips, device)
+	} else {
+		r.recovers = append(r.recovers, device)
+	}
+}
+
+func faultyFleet(cfg fault.Config) (*Scheduler, *fault.Injector, []*gpu.Device) {
+	inj := fault.New(cfg)
+	d0 := gpu.NewDevice(0, vtime.TeslaK40(), gpu.WithFaults(inj))
+	d1 := gpu.NewDevice(1, vtime.TeslaK40(), gpu.WithFaults(inj))
+	s, err := New(d0, d1)
+	if err != nil {
+		panic(err)
+	}
+	return s, inj, []*gpu.Device{d0, d1}
+}
+
+func fleetFree(devs []*gpu.Device) (free, total int64) {
+	for _, d := range devs {
+		free += d.FreeMemory()
+		total += d.TotalMemory()
+	}
+	return free, total
+}
+
+func TestDevicesReturnsCopy(t *testing.T) {
+	s, _ := twoK40s()
+	got := s.Devices()
+	got[0], got[1] = got[1], got[0]
+	got2 := s.Devices()
+	if got2[0].ID() != 0 || got2[1].ID() != 1 {
+		t.Error("mutating the Devices() result changed the scheduler's fleet")
+	}
+	got2 = got2[:1]
+	if len(s.Devices()) != 2 {
+		t.Error("truncating the Devices() result changed the fleet")
+	}
+}
+
+// A reservation that fails on the best-ranked device must move on to
+// the remaining eligible devices instead of giving up.
+func TestTryPlaceRetriesNextDevice(t *testing.T) {
+	s, inj, _ := faultyFleet(fault.Config{})
+	sink := &recordSink{}
+	s.SetSink(sink)
+	inj.KillDevice(0) // device 0 wins the idle tie-break, then its Reserve fails
+	p, err := s.TryPlace(1 << 30)
+	if err != nil {
+		t.Fatalf("TryPlace gave up instead of retrying device 1: %v", err)
+	}
+	defer p.Release()
+	if p.Device().ID() != 1 {
+		t.Errorf("placed on device %d, want 1", p.Device().ID())
+	}
+	if len(sink.retries) != 1 || sink.retries[0] != "place" || sink.faulted != 1 {
+		t.Errorf("retry accounting: ops=%v faulted=%d, want one faulted place", sink.retries, sink.faulted)
+	}
+}
+
+// When every candidate's reservation fails, the terminal error wraps
+// both ErrNoDevice and the last reservation failure.
+func TestTryPlaceTerminalErrorClassifiable(t *testing.T) {
+	s, inj, _ := faultyFleet(fault.Config{})
+	inj.KillDevice(0)
+	inj.KillDevice(1)
+	_, err := s.TryPlace(1 << 30)
+	if !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+	if !errors.Is(err, gpu.ErrInjected) || !errors.Is(err, gpu.ErrDeviceLost) {
+		t.Errorf("terminal error should carry the fault cause: %v", err)
+	}
+}
+
+func TestCircuitBreakerTripProbeRecover(t *testing.T) {
+	s, inj, devs := faultyFleet(fault.Config{})
+	sink := &recordSink{}
+	s.SetSink(sink)
+	s.SetBreaker(3, 100*vtime.Millisecond)
+	inj.KillDevice(0)
+
+	// Three consecutive failed placements trip device 0's breaker.
+	for i := 0; i < 3; i++ {
+		p, err := s.TryPlace(1 << 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	h := s.Health()
+	if !h[0].Quarantined || h[0].Trips != 1 {
+		t.Fatalf("device 0 not quarantined after 3 failures: %+v", h[0])
+	}
+	if len(sink.trips) != 1 || sink.trips[0] != 0 {
+		t.Errorf("sink trips = %v, want [0]", sink.trips)
+	}
+
+	// While quarantined, device 0 is never touched: its fault counter
+	// stays frozen across many placements.
+	before := inj.Counts().Total()
+	for i := 0; i < 5; i++ {
+		p, err := s.TryPlace(1 << 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Device().ID() != 1 {
+			t.Errorf("placement %d on quarantined device", i)
+		}
+		p.Release()
+	}
+	if got := inj.Counts().Total(); got != before {
+		t.Errorf("quarantined device still probed: faults %d -> %d", before, got)
+	}
+
+	// Probation expiry re-admits half-open: one probe, and since the
+	// device is still dead, one more failure re-trips immediately.
+	s.Advance(200 * vtime.Millisecond)
+	p, err := s.TryPlace(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if got := inj.Counts().Total(); got != before+1 {
+		t.Errorf("half-open probe count: faults %d -> %d, want one probe", before, got)
+	}
+	if h := s.Health(); !h[0].Quarantined || h[0].Trips != 2 {
+		t.Errorf("failed probe should re-trip immediately: %+v", h[0])
+	}
+
+	// Revive the device; after probation the next probe succeeds and the
+	// breaker records a recovery.
+	inj.ReviveDevice(0)
+	s.Advance(200 * vtime.Millisecond)
+	p, err = s.TryPlace(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Device().ID() != 0 {
+		t.Errorf("revived device not re-admitted: placed on %d", p.Device().ID())
+	}
+	s.ReportSuccess(p.Device())
+	p.Release()
+	h = s.Health()
+	if h[0].Quarantined || h[0].Recoveries != 1 || h[0].ConsecutiveFails != 0 {
+		t.Errorf("recovery not recorded: %+v", h[0])
+	}
+	if len(sink.recovers) != 1 || sink.recovers[0] != 0 {
+		t.Errorf("sink recoveries = %v, want [0]", sink.recovers)
+	}
+	if free, total := fleetFree(devs); free != total {
+		t.Errorf("breaker cycle leaked %d bytes", total-free)
+	}
+}
+
+func TestPlaceCtxCancel(t *testing.T) {
+	s, _ := twoK40s()
+	// Fill the fleet so PlaceCtx must wait.
+	p0, err := s.TryPlace(11 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.TryPlace(11 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Release()
+	defer p1.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := s.PlaceCtx(ctx, 4<<30); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("PlaceCtx did not unblock promptly on cancellation")
+	}
+
+	// Pre-cancelled context returns immediately without placing.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := s.PlaceCtx(done, 4<<30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+func TestPlaceCtxWakesOnRelease(t *testing.T) {
+	s, _ := twoK40s()
+	p0, _ := s.TryPlace(11 << 30)
+	p1, _ := s.TryPlace(11 << 30)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got := make(chan *Placement, 1)
+	errc := make(chan error, 1)
+	go func() {
+		p, err := s.PlaceCtx(ctx, 4<<30)
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- p
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p0.Release()
+	select {
+	case p := <-got:
+		p.Release()
+	case err := <-errc:
+		t.Fatalf("PlaceCtx errored: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("PlaceCtx did not wake on release")
+	}
+	p1.Release()
+}
+
+// PlacePartitioned with an injected reservation fault must roll back
+// every chunk it already reserved — verified by fleet-free-memory
+// accounting.
+func TestPlacePartitionedRollbackUnderFaults(t *testing.T) {
+	s, inj, devs := faultyFleet(fault.Config{})
+	inj.KillDevice(1)
+	// 20 GB needs both 12 GB cards; device 1's chunk reservation faults,
+	// so the chunk on device 0 must be released.
+	_, _, err := s.PlacePartitioned(20 << 30)
+	if !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+	if !errors.Is(err, gpu.ErrInjected) {
+		t.Errorf("rollback error should carry the fault cause: %v", err)
+	}
+	free, total := fleetFree(devs)
+	if free != total {
+		t.Errorf("rollback leaked %d bytes", total-free)
+	}
+	// Health: the faulted device took one failure.
+	if h := s.Health(); h[1].ConsecutiveFails != 1 {
+		t.Errorf("device 1 failure not recorded: %+v", h[1])
+	}
+}
+
+// Concurrent Place/Release stress (run under -race): after all workers
+// drain, the fleet's free memory must equal its capacity — no
+// reservation leaks, with and without injected faults.
+func TestConcurrentPlaceReleaseNoLeak(t *testing.T) {
+	s, devs := twoK40s()
+	var wg sync.WaitGroup
+	const workers = 16
+	const iters = 40
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				demand := int64(1+rng.Intn(4)) << 30
+				p, err := s.Place(demand)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+				p.Release()
+				if rng.Intn(8) == 0 {
+					p.Release() // double release must stay safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	free, total := fleetFree(devs)
+	if free != total {
+		t.Errorf("stress leaked %d bytes", total-free)
+	}
+	for _, snap := range s.Snapshot() {
+		if snap.Outstanding != 0 {
+			t.Errorf("device %d still shows outstanding jobs", snap.Device)
+		}
+	}
+}
+
+// Same stress with injected reservation faults: TryPlace may fail, but
+// whatever succeeds must release cleanly and the accounting must
+// balance.
+func TestConcurrentTryPlaceFaultsNoLeak(t *testing.T) {
+	s, _, devs := faultyFleet(fault.Config{Seed: 11, Reserve: 0.3})
+	var wg sync.WaitGroup
+	const workers = 16
+	const iters = 60
+	var placed, failed int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters; i++ {
+				demand := int64(1+rng.Intn(4)) << 30
+				p, err := s.TryPlace(demand)
+				if err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				placed++
+				mu.Unlock()
+				p.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	free, total := fleetFree(devs)
+	if free != total {
+		t.Errorf("faulted stress leaked %d bytes", total-free)
+	}
+	if placed == 0 {
+		t.Error("every TryPlace failed; stress exercised nothing")
+	}
+	t.Logf("placed=%d failed=%d", placed, failed)
+}

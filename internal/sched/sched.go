@@ -11,14 +11,25 @@
 // When no device fits, the caller chooses between the two behaviours of
 // Section 2.1.1: wait until memory becomes available, or fall back to the
 // CPU path.
+//
+// Beyond the paper's happy path, the scheduler tracks per-device health
+// with a circuit breaker: a device whose operations keep failing (fault
+// injection, simulated device loss) is quarantined after
+// DefaultFailThreshold consecutive failures and re-admitted half-open
+// after a virtual-time probation. The scheduler never asks a device
+// whether it is "alive" — like a real driver stack, it discovers death
+// through failed operations and routes around it.
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
 )
 
 // ErrNoDevice is returned by TryPlace when no device can currently satisfy
@@ -30,12 +41,50 @@ var ErrNoDevice = errors.New("sched: no device can satisfy the request")
 // CPU path (the paper's prototype does the same above threshold T3).
 var ErrTooLarge = errors.New("sched: request exceeds every device's capacity")
 
+// DefaultFailThreshold is the consecutive-failure count that trips a
+// device's circuit breaker.
+const DefaultFailThreshold = 3
+
+// DefaultProbation is the virtual-time quarantine after a breaker trip.
+// After it elapses the device is re-admitted half-open: a single further
+// failure re-trips immediately.
+const DefaultProbation = 250 * vtime.Millisecond
+
+// Sink receives degradation events. The engine's performance monitor
+// (internal/monitor) implements it structurally; a nil sink discards.
+// Implementations must be safe for concurrent use.
+type Sink interface {
+	// RecordGPURetry reports that an operation op failed on one device
+	// and was retried on another. faulted marks injected faults (or
+	// device loss) as opposed to organic admission races.
+	RecordGPURetry(op string, faulted bool)
+	// RecordBreaker reports a circuit-breaker transition for a device:
+	// tripped (quarantined) or recovered.
+	RecordBreaker(device int, tripped bool)
+}
+
+// health is the per-device circuit-breaker state.
+type health struct {
+	consecutive int
+	quarantined bool
+	reopenAt    vtime.Time
+	trips       uint64
+	recoveries  uint64
+}
+
 // Scheduler places tasks across a fleet of (possibly heterogeneous) GPUs.
 // It is safe for concurrent use.
 type Scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	devices []*gpu.Device
+	byID    map[int]int // device ID -> index into devices/health
+	health  []health
+	now     vtime.Time
+	sink    Sink
+
+	failThreshold int
+	probation     vtime.Duration
 }
 
 // New builds a scheduler over the given devices.
@@ -43,13 +92,163 @@ func New(devices ...*gpu.Device) (*Scheduler, error) {
 	if len(devices) == 0 {
 		return nil, errors.New("sched: at least one device required")
 	}
-	s := &Scheduler{devices: devices}
+	s := &Scheduler{
+		devices:       devices,
+		byID:          make(map[int]int, len(devices)),
+		health:        make([]health, len(devices)),
+		failThreshold: DefaultFailThreshold,
+		probation:     DefaultProbation,
+	}
+	for i, d := range devices {
+		if _, dup := s.byID[d.ID()]; dup {
+			return nil, fmt.Errorf("sched: duplicate device id %d", d.ID())
+		}
+		s.byID[d.ID()] = i
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
-// Devices returns the managed fleet.
-func (s *Scheduler) Devices() []*gpu.Device { return s.devices }
+// SetSink attaches a degradation-event sink.
+func (s *Scheduler) SetSink(sink Sink) {
+	s.mu.Lock()
+	s.sink = sink
+	s.mu.Unlock()
+}
+
+// SetBreaker overrides the circuit-breaker tuning. threshold <= 0 or
+// probation <= 0 keep the respective default.
+func (s *Scheduler) SetBreaker(threshold int, probation vtime.Duration) {
+	s.mu.Lock()
+	if threshold > 0 {
+		s.failThreshold = threshold
+	}
+	if probation > 0 {
+		s.probation = probation
+	}
+	s.mu.Unlock()
+}
+
+// Devices returns a copy of the managed fleet. Callers may reorder or
+// truncate the returned slice without affecting the scheduler.
+func (s *Scheduler) Devices() []*gpu.Device {
+	out := make([]*gpu.Device, len(s.devices))
+	copy(out, s.devices)
+	return out
+}
+
+// Advance moves the scheduler's virtual clock forward. The engine calls
+// it with each query's modeled duration so quarantine probations expire
+// in virtual time, consistent with the rest of the simulation.
+func (s *Scheduler) Advance(d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+	// A probation may just have expired; wake blocked placers so they
+	// reconsider the re-admitted device.
+	s.cond.Broadcast()
+}
+
+// Now returns the scheduler's virtual clock.
+func (s *Scheduler) Now() vtime.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// DeviceHealth is a snapshot of one device's breaker state.
+type DeviceHealth struct {
+	Device           int
+	ConsecutiveFails int
+	Quarantined      bool
+	ReopenAt         vtime.Time
+	Trips            uint64
+	Recoveries       uint64
+}
+
+// Health returns the current breaker state of every device.
+func (s *Scheduler) Health() []DeviceHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceHealth, len(s.devices))
+	for i, d := range s.devices {
+		h := s.health[i]
+		out[i] = DeviceHealth{
+			Device:           d.ID(),
+			ConsecutiveFails: h.consecutive,
+			Quarantined:      h.quarantined,
+			ReopenAt:         h.reopenAt,
+			Trips:            h.trips,
+			Recoveries:       h.recoveries,
+		}
+	}
+	return out
+}
+
+// ReportFailure records a failed GPU operation on dev (after placement:
+// a transfer or kernel fault). Enough consecutive failures trip the
+// device's breaker.
+func (s *Scheduler) ReportFailure(dev *gpu.Device) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byID[dev.ID()]; ok {
+		s.reportFailureLocked(i)
+	}
+}
+
+// ReportSuccess records a successful GPU operation on dev, resetting its
+// consecutive-failure count (and completing a half-open probe).
+func (s *Scheduler) ReportSuccess(dev *gpu.Device) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byID[dev.ID()]; ok {
+		s.reportSuccessLocked(i)
+	}
+}
+
+func (s *Scheduler) reportFailureLocked(i int) {
+	h := &s.health[i]
+	h.consecutive++
+	if h.consecutive >= s.failThreshold && !h.quarantined {
+		h.quarantined = true
+		h.reopenAt = s.now.Add(s.probation)
+		h.trips++
+		if s.sink != nil {
+			s.sink.RecordBreaker(s.devices[i].ID(), true)
+		}
+	}
+}
+
+func (s *Scheduler) reportSuccessLocked(i int) {
+	h := &s.health[i]
+	h.consecutive = 0
+	if h.trips > h.recoveries {
+		h.recoveries++
+		if s.sink != nil {
+			s.sink.RecordBreaker(s.devices[i].ID(), false)
+		}
+	}
+}
+
+// eligibleLocked reports whether device i may take placements now. A
+// quarantined device whose probation has expired is re-admitted
+// half-open: its consecutive count restarts one below the threshold, so
+// a single failed probe re-trips the breaker.
+func (s *Scheduler) eligibleLocked(i int) bool {
+	h := &s.health[i]
+	if !h.quarantined {
+		return true
+	}
+	if s.now.Before(h.reopenAt) {
+		return false
+	}
+	h.quarantined = false
+	h.consecutive = s.failThreshold - 1
+	return true
+}
 
 // Placement is a task admitted to a device: a reservation covering its
 // whole memory demand. Release both frees the reservation and wakes any
@@ -77,25 +276,44 @@ func (p *Placement) Release() {
 }
 
 // TryPlace attempts to admit a task needing memNeed bytes, without
-// blocking. Among devices with enough free memory it picks the one with
-// the fewest outstanding jobs, breaking ties toward the most free memory.
+// blocking. Among eligible devices with enough free memory it picks the
+// one with the fewest outstanding jobs, breaking ties toward the most
+// free memory.
 func (s *Scheduler) TryPlace(memNeed int64) (*Placement, error) {
+	return s.TryPlaceExcluding(memNeed, nil)
+}
+
+// TryPlaceExcluding is TryPlace restricted to devices whose ID is not in
+// exclude. Callers retrying after an operation fault on one device use
+// it to move the retry to the rest of the fleet.
+func (s *Scheduler) TryPlaceExcluding(memNeed int64, exclude map[int]bool) (*Placement, error) {
 	if memNeed <= 0 {
 		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tryPlaceLocked(memNeed)
+	return s.tryPlaceLocked(memNeed, exclude)
 }
 
-func (s *Scheduler) tryPlaceLocked(memNeed int64) (*Placement, error) {
-	var best *gpu.Device
-	bestJobs := 0
-	var bestFree int64
+// tryPlaceLocked ranks every eligible device that can take the demand
+// and attempts the reservation down the ranking: a device whose Reserve
+// fails (lost a race with a direct reservation, or faulted) does not
+// give up the placement while other candidates remain. The terminal
+// error wraps the last reservation failure so callers can classify it.
+func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool) (*Placement, error) {
+	type candidate struct {
+		idx  int
+		jobs int
+		free int64
+	}
+	var cands []candidate
 	fitsAnywhere := false
-	for _, d := range s.devices {
+	for i, d := range s.devices {
 		if memNeed <= d.TotalMemory() {
 			fitsAnywhere = true
+		}
+		if exclude[d.ID()] || !s.eligibleLocked(i) {
+			continue
 		}
 		free := d.FreeMemory()
 		if free < memNeed {
@@ -105,35 +323,78 @@ func (s *Scheduler) tryPlaceLocked(memNeed int64) (*Placement, error) {
 		if jobs >= d.Spec().MaxConcurrentKernels {
 			continue
 		}
-		if best == nil || jobs < bestJobs || (jobs == bestJobs && free > bestFree) {
-			best, bestJobs, bestFree = d, jobs, free
+		cands = append(cands, candidate{idx: i, jobs: jobs, free: free})
+	}
+	if !fitsAnywhere {
+		return nil, ErrTooLarge
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.jobs != cb.jobs {
+			return ca.jobs < cb.jobs
+		}
+		if ca.free != cb.free {
+			return ca.free > cb.free
+		}
+		return ca.idx < cb.idx
+	})
+	var lastErr error
+	for n, c := range cands {
+		res, err := s.devices[c.idx].Reserve(memNeed)
+		if err == nil {
+			return &Placement{sched: s, res: res}, nil
+		}
+		lastErr = err
+		faulted := errors.Is(err, gpu.ErrInjected)
+		if faulted {
+			s.reportFailureLocked(c.idx)
+		}
+		if n+1 < len(cands) && s.sink != nil {
+			// Another candidate remains: this failure becomes a
+			// same-placement retry, not a terminal error.
+			s.sink.RecordGPURetry("place", faulted)
 		}
 	}
-	if best == nil {
-		if !fitsAnywhere {
-			return nil, ErrTooLarge
-		}
-		return nil, ErrNoDevice
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrNoDevice, lastErr)
 	}
-	res, err := best.Reserve(memNeed)
-	if err != nil {
-		// Raced with a direct reservation on the device.
-		return nil, ErrNoDevice
-	}
-	return &Placement{sched: s, res: res}, nil
+	return nil, ErrNoDevice
 }
 
 // Place admits a task needing memNeed bytes, blocking until a device can
 // satisfy it. It returns ErrTooLarge immediately when no device could ever
 // fit the demand.
 func (s *Scheduler) Place(memNeed int64) (*Placement, error) {
+	return s.placeWait(nil, memNeed)
+}
+
+// PlaceCtx is Place bounded by a context: it returns ctx.Err() as soon
+// as the context is cancelled or times out while waiting for memory.
+func (s *Scheduler) PlaceCtx(ctx context.Context, memNeed int64) (*Placement, error) {
+	stop := context.AfterFunc(ctx, func() {
+		// Taking the lock orders the broadcast after the waiter is
+		// actually parked in Wait, so the wakeup cannot be missed.
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	return s.placeWait(ctx, memNeed)
+}
+
+func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, error) {
 	if memNeed <= 0 {
 		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		p, err := s.tryPlaceLocked(memNeed)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p, err := s.tryPlaceLocked(memNeed, nil)
 		if err == nil {
 			return p, nil
 		}
@@ -145,11 +406,12 @@ func (s *Scheduler) Place(memNeed int64) (*Placement, error) {
 }
 
 // PlacePartitioned splits a demand too large for one device across
-// several, reserving a chunk on every device that can take one (paper
-// Section 2.2: large inputs are range-partitioned across GPUs and the
-// partial results merged). The caller gets one placement per chunk and the
-// chunk sizes; it returns ErrNoDevice if the combined free memory cannot
-// cover the demand right now.
+// several, reserving a chunk on every eligible device that can take one
+// (paper Section 2.2: large inputs are range-partitioned across GPUs and
+// the partial results merged). The caller gets one placement per chunk
+// and the chunk sizes; it returns ErrNoDevice if the combined free
+// memory cannot cover the demand right now. On failure every chunk
+// already reserved is rolled back — partial placements never leak.
 func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, error) {
 	if memNeed <= 0 {
 		return nil, nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
@@ -164,9 +426,13 @@ func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, erro
 			p.res.Release()
 		}
 	}
-	for _, d := range s.devices {
+	var lastErr error
+	for i, d := range s.devices {
 		if remaining == 0 {
 			break
+		}
+		if !s.eligibleLocked(i) {
+			continue
 		}
 		free := d.FreeMemory()
 		if free <= 0 {
@@ -178,6 +444,10 @@ func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, erro
 		}
 		res, err := d.Reserve(chunk)
 		if err != nil {
+			lastErr = err
+			if errors.Is(err, gpu.ErrInjected) {
+				s.reportFailureLocked(i)
+			}
 			continue
 		}
 		placements = append(placements, &Placement{sched: s, res: res})
@@ -186,6 +456,9 @@ func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, erro
 	}
 	if remaining > 0 {
 		rollback()
+		if lastErr != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrNoDevice, lastErr)
+		}
 		return nil, nil, ErrNoDevice
 	}
 	return placements, sizes, nil
