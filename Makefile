@@ -1,13 +1,14 @@
 GO ?= go
 
 # Packages with parallel host-side execution; the race target drives the
-# differential tests (degrees 1/2/8) and the scheduler/fault stress tests
-# under the race detector.
+# differential tests (degrees 1/2/8), the scheduler/fault stress tests and
+# the concurrent span-tracer stress test under the race detector.
 PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/evaluator ./internal/bsort ./internal/engine \
-                ./internal/sched ./internal/fault
+                ./internal/sched ./internal/fault ./internal/trace \
+                ./internal/monitor
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench check trace-smoke
 
 build:
 	$(GO) build ./...
@@ -25,4 +26,10 @@ bench:
 	$(GO) test -bench 'ParallelGather|PartialKeyBuild' -benchmem -run '^$$' \
 		./internal/columnar ./internal/bsort
 
-check: vet test race
+# End-to-end tracing smoke: run one small traced experiment through
+# blubench and validate the exported JSON against the trace-event schema.
+trace-smoke:
+	$(GO) run ./cmd/blubench -sf 0.004 -trace /tmp/blu-trace-smoke.json fig5 > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/blu-trace-smoke.json
+
+check: vet test race trace-smoke

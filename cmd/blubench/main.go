@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"blugpu/internal/bench"
+	"blugpu/internal/trace"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	devices := flag.Int("devices", 2, "number of simulated GPUs")
 	degree := flag.Int("degree", 24, "intra-query parallelism")
 	race := flag.Bool("race", false, "let the GPU moderator race a second kernel")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every query to this file (load via chrome://tracing or ui.perfetto.dev)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blubench [flags] [experiment]...\nexperiments: all %s\nflags:\n",
 			strings.Join(bench.Experiments(), " "))
@@ -31,10 +33,16 @@ func main() {
 	}
 	flag.Parse()
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+	}
+
 	start := time.Now()
 	fmt.Printf("generating dataset (sf=%g, seed=%d)...\n", *sf, *seed)
 	h, err := bench.NewHarness(bench.Config{
 		SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree, Race: *race,
+		Trace: tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blubench:", err)
@@ -43,18 +51,35 @@ func main() {
 	fmt.Printf("dataset ready: %.1f MB across %d tables (%.1fs)\n",
 		float64(h.Data.TotalBytes())/(1<<20), len(h.Data.Tables), time.Since(start).Seconds())
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "blubench:", err)
+		os.Exit(1)
+	}
 	args := flag.Args()
 	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
 		if err := h.All(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "blubench:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		return
+	} else {
+		for _, name := range args {
+			if err := h.Run(name, os.Stdout); err != nil {
+				fail(err)
+			}
+		}
 	}
-	for _, name := range args {
-		if err := h.Run(name, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "blubench:", err)
-			os.Exit(1)
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
 		}
+		if err := tracer.ExportChrome(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d queries, %d spans -> %s\n", tracer.Queries(), len(tracer.Spans()), *traceOut)
 	}
 }

@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	blugen [-sf 0.05] [-seed N] [-stats table] [-queries bd|rolap]
+//	blugen [-sf 0.05] [-seed N] [-stats table] [-hist table.column] [-queries bd|rolap]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"blugpu/internal/columnar"
 	"blugpu/internal/optimizer"
 	"blugpu/internal/workload"
 )
@@ -20,6 +22,7 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "scale factor")
 	seed := flag.Uint64("seed", 20160626, "generator seed")
 	statsTable := flag.String("stats", "", "print column statistics for one table")
+	hist := flag.String("hist", "", "print a value histogram for one numeric column, as table.column")
 	queries := flag.String("queries", "", "print a query set: bd | rolap")
 	flag.Parse()
 
@@ -32,6 +35,14 @@ func main() {
 	d := workload.Generate(*sf, *seed)
 	fmt.Printf("generated sf=%g in %.2fs: %.1f MB total\n\n",
 		*sf, time.Since(start).Seconds(), float64(d.TotalBytes())/(1<<20))
+
+	if *hist != "" {
+		if err := printHist(d, *hist); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *statsTable != "" {
 		t := d.Table(*statsTable)
@@ -67,6 +78,78 @@ func main() {
 		t := d.Table(n)
 		fmt.Printf("  %-24s %8d rows  %10.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
 	}
+}
+
+// printHist renders an equal-width value histogram for a numeric column —
+// a quick way to eyeball the generated data's skew (group-by kernel choice
+// is sensitive to it).
+func printHist(d *workload.Dataset, spec string) error {
+	name, col, ok := strings.Cut(spec, ".")
+	if !ok {
+		return fmt.Errorf("blugen: -hist wants table.column, got %q", spec)
+	}
+	t := d.Table(name)
+	if t == nil {
+		return fmt.Errorf("blugen: unknown table %q", name)
+	}
+	c := t.Column(col)
+	if c == nil {
+		return fmt.Errorf("blugen: table %s has no column %q", name, col)
+	}
+	var vals []float64
+	nulls := 0
+	for i := 0; i < c.Len(); i++ {
+		if c.IsNull(i) {
+			nulls++
+			continue
+		}
+		switch cc := c.(type) {
+		case *columnar.Int64Column:
+			vals = append(vals, float64(cc.Int64(i)))
+		case *columnar.Float64Column:
+			vals = append(vals, cc.Float64(i))
+		default:
+			return fmt.Errorf("blugen: column %s.%s is %s, -hist wants a numeric column", name, col, c.Type())
+		}
+	}
+	if len(vals) == 0 {
+		fmt.Printf("%s.%s: no non-null values\n", name, col)
+		return nil
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	const buckets = 16
+	counts := make([]int, buckets)
+	width := (hi - lo) / buckets
+	for _, v := range vals {
+		b := buckets - 1
+		if width > 0 {
+			b = int((v - lo) / width)
+			if b >= buckets {
+				b = buckets - 1
+			}
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, n := range counts {
+		if n > peak {
+			peak = n
+		}
+	}
+	fmt.Printf("%s.%s: %d values (%d null), min=%g max=%g\n", name, col, len(vals), nulls, lo, hi)
+	for b := 0; b < buckets; b++ {
+		bar := strings.Repeat("#", int(40*float64(counts[b])/float64(peak)))
+		fmt.Printf("  [%12.4g, %12.4g) %8d |%-40s|\n", lo+float64(b)*width, lo+float64(b+1)*width, counts[b], bar)
+	}
+	return nil
 }
 
 func printQueries(set string) {

@@ -11,6 +11,9 @@
 //	\describe T    show table T's columns
 //	\gpu on|off    toggle device offload
 //	\monitor       print the performance monitor report
+//	\trace on|off  start/stop span tracing of subsequent queries
+//	\trace show    print the per-query flame summary
+//	\trace save F  write the Chrome trace-event JSON to file F
 //	\quit          exit
 package main
 
@@ -23,6 +26,7 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/engine"
+	"blugpu/internal/trace"
 	"blugpu/internal/workload"
 )
 
@@ -106,6 +110,8 @@ func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
 		fmt.Printf("GPU offload: %s\n", onOff(eng.GPUEnabled()))
 	case "\\monitor":
 		eng.Monitor().Report(os.Stdout)
+	case "\\trace":
+		metaTrace(eng, fields)
 	case "\\explain":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
 		if sql == "" {
@@ -119,9 +125,66 @@ func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
 		}
 		fmt.Print(out)
 	default:
-		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\quit")
+		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\trace on|off|show|save <f> \\quit")
 	}
 	return false
+}
+
+// metaTrace handles the \trace subcommands: toggling the tracer on the
+// live engine, printing the flame summary, and exporting Chrome JSON.
+func metaTrace(eng *engine.Engine, fields []string) {
+	if len(fields) < 2 {
+		state := "off"
+		if tr := eng.Tracer(); tr != nil {
+			state = fmt.Sprintf("on (%d queries, %d spans)", tr.Queries(), len(tr.Spans()))
+		}
+		fmt.Printf("tracing: %s\nusage: \\trace on|off|show|save <file>\n", state)
+		return
+	}
+	switch fields[1] {
+	case "on":
+		if eng.Tracer() == nil {
+			eng.SetTracer(trace.New())
+		}
+		fmt.Println("tracing: on")
+	case "off":
+		eng.SetTracer(nil)
+		fmt.Println("tracing: off")
+	case "show":
+		tr := eng.Tracer()
+		if tr == nil {
+			fmt.Println("tracing is off; \\trace on first")
+			return
+		}
+		tr.WriteFlame(os.Stdout)
+	case "save":
+		tr := eng.Tracer()
+		if tr == nil {
+			fmt.Println("tracing is off; \\trace on first")
+			return
+		}
+		if len(fields) < 3 {
+			fmt.Println("usage: \\trace save <file>")
+			return
+		}
+		f, err := os.Create(fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		err = tr.ExportChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("wrote %d spans to %s (load via chrome://tracing or ui.perfetto.dev)\n",
+			len(tr.Spans()), fields[2])
+	default:
+		fmt.Println("usage: \\trace on|off|show|save <file>")
+	}
 }
 
 func run(eng *engine.Engine, sql string) {

@@ -1,0 +1,34 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `blubench -trace` (or `\trace save` in blushell) against the
+// trace-event schema the exporter promises: a JSON array of complete
+// ("ph":"X") events, each with name, cat, non-negative ts/dur and
+// pid/tid. It is the checker behind `make trace-smoke`.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"blugpu/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid trace-event JSON (%d bytes)\n", os.Args[1], len(data))
+}

@@ -11,6 +11,7 @@ import (
 	"blugpu/internal/columnar"
 	"blugpu/internal/des"
 	"blugpu/internal/groupby"
+	"blugpu/internal/monitor"
 	"blugpu/internal/vtime"
 	"blugpu/internal/workload"
 )
@@ -96,7 +97,7 @@ func (h *Harness) Fig5(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printRunTable(w, runs)
+	printRunTable(w, runs, h.Eng.Monitor())
 	return nil
 }
 
@@ -110,14 +111,14 @@ func (h *Harness) Fig6(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printRunTable(w, runs)
+	printRunTable(w, runs, h.Eng.Monitor())
 	return nil
 }
 
 // rolapGated runs the full 46-query ROLAP set on an engine whose device
 // memory is calibrated so the dozen memory-heavy queries exceed it, and
 // splits the runs into (ran-on-GPU-config, memory-gated).
-func (h *Harness) rolapGated() (ran, gated []QueryRun, mem int64, err error) {
+func (h *Harness) rolapGated() (ran, gated []QueryRun, mem int64, mon *monitor.Monitor, err error) {
 	mem = h.cfg.DeviceMemory
 	if mem == 0 {
 		mem, _, err = h.CalibrateROLAPMemory()
@@ -127,15 +128,15 @@ func (h *Harness) rolapGated() (ran, gated []QueryRun, mem int64, err error) {
 			mem = 0
 			err = nil
 		} else if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, nil, err
 		}
 	}
 	eng, err := h.newEngine(h.cfg.Degree, mem)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 	if err := h.Data.RegisterAll(eng); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 	old := h.Eng
 	h.Eng = eng
@@ -143,7 +144,7 @@ func (h *Harness) rolapGated() (ran, gated []QueryRun, mem int64, err error) {
 
 	runs, err := h.RunSet(workload.CognosROLAP())
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 	for _, r := range runs {
 		if strings.Contains(r.Reason, "exceeds-device-memory") {
@@ -152,14 +153,14 @@ func (h *Harness) rolapGated() (ran, gated []QueryRun, mem int64, err error) {
 			ran = append(ran, r)
 		}
 	}
-	return ran, gated, mem, nil
+	return ran, gated, mem, eng.Monitor(), nil
 }
 
 // Fig7Table2 reproduces Figure 7 (per-query serial times for the 34
 // ROLAP queries that fit device memory) and Table 2 (their total, with
 // the ~8% GPU gain). perQuery selects the figure or the table.
 func (h *Harness) Fig7Table2(w io.Writer, perQuery bool) error {
-	ran, gated, mem, err := h.rolapGated()
+	ran, gated, mem, mon, err := h.rolapGated()
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func (h *Harness) Fig7Table2(w io.Writer, perQuery bool) error {
 			len(ran)+len(gated))
 	}
 	if perQuery {
-		printRunTable(w, ran)
+		printRunTable(w, ran, mon)
 		return nil
 	}
 	var on, off vtime.Duration
@@ -198,7 +199,7 @@ func (h *Harness) Fig7Table2(w io.Writer, perQuery bool) error {
 // the intra-query degree, matching the paper's explanation.
 func (h *Harness) Table3(w io.Writer) error {
 	header(w, "Table 3: ROLAP throughput (queries/hour)")
-	ran, _, _, err := h.rolapGated()
+	ran, _, _, _, err := h.rolapGated()
 	if err != nil {
 		return err
 	}
@@ -411,8 +412,9 @@ func max64(a, b int64) int64 {
 // printRunTable renders per-query GPU-on/off rows plus totals. Modeled
 // columns simulate the paper's testbed; the wall columns are the real
 // elapsed time of the functional execution on this machine and vary
-// run to run.
-func printRunTable(w io.Writer, runs []QueryRun) {
+// run to run. mon, when non-nil, supplies the per-query latency rollup
+// (log-scale histogram quantiles over every recorded run of each query).
+func printRunTable(w io.Writer, runs []QueryRun, mon *monitor.Monitor) {
 	fmt.Fprintf(w, "%-16s %-12s %-12s %-9s %-12s %-12s %s\n",
 		"query", "GPU On(ms)", "GPU Off(ms)", "gain", "wall on", "wall off", "groupby path")
 	rule(w, 96)
@@ -434,6 +436,36 @@ func printRunTable(w io.Writer, runs []QueryRun) {
 	}
 	fmt.Fprintf(w, "%-16s %-12s %-12s %-9s %-12s %-12s\n",
 		"TOTAL", ms(on), ms(off), pct(gain), wall(wallOn), wall(wallOff))
+	printQueryRollups(w, runs, mon)
+}
+
+// printQueryRollups appends the latency-histogram columns for the table's
+// queries: modeled p50/p95/p99/max over every run the monitor has seen
+// (each query runs at least twice here — GPU on and off).
+func printQueryRollups(w io.Writer, runs []QueryRun, mon *monitor.Monitor) {
+	if mon == nil {
+		return
+	}
+	want := map[string]bool{}
+	for _, r := range runs {
+		want[r.Query.ID] = true
+	}
+	var rows []monitor.QueryStats
+	for _, qs := range mon.Queries() {
+		if want[qs.Name] {
+			rows = append(rows, qs)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "latency histograms (modeled, all runs of each query):\n")
+	fmt.Fprintf(w, "%-16s %-6s %-12s %-12s %-12s %s\n", "query", "runs", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	rule(w, 72)
+	for _, qs := range rows {
+		fmt.Fprintf(w, "%-16s %-6d %-12s %-12s %-12s %s\n",
+			qs.Name, qs.Count, ms(qs.P50), ms(qs.P95), ms(qs.P99), ms(qs.Max))
+	}
 }
 
 // wall formats a wall-clock duration to match the modeled ms columns.

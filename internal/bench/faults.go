@@ -46,7 +46,7 @@ func (h *Harness) Faults(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s (clean): %w", q.ID, err)
 		}
-		got, err := faulted.Query(q.SQL)
+		got, err := faulted.QueryNamed(q.ID, q.SQL)
 		if err != nil {
 			// The invariant says this can never happen; report loudly.
 			errored++
@@ -76,6 +76,12 @@ func (h *Harness) Faults(w io.Writer) error {
 	fmt.Fprintf(w, "breaker: %d trips, %d recoveries\n", trips, recovers)
 	fmt.Fprintf(w, "accounting: %d faults = %d faulted retries + %d faulted fallbacks\n",
 		counts.Total(), retryF, fbF)
+	if tr := faulted.Tracer(); tr != nil {
+		// With tracing on, every injected fault must also appear as a span
+		// attribute in the trace — the per-query view of the same ledger.
+		fmt.Fprintf(w, "trace: %d fault span attributes, %d orphan device events\n",
+			tr.FaultAttrCount(), tr.Orphans())
+	}
 	if errored > 0 || mismatches > 0 {
 		return fmt.Errorf("bench: fault sweep degraded incorrectly (%d errors, %d mismatches)", errored, mismatches)
 	}
@@ -95,6 +101,7 @@ func (h *Harness) newFaultedEngine(inj *fault.Injector) (*engine.Engine, error) 
 		Degree:     h.cfg.Degree,
 		Race:       h.cfg.Race,
 		Faults:     inj,
+		Tracer:     h.cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

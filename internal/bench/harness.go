@@ -21,6 +21,7 @@ import (
 	"blugpu/internal/engine"
 	"blugpu/internal/fault"
 	"blugpu/internal/optimizer"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 	"blugpu/internal/workload"
 )
@@ -45,6 +46,9 @@ type Config struct {
 	// Faults optionally injects GPU faults into the harness engine
 	// (robustness experiments); nil disables injection.
 	Faults *fault.Injector
+	// Trace, when set, records per-query span trees across every engine
+	// the harness builds (including the throughput and fault engines).
+	Trace *trace.Tracer
 }
 
 // Harness owns the generated dataset and a hybrid engine.
@@ -94,6 +98,7 @@ func (h *Harness) newEngine(degree int, devMem int64) (*engine.Engine, error) {
 		Degree:     degree,
 		Race:       h.cfg.Race,
 		Faults:     h.cfg.Faults,
+		Tracer:     h.cfg.Trace,
 	})
 }
 
@@ -132,14 +137,14 @@ func (h *Harness) RunBoth(q workload.Query) (QueryRun, error) {
 	run := QueryRun{Query: q}
 	h.Eng.SetGPUEnabled(true)
 	start := time.Now()
-	on, err := h.Eng.Query(q.SQL)
+	on, err := h.Eng.QueryNamed(q.ID, q.SQL)
 	run.WallOn = time.Since(start)
 	if err != nil {
 		return run, fmt.Errorf("%s (gpu on): %w", q.ID, err)
 	}
 	h.Eng.SetGPUEnabled(false)
 	start = time.Now()
-	off, err := h.Eng.Query(q.SQL)
+	off, err := h.Eng.QueryNamed(q.ID, q.SQL)
 	run.WallOff = time.Since(start)
 	if err != nil {
 		return run, fmt.Errorf("%s (gpu off): %w", q.ID, err)

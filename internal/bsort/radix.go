@@ -61,7 +61,7 @@ func gpuRadixSort(entries []Entry, r Range, res *gpu.Reservation, model *vtime.C
 		return nil, 0, err
 	}
 
-	kr := dev.RunKernel("radix_sort", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+	kr := dev.RunKernelSpan("radix_sort", buf.Span(), nil, func(g *gpu.Grid) (vtime.Duration, error) {
 		src, dst := buf.Words(), scratch.Words()
 		for pass := 0; pass < 4; pass++ {
 			shift := uint(32 + 8*pass)

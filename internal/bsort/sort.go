@@ -2,12 +2,14 @@ package bsort
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
 	"blugpu/internal/gpu"
 	"blugpu/internal/parallel"
 	"blugpu/internal/sched"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -32,6 +34,13 @@ type Config struct {
 	// Monitor receives degradation events (GPU sort jobs routed to the
 	// host); may be nil.
 	Monitor Sink
+	// Trace is the parent span for per-job sort spans; the zero value
+	// disables them.
+	Trace trace.Context
+	// TraceBase is the virtual-time offset of the sort's start; job spans
+	// lay out sequentially from here (an approximation — CPU and GPU jobs
+	// actually drain the queue concurrently).
+	TraceBase vtime.Time
 }
 
 // Sink receives sort-level degradation events. The engine's performance
@@ -60,6 +69,9 @@ type Stats struct {
 type job struct {
 	r     Range
 	depth int
+	// requeued marks a duplicate range the GPU handed back for the next
+	// key depth, so its trace span is distinguishable from a fresh job.
+	requeued bool
 }
 
 // Sort orders the rows of src ascending by their full binary key, ties
@@ -127,13 +139,34 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 				bb++
 			}
 			if hi > lo {
-				queue = append(queue, job{Range{lo, hi}, 0})
+				queue = append(queue, job{r: Range{lo, hi}})
 			}
 			lo = hi
 			b = bb
 		}
 	} else {
-		queue = append(queue, job{Range{0, n}, 0})
+		queue = append(queue, job{r: Range{0, n}})
+	}
+
+	// Per-job spans lay out sequentially from the sort's start; each
+	// job's duration is its own modeled cost at the configured degree.
+	traceAt := cfg.TraceBase
+	jobSpan := func(j job) trace.Context {
+		if !cfg.Trace.Enabled() {
+			return trace.Context{}
+		}
+		js := cfg.Trace.Begin("sort-job", fmt.Sprintf("job depth=%d", j.depth), traceAt)
+		if j.requeued {
+			js.Annotate(trace.Int("requeued", 1))
+		}
+		return js
+	}
+	endJob := func(js trace.Context, d vtime.Duration, attrs ...trace.Attr) {
+		if !js.Enabled() {
+			return
+		}
+		traceAt = traceAt.Add(d)
+		js.End(traceAt, attrs...)
 	}
 
 	for len(queue) > 0 {
@@ -146,19 +179,24 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 		if j.depth > st.MaxDepth {
 			st.MaxDepth = j.depth
 		}
+		js := jobSpan(j)
 		if j.depth >= src.MaxDepth() {
 			// Keys fully equal: deterministic tie-break by row id.
 			sortByPayload(entries[j.r.Lo:j.r.Hi])
 			cpuWork += nlogn(j.r.Len())
 			st.CPUJobs++
+			endJob(js, cfg.Model.CPUTime(nlogn(j.r.Len()), cfg.Model.CPUSortRate, cfg.Degree),
+				trace.Str("path", "cpu-tiebreak"), trace.Int("rows", int64(j.r.Len())))
 			continue
 		}
 		rekey(j.r, j.depth)
+		rekeyT := cfg.Model.CPUTime(float64(j.r.Len()), cfg.Model.CPUKeyGenRate, cfg.Degree)
 
 		if cfg.Scheduler != nil && j.r.Len() >= cfg.GPUThreshold {
 			// Device path: the job needs two entry buffers on the device.
 			need := int64(j.r.Len()) * 16
-			if placement, err := cfg.Scheduler.TryPlace(need); err == nil {
+			if placement, err := cfg.Scheduler.TryPlaceTraced(js, traceAt, need); err == nil {
+				placement.Reservation().BindSpan(js.ID())
 				dups, t, gerr := gpuRadixSort(entries, j.r, placement.Reservation(), cfg.Model, cfg.Pinned)
 				placement.Release()
 				if gerr == nil {
@@ -166,8 +204,10 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 					gpuBusy[placement.Device().ID()] += t
 					st.GPUJobs++
 					for _, d := range dups {
-						queue = append(queue, job{d, j.depth + 1})
+						queue = append(queue, job{r: d, depth: j.depth + 1, requeued: true})
 					}
+					endJob(js, rekeyT+t, trace.Str("path", "gpu"),
+						trace.Int("rows", int64(j.r.Len())), trace.Int("dups", int64(len(dups))))
 					continue
 				}
 				// gpuRadixSort touches the host entries only after every
@@ -179,6 +219,7 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 				if cfg.Monitor != nil {
 					cfg.Monitor.RecordFallback("sort", errors.Is(gerr, gpu.ErrInjected))
 				}
+				js.Annotate(trace.Str("gpu-error", gerr.Error()))
 			} else if cfg.Monitor != nil {
 				cfg.Monitor.RecordFallback("sort", errors.Is(err, gpu.ErrInjected))
 			}
@@ -191,8 +232,11 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 		// partition by leading byte and sort bucket-parallel; the modeled
 		// cost charge is per-range, so it is identical at any degree.
 		hostSortRange(entries, j.r, j.depth, src, cfg.Degree)
-		cpuWork += nlogn(j.r.Len()) * float64(src.MaxDepth()-j.depth)
+		hostWork := nlogn(j.r.Len()) * float64(src.MaxDepth()-j.depth)
+		cpuWork += hostWork
 		st.CPUJobs++
+		endJob(js, rekeyT+cfg.Model.CPUTime(hostWork, cfg.Model.CPUSortRate, cfg.Degree),
+			trace.Str("path", "cpu"), trace.Int("rows", int64(j.r.Len())))
 	}
 
 	perm := make([]int32, n)

@@ -14,6 +14,7 @@ import (
 	"blugpu/internal/optimizer"
 	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -26,11 +27,12 @@ type aggPlanItem struct {
 	countIdx int // AVG's COUNT index, -1 otherwise
 }
 
-func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
+	op := f.begin("op", "groupby")
 
 	// Lower plan aggregates to evaluator aggregates.
 	var cols []evaluator.AggColumn
@@ -77,6 +79,8 @@ func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
 		Monitor:  e.mon,
 		Registry: e.registry,
 		Stage:    preGPU,
+		Trace:    op,
+		TraceAt:  f.at(),
 	})
 	if err != nil {
 		return nil, err
@@ -102,22 +106,26 @@ func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
 	var out *groupby.Result
 	detail := ""
 	if decision == optimizer.UseGPU {
-		gout, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f)
+		gout, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f, op)
 		if gerr != nil {
 			// Device full, admission failed, or a GPU operation faulted:
 			// Section 2.1.1's fallback. The query never sees the error.
 			e.mon.RecordFallback("groupby", errors.Is(gerr, gpu.ErrInjected))
+			op.Annotate(trace.Str("fallback", gerr.Error()))
 		} else {
 			out = gout
 			detail = fmt.Sprintf("gpu/%s", out.Stats.Kernel)
 		}
 	}
 	if out == nil {
+		cpuAt := f.at()
 		out, err = groupby.RunCPU(in, e.cfg.Degree, e.model)
 		if err != nil {
 			return nil, err
 		}
 		e.addCPU(f, out.Stats.Modeled)
+		op.Emit("op", "cpu-groupby", cpuAt, out.Stats.Modeled,
+			trace.Int("groups", int64(out.Groups)))
 		detail = fmt.Sprintf("cpu (%s)", reason)
 	}
 
@@ -128,6 +136,7 @@ func (e *Engine) execAggregate(n *plan.Aggregate) (*frame, error) {
 	}
 	finalize := e.model.CPUTime(float64(out.Groups*len(items)), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, finalize)
+	op.End(f.at(), trace.Int("groups", int64(out.Groups)), trace.Str("path", detail))
 	f.tbl = outTbl
 	f.ops = append(f.ops, OpStat{
 		Op:      "groupby",
@@ -152,8 +161,10 @@ const gpuRetryBackoff = 100 * vtime.Microsecond
 // runAggregateGPU places the task on the fleet and runs the device path,
 // retrying once on a different device when an operation faults. Every
 // attempt's reservation is released exactly once, before any retry or
-// fallback runs.
-func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame) (*groupby.Result, error) {
+// fallback runs. Each attempt gets a span under the group-by operator's
+// span op; the reservation is bound to it, so every kernel, transfer and
+// injected fault of the attempt lands on that span in the trace.
+func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame, op trace.Context) (*groupby.Result, error) {
 	if e.sched == nil {
 		return nil, errors.New("engine: no devices")
 	}
@@ -161,13 +172,16 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 	backoff := gpuRetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < maxGPUAttempts; attempt++ {
-		placement, err := e.sched.TryPlaceExcluding(demand, exclude)
+		g := op.Begin("gpu", fmt.Sprintf("gpu-groupby attempt %d", attempt+1), f.at())
+		placement, err := e.sched.TryPlaceExcludingTraced(g, f.at(), demand, exclude)
 		if err != nil {
 			// Busy fleet or the remaining devices' reservations faulted:
 			// waiting briefly is an option (Section 2.1.1); the prototype
 			// falls back to the CPU instead.
+			g.End(f.at(), trace.Str("error", err.Error()))
 			return nil, err
 		}
+		placement.Reservation().BindSpan(g.ID())
 		dev := placement.Device()
 		out, err := groupby.RunGPU(in, placement.Reservation(), e.model, groupby.GPUOptions{
 			Race:   e.cfg.Race,
@@ -182,12 +196,15 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 			e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), demand, dev.TotalMemory())
 			e.addGPU(f, out.Stats.Modeled, demand)
 			e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), 0, dev.TotalMemory())
+			g.End(f.at(), trace.Int("device", int64(dev.ID())),
+				trace.Str("kernel", out.Stats.Kernel))
 			return out, nil
 		}
 		faulted := errors.Is(err, gpu.ErrInjected)
 		if faulted {
 			e.sched.ReportFailure(dev)
 		}
+		g.End(f.at(), trace.Int("device", int64(dev.ID())), trace.Str("error", err.Error()))
 		lastErr = err
 		if attempt+1 < maxGPUAttempts {
 			e.mon.RecordGPURetry("groupby", faulted)
@@ -196,6 +213,7 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 			}
 			exclude[dev.ID()] = true
 			// Backoff is modeled, like everything else in the simulation.
+			op.Emit("gpu", "retry-backoff", f.at(), backoff, trace.Str("cause", err.Error()))
 			f.modeled += backoff
 			backoff *= 2
 		}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/des"
@@ -27,6 +29,7 @@ import (
 	"blugpu/internal/plan"
 	"blugpu/internal/sched"
 	"blugpu/internal/sqlparse"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -54,6 +57,11 @@ type Config struct {
 	// injection. Whatever the injector does, queries never fail: every
 	// GPU error routes to the CPU path.
 	Faults *fault.Injector
+	// Tracer, when set, records a span tree per query: plan operators,
+	// scheduler placement, GPU attempts, per-job sorts, and every device
+	// kernel/transfer/fault. nil disables tracing (the zero-cost default);
+	// SetTracer can attach one later.
+	Tracer *trace.Tracer
 }
 
 // Engine executes SQL over registered columnar tables.
@@ -68,6 +76,14 @@ type Engine struct {
 	stats      map[string]*optimizer.TableStats
 	thresholds optimizer.Thresholds
 	gpuEnabled bool
+
+	// tracer is swappable at runtime (blushell toggles it mid-session);
+	// device sinks read it through the pointer on every event.
+	tracer atomic.Pointer[trace.Tracer]
+	// clockMu guards the engine's virtual clock, which lays consecutive
+	// queries out sequentially on the trace timeline.
+	clockMu sync.Mutex
+	clock   vtime.Time
 }
 
 // New builds an engine. The pinned segment is "registered" here, once,
@@ -102,10 +118,11 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.registry = reg
+	e.tracer.Store(cfg.Tracer)
 	if cfg.Devices > 0 {
 		for i := 0; i < cfg.Devices; i++ {
 			e.devices = append(e.devices, gpu.NewDevice(i, cfg.DeviceSpec,
-				gpu.WithSink(e.mon), gpu.WithModel(cfg.Model), gpu.WithFaults(cfg.Faults)))
+				gpu.WithSink(engineSink{e}), gpu.WithModel(cfg.Model), gpu.WithFaults(cfg.Faults)))
 		}
 		s, err := sched.New(e.devices...)
 		if err != nil {
@@ -147,6 +164,25 @@ func (e *Engine) Stats(name string) *optimizer.TableStats { return e.stats[name]
 
 // Monitor exposes the integrated performance monitor.
 func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
+
+// Tracer returns the attached span tracer, or nil.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer.Load() }
+
+// SetTracer attaches (or, with nil, detaches) a span tracer at runtime.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer.Store(tr) }
+
+// engineSink fans device events out to the performance monitor and, when
+// one is attached, the tracer. The indirection exists because gpu cannot
+// import trace's consumers: the tracer learns about kernels, transfers
+// and faults here, keyed by the span the device operation ran under.
+type engineSink struct{ e *Engine }
+
+func (s engineSink) RecordGPUEvent(ev gpu.Event) {
+	s.e.mon.RecordGPUEvent(ev)
+	if tr := s.e.tracer.Load(); tr != nil {
+		tr.RecordDeviceEvent(ev.Span, ev.Device, ev.Kind.String(), ev.Name, ev.Bytes, ev.Modeled)
+	}
+}
 
 // Devices exposes the GPU fleet (empty when offload is disabled).
 func (e *Engine) Devices() []*gpu.Device { return e.devices }
@@ -202,6 +238,13 @@ type Result struct {
 
 // Query parses, plans and executes one SQL statement.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryNamed("", sql)
+}
+
+// QueryNamed executes sql under an explicit query name. The name labels
+// the query's root span in the trace and its rollup row in the monitor;
+// empty picks an automatic "q<N>" name.
+func (e *Engine) QueryNamed(name, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -210,7 +253,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(p)
+	return e.executeNamed(name, p, sql)
 }
 
 // Explain parses and plans a statement and renders the logical plan plus
@@ -292,8 +335,29 @@ func (e *Engine) explainAggregates(sb *strings.Builder, n plan.Node) {
 
 // Execute runs a lowered plan.
 func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
-	f, err := e.exec(p.Root)
+	return e.executeNamed("", p, "")
+}
+
+// executeNamed runs a lowered plan under a query root span when a tracer
+// is attached. Consecutive queries lay out back to back on the engine's
+// virtual clock, so one trace file holds a whole session.
+func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, error) {
+	var q qctx
+	tr := e.tracer.Load()
+	if tr != nil {
+		e.clockMu.Lock()
+		q.base = e.clock
+		e.clockMu.Unlock()
+		q.tc = tr.StartQuery(name, q.base)
+		if sql != "" {
+			q.tc.Annotate(trace.Str("sql", sql))
+		}
+	}
+	f, err := e.exec(p.Root, q)
 	if err != nil {
+		if q.tc.Enabled() {
+			q.tc.End(q.base, trace.Str("error", err.Error()))
+		}
 		return nil, err
 	}
 	cols := p.Output
@@ -310,6 +374,20 @@ func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
 		Ops:     f.ops,
 		GPUUsed: f.gpuUsed,
 	}
+	if q.tc.Enabled() {
+		gpuAttr := int64(0)
+		if f.gpuUsed {
+			gpuAttr = 1
+		}
+		q.tc.End(f.at(), trace.Int("rows", int64(f.tbl.Rows())), trace.Int("gpu", gpuAttr))
+		e.clockMu.Lock()
+		e.clock = e.clock.Add(f.modeled)
+		e.clockMu.Unlock()
+	}
+	if name == "" {
+		name = "query"
+	}
+	e.mon.RecordQuery(name, f.modeled, f.gpuUsed)
 	// The scheduler's breaker probations expire in virtual time; each
 	// query's modeled duration is what makes that clock move.
 	if e.sched != nil {
@@ -318,13 +396,33 @@ func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
 	return res, nil
 }
 
+// qctx is the per-query trace context threaded through execution: the
+// query's root span plus its start offset on the engine's virtual clock.
+// The zero value (tracer detached) makes every span operation a no-op.
+type qctx struct {
+	tc   trace.Context
+	base vtime.Time
+}
+
 // frame is an intermediate execution state.
 type frame struct {
+	q       qctx
 	tbl     *columnar.Table
 	modeled vtime.Duration
 	phases  []des.Phase
 	ops     []OpStat
 	gpuUsed bool
+}
+
+// at returns the frame's current offset on the trace timeline: the query
+// start plus everything charged so far. Operator spans begin at at(),
+// charge their modeled time, and end at the new at(), which lays children
+// of the query root out sequentially in virtual time.
+func (f *frame) at() vtime.Time { return f.q.base.Add(f.modeled) }
+
+// begin opens an operator span at the frame's current offset.
+func (f *frame) begin(cat, name string) trace.Context {
+	return f.q.tc.Begin(cat, name, f.at())
 }
 
 // addCPU charges host time to the frame as both modeled duration and a

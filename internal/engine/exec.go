@@ -7,39 +7,41 @@ import (
 	"blugpu/internal/expr"
 	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
+	"blugpu/internal/trace"
 )
 
 // exprGrain is the minimum rows per worker for parallel expression
 // evaluation; interpreted Eval calls are heavy enough for small chunks.
 const exprGrain = 512
 
-// exec dispatches one plan node.
-func (e *Engine) exec(n plan.Node) (*frame, error) {
+// exec dispatches one plan node. The query context q rides along so every
+// operator can hang its span off the query root.
+func (e *Engine) exec(n plan.Node, q qctx) (*frame, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
-		return e.execScan(node)
+		return e.execScan(node, q)
 	case *plan.Join:
-		return e.execJoin(node)
+		return e.execJoin(node, q)
 	case *plan.Filter:
-		return e.execFilter(node)
+		return e.execFilter(node, q)
 	case *plan.Derive:
-		return e.execDerive(node)
+		return e.execDerive(node, q)
 	case *plan.Aggregate:
-		return e.execAggregate(node)
+		return e.execAggregate(node, q)
 	case *plan.Window:
-		return e.execWindow(node)
+		return e.execWindow(node, q)
 	case *plan.Project:
-		return e.execProject(node)
+		return e.execProject(node, q)
 	case *plan.Sort:
-		return e.execSort(node)
+		return e.execSort(node, q)
 	case *plan.Limit:
-		return e.execLimit(node)
+		return e.execLimit(node, q)
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", n)
 	}
 }
 
-func (e *Engine) execScan(n *plan.Scan) (*frame, error) {
+func (e *Engine) execScan(n *plan.Scan, q qctx) (*frame, error) {
 	tbl := e.tables[n.Table]
 	if tbl == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", n.Table)
@@ -60,18 +62,21 @@ func (e *Engine) execScan(n *plan.Scan) (*frame, error) {
 			}
 		}
 	}
-	f := &frame{tbl: tbl}
+	f := &frame{q: q, tbl: tbl}
+	sp := f.begin("op", "scan")
 	t := e.model.CPUTime(float64(tbl.Rows()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(f, t)
+	sp.End(f.at(), trace.Str("table", n.Table), trace.Int("rows", int64(tbl.Rows())))
 	f.ops = append(f.ops, OpStat{Op: "scan", Detail: n.Table, Rows: tbl.Rows(), Modeled: t})
 	return f, nil
 }
 
-func (e *Engine) execFilter(n *plan.Filter) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
+	sp := f.begin("op", "filter")
 	sel, err := expr.EvalPredicateDegree(f.tbl, n.Pred, e.cfg.Degree)
 	if err != nil {
 		return nil, err
@@ -81,16 +86,18 @@ func (e *Engine) execFilter(n *plan.Filter) (*frame, error) {
 	t := e.model.CPUTime(float64(f.tbl.Rows()), e.model.CPUExprRate, e.cfg.Degree) +
 		e.model.CPUTime(float64(len(rows)*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(f, t)
+	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
 	f.ops = append(f.ops, OpStat{Op: "filter", Detail: n.Pred.String(), Rows: out.Rows(), Modeled: t})
 	return f, nil
 }
 
-func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
-	left, err := e.exec(n.Left)
+func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
+	left, err := e.exec(n.Left, q)
 	if err != nil {
 		return nil, err
 	}
+	sp := left.begin("op", "join")
 	right := e.tables[n.Table]
 	if right == nil {
 		return nil, fmt.Errorf("engine: unknown join table %q", n.Table)
@@ -189,6 +196,7 @@ func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
 		e.model.CPUTime(float64(probeKeys.Len()), e.model.CPUHashProbeRate, e.cfg.Degree) +
 		e.model.CPUTime(float64(out.Rows()*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(left, t)
+	sp.End(left.at(), trace.Str("table", n.Table), trace.Int("rows", int64(out.Rows())))
 	left.tbl = out
 	left.ops = append(left.ops, OpStat{
 		Op: "join", Detail: fmt.Sprintf("%s on %s=%s", n.Table, lcol, rcol),
@@ -197,11 +205,12 @@ func (e *Engine) execJoin(n *plan.Join) (*frame, error) {
 	return left, nil
 }
 
-func (e *Engine) execDerive(n *plan.Derive) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
+	sp := f.begin("op", "derive")
 	cols := append([]columnar.Column{}, f.tbl.Columns()...)
 	for _, dc := range n.Cols {
 		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr, e.cfg.Degree)
@@ -216,16 +225,18 @@ func (e *Engine) execDerive(n *plan.Derive) (*frame, error) {
 	}
 	t := e.model.CPUTime(float64(f.tbl.Rows()*len(n.Cols)), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, t)
+	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
 	f.ops = append(f.ops, OpStat{Op: "derive", Rows: out.Rows(), Modeled: t})
 	return f, nil
 }
 
-func (e *Engine) execProject(n *plan.Project) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
+	sp := f.begin("op", "project")
 	cols := make([]columnar.Column, len(n.Cols))
 	exprWork := 0
 	for i, dc := range n.Cols {
@@ -251,13 +262,14 @@ func (e *Engine) execProject(n *plan.Project) (*frame, error) {
 	}
 	t := e.model.CPUTime(float64(exprWork), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, t)
+	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
 	f.ops = append(f.ops, OpStat{Op: "project", Rows: out.Rows(), Modeled: t})
 	return f, nil
 }
 
-func (e *Engine) execLimit(n *plan.Limit) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execLimit(n *plan.Limit, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}

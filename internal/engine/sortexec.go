@@ -7,6 +7,7 @@ import (
 	"blugpu/internal/columnar"
 	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
+	"blugpu/internal/trace"
 )
 
 // encodeSortKeys builds fixed-width binary-sortable keys for the rows of
@@ -73,8 +74,9 @@ func encodeSortKeys(tbl *columnar.Table, keys []plan.SortKey, degree int) ([][]b
 }
 
 // hybridSort sorts tbl's rows by keys through the hybrid job-queue sort
-// and returns the permutation plus the sort stats.
-func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame) ([]int32, bsort.Stats, error) {
+// and returns the permutation plus the sort stats. op is the operator
+// span the per-job sort spans hang off.
+func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame, op trace.Context) ([]int32, bsort.Stats, error) {
 	encoded, err := encodeSortKeys(tbl, keys, e.cfg.Degree)
 	if err != nil {
 		return nil, bsort.Stats{}, err
@@ -96,6 +98,8 @@ func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame) 
 		GPUThreshold: e.cfg.GPUSortThreshold,
 		Pinned:       pinned,
 		Monitor:      e.mon,
+		Trace:        op,
+		TraceBase:    f.at(),
 	}
 	threshold := cfg.GPUThreshold
 	if threshold <= 0 {
@@ -118,16 +122,19 @@ func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame) 
 	return perm, stats, nil
 }
 
-func (e *Engine) execSort(n *plan.Sort) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execSort(n *plan.Sort, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
 	if f.tbl.Rows() > 1 {
-		perm, stats, err := e.hybridSort(f.tbl, n.Keys, f)
+		sp := f.begin("op", "sort")
+		perm, stats, err := e.hybridSort(f.tbl, n.Keys, f, sp)
 		if err != nil {
 			return nil, err
 		}
+		sp.End(f.at(), trace.Int("rows", int64(f.tbl.Rows())),
+			trace.Int("jobs", int64(stats.Jobs)), trace.Int("gpu-jobs", int64(stats.GPUJobs)))
 		f.tbl = columnar.GatherTableDegree(f.tbl.Name()+"_s", f.tbl, perm, e.cfg.Degree)
 		f.ops = append(f.ops, OpStat{
 			Op:      "sort",
@@ -139,8 +146,8 @@ func (e *Engine) execSort(n *plan.Sort) (*frame, error) {
 	return f, nil
 }
 
-func (e *Engine) execWindow(n *plan.Window) (*frame, error) {
-	f, err := e.exec(n.Input)
+func (e *Engine) execWindow(n *plan.Window, q qctx) (*frame, error) {
+	f, err := e.exec(n.Input, q)
 	if err != nil {
 		return nil, err
 	}
@@ -154,10 +161,12 @@ func (e *Engine) execWindow(n *plan.Window) (*frame, error) {
 			keys = append(keys, plan.SortKey{Column: p})
 		}
 		keys = append(keys, n.OrderBy...)
-		perm, stats, err := e.hybridSort(tbl, keys, f)
+		sp := f.begin("op", "window-sort")
+		perm, stats, err := e.hybridSort(tbl, keys, f, sp)
 		if err != nil {
 			return nil, err
 		}
+		sp.End(f.at(), trace.Int("rows", int64(tbl.Rows())))
 		f.ops = append(f.ops, OpStat{
 			Op:      "window-sort",
 			Detail:  fmt.Sprintf("rank over %d rows", tbl.Rows()),

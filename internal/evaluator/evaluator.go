@@ -22,6 +22,7 @@ import (
 	"blugpu/internal/monitor"
 	"blugpu/internal/murmur"
 	"blugpu/internal/parallel"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -60,6 +61,12 @@ type Deps struct {
 	// staging happens and no MEMCPY time is charged. The optimizer picks
 	// the chain up front from its estimates.
 	Stage bool
+	// Trace is the parent span for per-evaluator stage spans
+	// (LCOG/CCAT/LCOV/HASH/MEMCPY); the zero value disables them.
+	Trace trace.Context
+	// TraceAt is the virtual-time offset the chain starts at; stage spans
+	// lay out sequentially from here.
+	TraceAt vtime.Time
 }
 
 // KeyField describes how one grouping column is packed into the key.
@@ -110,9 +117,14 @@ func BuildInput(tbl *columnar.Table, sel *columnar.Bitmap, spec Spec, deps Deps)
 
 	rows := selectedRows(tbl, sel, deps.Degree)
 	n := len(rows)
+	at := deps.TraceAt
 	record := func(name string, nrows int64, d vtime.Duration) {
 		if deps.Monitor != nil {
 			deps.Monitor.RecordEvaluator(name, nrows, d)
+		}
+		if deps.Trace.Enabled() {
+			deps.Trace.Emit("eval", name, at, d, trace.Int("rows", nrows))
+			at = at.Add(d)
 		}
 	}
 

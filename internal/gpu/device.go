@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"blugpu/internal/fault"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -76,6 +77,11 @@ type Event struct {
 	Name    string
 	Bytes   int64
 	Modeled vtime.Duration
+	// Span is the tracer span the operation runs under, 0 when the
+	// caller is untraced. Kernels carry the span passed to
+	// RunKernelSpan; transfers and faults inherit the span bound to the
+	// reservation their buffer came from.
+	Span trace.SpanID
 }
 
 // EventSink receives device events. The engine's performance monitor

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"blugpu/internal/fault"
+	"blugpu/internal/trace"
 )
 
 // ErrInjected marks an error as caused by fault injection (or simulated
@@ -31,17 +32,17 @@ var ErrKernelFault = errors.New("gpu: kernel fault")
 func (d *Device) Alive() bool { return !d.inj.Dead(d.id) }
 
 // injectFault consults the injector at site and, when a fault fires,
-// emits an EventFault and returns the site-appropriate error (always
-// wrapping ErrInjected). It returns nil when no fault fires.
+// emits an EventFault under sp and returns the site-appropriate error
+// (always wrapping ErrInjected). It returns nil when no fault fires.
 //
 // Sites are placed so that a fault leaves all host-visible state
 // untouched: reservations fail before accounting, transfers before the
 // copy, kernels before the body runs.
-func (d *Device) injectFault(site fault.Site) error {
+func (d *Device) injectFault(site fault.Site, sp trace.SpanID) error {
 	if !d.inj.Fail(site, d.id) {
 		return nil
 	}
-	d.emit(Event{Kind: EventFault, Name: site.String()})
+	d.emit(Event{Kind: EventFault, Name: site.String(), Span: sp})
 	var base error
 	switch site {
 	case fault.Reserve:

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"blugpu/internal/fault"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -126,6 +127,14 @@ type KernelResult struct {
 //
 // cancel may be nil for non-raced kernels.
 func (d *Device) RunKernel(name string, cancel *Cancel, body func(g *Grid) (vtime.Duration, error)) KernelResult {
+	return d.RunKernelSpan(name, 0, cancel, body)
+}
+
+// RunKernelSpan is RunKernel with the caller's tracer span attached:
+// the kernel event (and any injected kernel fault) is reported under
+// sp, so the tracer can attribute device time to the query operator
+// that launched the kernel. sp 0 means untraced.
+func (d *Device) RunKernelSpan(name string, sp trace.SpanID, cancel *Cancel, body func(g *Grid) (vtime.Duration, error)) KernelResult {
 	d.mu.Lock()
 	d.outstanding++
 	d.mu.Unlock()
@@ -136,7 +145,7 @@ func (d *Device) RunKernel(name string, cancel *Cancel, body func(g *Grid) (vtim
 		d.mu.Unlock()
 	}()
 
-	if err := d.injectFault(fault.Kernel); err != nil {
+	if err := d.injectFault(fault.Kernel, sp); err != nil {
 		return KernelResult{Name: name, Err: err}
 	}
 
@@ -147,7 +156,7 @@ func (d *Device) RunKernel(name string, cancel *Cancel, body func(g *Grid) (vtim
 	}
 	modeled += d.modelRef().GPUKernelLaunch
 	if err == nil {
-		d.emit(Event{Kind: EventKernel, Name: name, Modeled: modeled})
+		d.emit(Event{Kind: EventKernel, Name: name, Modeled: modeled, Span: sp})
 	}
 	return KernelResult{Name: name, Modeled: modeled, Err: err}
 }

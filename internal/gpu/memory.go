@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"blugpu/internal/fault"
+	"blugpu/internal/trace"
 )
 
 // ErrOutOfMemory is returned when a reservation or allocation exceeds the
@@ -24,29 +25,50 @@ type Reservation struct {
 	used     int64
 	buffers  []*Buffer
 	released bool
+	span     atomic.Uint64 // trace.SpanID attribution for buffer ops
 }
 
 // Reserve claims n bytes of device memory up front. It fails fast with
 // ErrOutOfMemory when the device cannot satisfy the claim.
 func (d *Device) Reserve(n int64) (*Reservation, error) {
+	return d.ReserveSpan(n, 0)
+}
+
+// ReserveSpan is Reserve with the caller's tracer span attached: the
+// reserve event (and any injected reservation fault) is reported under
+// sp, and the reservation starts bound to sp — transfers through its
+// buffers inherit the span until BindSpan rebinds it. sp 0 means
+// untraced.
+func (d *Device) ReserveSpan(n int64, sp trace.SpanID) (*Reservation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gpu: invalid reservation size %d", n)
 	}
-	if err := d.injectFault(fault.Reserve); err != nil {
-		d.emit(Event{Kind: EventReserveFail, Bytes: n})
+	if err := d.injectFault(fault.Reserve, sp); err != nil {
+		d.emit(Event{Kind: EventReserveFail, Bytes: n, Span: sp})
 		return nil, err
 	}
 	d.mu.Lock()
 	if d.memUsed+n > d.spec.DeviceMemory {
 		d.mu.Unlock()
-		d.emit(Event{Kind: EventReserveFail, Bytes: n})
+		d.emit(Event{Kind: EventReserveFail, Bytes: n, Span: sp})
 		return nil, ErrOutOfMemory
 	}
 	d.memUsed += n
 	d.mu.Unlock()
-	d.emit(Event{Kind: EventReserve, Bytes: n})
-	return &Reservation{dev: d, total: n}, nil
+	d.emit(Event{Kind: EventReserve, Bytes: n, Span: sp})
+	r := &Reservation{dev: d, total: n}
+	r.span.Store(uint64(sp))
+	return r, nil
 }
+
+// BindSpan rebinds the reservation (and every buffer allocated from it)
+// to a tracer span. The scheduler reserves under its placement span;
+// the owner then rebinds to the span doing the actual compute so kernel
+// and transfer events attribute to it.
+func (r *Reservation) BindSpan(sp trace.SpanID) { r.span.Store(uint64(sp)) }
+
+// Span returns the reservation's current trace binding, 0 if untraced.
+func (r *Reservation) Span() trace.SpanID { return trace.SpanID(r.span.Load()) }
 
 // Size returns the reserved byte count.
 func (r *Reservation) Size() int64 { return r.total }
@@ -107,6 +129,15 @@ type Buffer struct {
 // Words exposes the device words to kernel code. Host code must not touch
 // this; use the transfer engine.
 func (b *Buffer) Words() []uint64 { return b.words }
+
+// Span returns the trace span bound to the buffer's reservation, 0 if
+// untraced or reservation-less.
+func (b *Buffer) Span() trace.SpanID {
+	if b.res == nil {
+		return 0
+	}
+	return b.res.Span()
+}
 
 // Len returns the buffer length in words.
 func (b *Buffer) Len() int { return len(b.words) }

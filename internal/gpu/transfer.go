@@ -26,7 +26,8 @@ func (d *Device) CopyToDevice(dst *Buffer, src []uint64, pinned bool) (vtime.Dur
 	if len(src) > dst.Len() {
 		return 0, fmt.Errorf("gpu: h2d copy of %d words into %d-word buffer", len(src), dst.Len())
 	}
-	if err := d.injectFault(fault.H2D); err != nil {
+	sp := dst.Span()
+	if err := d.injectFault(fault.H2D, sp); err != nil {
 		return 0, err
 	}
 	copy(dst.words, src)
@@ -35,7 +36,7 @@ func (d *Device) CopyToDevice(dst *Buffer, src []uint64, pinned bool) (vtime.Dur
 	d.mu.Lock()
 	d.transfers++
 	d.mu.Unlock()
-	d.emit(Event{Kind: EventTransferH2D, Bytes: bytes, Modeled: t})
+	d.emit(Event{Kind: EventTransferH2D, Bytes: bytes, Modeled: t, Span: sp})
 	return t, nil
 }
 
@@ -46,7 +47,8 @@ func (d *Device) CopyFromDevice(dst []uint64, src *Buffer, pinned bool) (vtime.D
 	if n > src.Len() {
 		n = src.Len()
 	}
-	if err := d.injectFault(fault.D2H); err != nil {
+	sp := src.Span()
+	if err := d.injectFault(fault.D2H, sp); err != nil {
 		return 0, err
 	}
 	copy(dst[:n], src.words[:n])
@@ -55,7 +57,7 @@ func (d *Device) CopyFromDevice(dst []uint64, src *Buffer, pinned bool) (vtime.D
 	d.mu.Lock()
 	d.transfers++
 	d.mu.Unlock()
-	d.emit(Event{Kind: EventTransferD2H, Bytes: bytes, Modeled: t})
+	d.emit(Event{Kind: EventTransferD2H, Bytes: bytes, Modeled: t, Span: sp})
 	return t, nil
 }
 

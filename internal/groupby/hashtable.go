@@ -132,7 +132,7 @@ func newDeviceTable(res *gpu.Reservation, in *Input, slots int, model *vtime.Cos
 	mask := Mask(in)
 	words := buf.Words()
 	dev := res.Device()
-	kr := dev.RunKernel("ht_init_mask", nil, func(g *gpu.Grid) (vtime.Duration, error) {
+	kr := dev.RunKernelSpan("ht_init_mask", buf.Span(), nil, func(g *gpu.Grid) (vtime.Duration, error) {
 		err := g.ParallelFor(slots, func(lo, hi int) {
 			for s := lo; s < hi; s++ {
 				copy(words[s*entryWords:(s+1)*entryWords], mask)

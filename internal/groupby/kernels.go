@@ -121,7 +121,7 @@ func plainAgg(t *deviceTable, slot, a int, spec AggSpec, payload uint64) {
 func runKernel1(in *Input, t *deviceTable, dev *gpu.Device, model *vtime.CostModel, cancel *gpu.Cancel) (vtime.Duration, int, error) {
 	st := &kernelStats{}
 	groups := 0
-	kr := dev.RunKernel("groupby_k1", cancel, func(g *gpu.Grid) (vtime.Duration, error) {
+	kr := dev.RunKernelSpan("groupby_k1", t.buf.Span(), cancel, func(g *gpu.Grid) (vtime.Duration, error) {
 		var err error
 		if in.Wide() {
 			keyWords := in.KeyWords()
@@ -220,7 +220,7 @@ func runKernel2(in *Input, t *deviceTable, dev *gpu.Device, model *vtime.CostMod
 	mask := Mask(in)
 
 	groups := 0
-	kr := dev.RunKernel("groupby_k2_shared", cancel, func(g *gpu.Grid) (vtime.Duration, error) {
+	kr := dev.RunKernelSpan("groupby_k2_shared", t.buf.Span(), cancel, func(g *gpu.Grid) (vtime.Duration, error) {
 		chunk := (in.NumRows + smx - 1) / smx
 		err := g.ForEachSMX(func(s int) {
 			lo := s * chunk
@@ -344,7 +344,7 @@ func mergeAtomic(t *deviceTable, slot, a int, spec AggSpec, partial uint64) {
 func runKernel3(in *Input, t *deviceTable, dev *gpu.Device, model *vtime.CostModel, cancel *gpu.Cancel) (vtime.Duration, int, error) {
 	st := &kernelStats{}
 	groups := 0
-	kr := dev.RunKernel("groupby_k3_rowlock", cancel, func(g *gpu.Grid) (vtime.Duration, error) {
+	kr := dev.RunKernelSpan("groupby_k3_rowlock", t.buf.Span(), cancel, func(g *gpu.Grid) (vtime.Duration, error) {
 		var err error
 		if in.Wide() {
 			keyWords := in.KeyWords()

@@ -6,8 +6,9 @@
 // own monitoring, folded into the engine's existing monitor. This package
 // plays that role: it is the gpu.EventSink for every device, aggregates
 // kernel and transfer timings by name, tracks evaluator timings on the
-// host side, and samples device-memory utilization over virtual time (the
-// series behind Figure 9).
+// host side, keeps log-scale latency histograms (p50/p95/p99 per kernel,
+// per evaluator and per query), and samples device-memory utilization
+// over virtual time (the series behind Figure 9).
 package monitor
 
 import (
@@ -26,6 +27,8 @@ type KernelStats struct {
 	Count uint64
 	Total vtime.Duration
 	Max   vtime.Duration
+	// P50/P95/P99 are log-scale-histogram latency quantiles.
+	P50, P95, P99 vtime.Duration
 }
 
 // TransferStats aggregates one transfer direction.
@@ -35,12 +38,35 @@ type TransferStats struct {
 	Total vtime.Duration
 }
 
+// Throughput returns bytes per virtual-time second, 0 when no time was
+// spent.
+func (t TransferStats) Throughput() float64 {
+	if t.Total <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.Total.Seconds()
+}
+
 // EvalStats aggregates one host-side evaluator (LCOG, HASH, MEMCPY, ...).
 type EvalStats struct {
-	Name  string
-	Count uint64
-	Rows  int64
-	Total vtime.Duration
+	Name          string
+	Count         uint64
+	Rows          int64
+	Total         vtime.Duration
+	Max           vtime.Duration
+	P50, P95, P99 vtime.Duration
+}
+
+// QueryStats is the per-query rollup: every execution recorded under
+// one query name (workload id or auto-assigned q<N>).
+type QueryStats struct {
+	Name          string
+	Count         uint64
+	Total         vtime.Duration
+	Max           vtime.Duration
+	P50, P95, P99 vtime.Duration
+	// GPURuns counts the executions that took a device path.
+	GPURuns uint64
 }
 
 // MemSample is one point of the device-memory utilization series.
@@ -50,24 +76,57 @@ type MemSample struct {
 	Total int64
 }
 
+// MaxMemSamples bounds the per-device memory series. When the cap is
+// hit the series is stride-downsampled: every second retained sample is
+// dropped and the recording stride doubles, so a run of any length
+// keeps an evenly spread series of at most MaxMemSamples points.
+const MaxMemSamples = 2048
+
+// memSeries is the bounded per-device sample store.
+type memSeries struct {
+	samples []MemSample
+	stride  int // record every stride-th offered sample
+	seen    int // samples offered since the last stride change
+}
+
+type kernelAgg struct {
+	name string
+	hist Hist
+}
+
+type evalAgg struct {
+	name string
+	rows int64
+	hist Hist
+}
+
+type queryAgg struct {
+	name    string
+	hist    Hist
+	gpuRuns uint64
+}
+
 // Monitor collects all performance telemetry. Safe for concurrent use.
 type Monitor struct {
 	mu           sync.Mutex
-	kernels      map[string]*KernelStats
+	kernels      map[string]*kernelAgg
 	h2d, d2h     TransferStats
-	evals        map[string]*EvalStats
+	evals        map[string]*evalAgg
+	queries      map[string]*queryAgg
+	queryOrder   []string
 	reserves     uint64
 	reserveFails uint64
-	memSamples   map[int][]MemSample
+	memSamples   map[int]*memSeries
 	degrade      degradeState
 }
 
 // New returns an empty monitor.
 func New() *Monitor {
 	return &Monitor{
-		kernels:    make(map[string]*KernelStats),
-		evals:      make(map[string]*EvalStats),
-		memSamples: make(map[int][]MemSample),
+		kernels:    make(map[string]*kernelAgg),
+		evals:      make(map[string]*evalAgg),
+		queries:    make(map[string]*queryAgg),
+		memSamples: make(map[int]*memSeries),
 		degrade:    newDegradeState(),
 	}
 }
@@ -80,14 +139,10 @@ func (m *Monitor) RecordGPUEvent(e gpu.Event) {
 	case gpu.EventKernel:
 		ks := m.kernels[e.Name]
 		if ks == nil {
-			ks = &KernelStats{Name: e.Name}
+			ks = &kernelAgg{name: e.Name}
 			m.kernels[e.Name] = ks
 		}
-		ks.Count++
-		ks.Total += e.Modeled
-		if e.Modeled > ks.Max {
-			ks.Max = e.Modeled
-		}
+		ks.hist.Observe(e.Modeled)
 	case gpu.EventTransferH2D:
 		m.h2d.Count++
 		m.h2d.Bytes += e.Bytes
@@ -111,19 +166,62 @@ func (m *Monitor) RecordEvaluator(name string, rows int64, d vtime.Duration) {
 	defer m.mu.Unlock()
 	es := m.evals[name]
 	if es == nil {
-		es = &EvalStats{Name: name}
+		es = &evalAgg{name: name}
 		m.evals[name] = es
 	}
-	es.Count++
-	es.Rows += rows
-	es.Total += d
+	es.rows += rows
+	es.hist.Observe(d)
 }
 
-// RecordMemSample appends one device-memory utilization sample.
+// RecordQuery accumulates one completed query execution under name.
+func (m *Monitor) RecordQuery(name string, modeled vtime.Duration, gpuUsed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	qs := m.queries[name]
+	if qs == nil {
+		qs = &queryAgg{name: name}
+		m.queries[name] = qs
+		m.queryOrder = append(m.queryOrder, name)
+	}
+	qs.hist.Observe(modeled)
+	if gpuUsed {
+		qs.gpuRuns++
+	}
+}
+
+// RecordMemSample appends one device-memory utilization sample, subject
+// to the MaxMemSamples stride-downsampling cap.
 func (m *Monitor) RecordMemSample(device int, at vtime.Time, used, total int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.memSamples[device] = append(m.memSamples[device], MemSample{At: at, Used: used, Total: total})
+	ms := m.memSamples[device]
+	if ms == nil {
+		ms = &memSeries{stride: 1}
+		m.memSamples[device] = ms
+	}
+	ms.seen++
+	if (ms.seen-1)%ms.stride != 0 {
+		return
+	}
+	ms.samples = append(ms.samples, MemSample{At: at, Used: used, Total: total})
+	if len(ms.samples) >= MaxMemSamples {
+		// Compact: keep every second sample, double the stride.
+		half := len(ms.samples) / 2
+		for i := 0; i < half; i++ {
+			ms.samples[i] = ms.samples[2*i]
+		}
+		ms.samples = ms.samples[:half]
+		ms.stride *= 2
+		ms.seen = 0
+	}
+}
+
+func kernelSnapshot(a *kernelAgg) KernelStats {
+	p50, p95, p99 := a.hist.Quantiles()
+	return KernelStats{
+		Name: a.name, Count: a.hist.Count(), Total: a.hist.Total(),
+		Max: a.hist.Max(), P50: p50, P95: p95, P99: p99,
+	}
 }
 
 // Kernels returns aggregated kernel stats sorted by total time descending.
@@ -132,7 +230,7 @@ func (m *Monitor) Kernels() []KernelStats {
 	defer m.mu.Unlock()
 	out := make([]KernelStats, 0, len(m.kernels))
 	for _, ks := range m.kernels {
-		out = append(out, *ks)
+		out = append(out, kernelSnapshot(ks))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
 	return out
@@ -145,9 +243,29 @@ func (m *Monitor) Evaluators() []EvalStats {
 	defer m.mu.Unlock()
 	out := make([]EvalStats, 0, len(m.evals))
 	for _, es := range m.evals {
-		out = append(out, *es)
+		p50, p95, p99 := es.hist.Quantiles()
+		out = append(out, EvalStats{
+			Name: es.name, Count: es.hist.Count(), Rows: es.rows,
+			Total: es.hist.Total(), Max: es.hist.Max(), P50: p50, P95: p95, P99: p99,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Queries returns per-query rollups in first-seen order.
+func (m *Monitor) Queries() []QueryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QueryStats, 0, len(m.queryOrder))
+	for _, name := range m.queryOrder {
+		qs := m.queries[name]
+		p50, p95, p99 := qs.hist.Quantiles()
+		out = append(out, QueryStats{
+			Name: qs.name, Count: qs.hist.Count(), Total: qs.hist.Total(),
+			Max: qs.hist.Max(), P50: p50, P95: p95, P99: p99, GPURuns: qs.gpuRuns,
+		})
+	}
 	return out
 }
 
@@ -170,9 +288,12 @@ func (m *Monitor) ReserveCounts() (uint64, uint64) {
 func (m *Monitor) MemSeries(device int) []MemSample {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.memSamples[device]
-	out := make([]MemSample, len(s))
-	copy(out, s)
+	ms := m.memSamples[device]
+	if ms == nil {
+		return nil
+	}
+	out := make([]MemSample, len(ms.samples))
+	copy(out, ms.samples)
 	return out
 }
 
@@ -192,11 +313,13 @@ func (m *Monitor) Devices() []int {
 func (m *Monitor) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.kernels = make(map[string]*KernelStats)
-	m.evals = make(map[string]*EvalStats)
+	m.kernels = make(map[string]*kernelAgg)
+	m.evals = make(map[string]*evalAgg)
+	m.queries = make(map[string]*queryAgg)
+	m.queryOrder = nil
 	m.h2d, m.d2h = TransferStats{}, TransferStats{}
 	m.reserves, m.reserveFails = 0, 0
-	m.memSamples = make(map[int][]MemSample)
+	m.memSamples = make(map[int]*memSeries)
 	m.degrade = newDegradeState()
 }
 
@@ -205,6 +328,7 @@ func (m *Monitor) Reset() {
 func (m *Monitor) Report(w io.Writer) {
 	kernels := m.Kernels()
 	evals := m.Evaluators()
+	queries := m.Queries()
 	h2d, d2h := m.Transfers()
 	ok, fail := m.ReserveCounts()
 
@@ -215,17 +339,41 @@ func (m *Monitor) Report(w io.Writer) {
 		if k.Count > 0 {
 			avg = k.Total / vtime.Duration(float64(k.Count))
 		}
-		fmt.Fprintf(w, "  %-24s calls=%-6d total=%-12s avg=%-12s max=%s\n",
-			k.Name, k.Count, k.Total, avg, k.Max)
+		fmt.Fprintf(w, "  %-24s calls=%-6d total=%-12s avg=%-12s p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+			k.Name, k.Count, k.Total, avg, k.P50, k.P95, k.P99, k.Max)
+	}
+	writeDir := func(label string, t TransferStats) {
+		fmt.Fprintf(w, "  %s: %d copies, %.1f MB, %s (%.1f MB/s)\n",
+			label, t.Count, float64(t.Bytes)/(1<<20), t.Total, t.Throughput()/(1<<20))
 	}
 	fmt.Fprintf(w, "transfers:\n")
-	fmt.Fprintf(w, "  h2d: %d copies, %.1f MB, %s\n", h2d.Count, float64(h2d.Bytes)/(1<<20), h2d.Total)
-	fmt.Fprintf(w, "  d2h: %d copies, %.1f MB, %s\n", d2h.Count, float64(d2h.Bytes)/(1<<20), d2h.Total)
+	writeDir("h2d", h2d)
+	writeDir("d2h", d2h)
 	fmt.Fprintf(w, "reservations: %d ok, %d failed\n", ok, fail)
+	// Degraded-op counts live in the main table; the robustness section
+	// below adds per-op detail only when something actually degraded.
+	var retryN, fbN uint64
+	for _, ds := range m.Retries() {
+		retryN += ds.Count
+	}
+	for _, ds := range m.Fallbacks() {
+		fbN += ds.Count
+	}
+	trips, _ := m.BreakerCounts()
+	fmt.Fprintf(w, "degraded ops: retries=%d cpu-fallbacks=%d faults=%d breaker-trips=%d\n",
+		retryN, fbN, m.FaultTotal(), trips)
 	if len(evals) > 0 {
 		fmt.Fprintf(w, "evaluators:\n")
 		for _, e := range evals {
-			fmt.Fprintf(w, "  %-24s calls=%-6d rows=%-12d total=%s\n", e.Name, e.Count, e.Rows, e.Total)
+			fmt.Fprintf(w, "  %-24s calls=%-6d rows=%-12d total=%-12s p50=%-10s p95=%-10s p99=%s\n",
+				e.Name, e.Count, e.Rows, e.Total, e.P50, e.P95, e.P99)
+		}
+	}
+	if len(queries) > 0 {
+		fmt.Fprintf(w, "queries:\n")
+		for _, q := range queries {
+			fmt.Fprintf(w, "  %-24s runs=%-5d gpu=%-5d total=%-12s p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+				q.Name, q.Count, q.GPURuns, q.Total, q.P50, q.P95, q.P99, q.Max)
 		}
 	}
 	if devs := m.Devices(); len(devs) > 0 {

@@ -124,8 +124,8 @@ func TestConcurrentRecording(t *testing.T) {
 	if ks := m.Kernels(); ks[0].Count != 8000 {
 		t.Errorf("kernel count = %d, want 8000", ks[0].Count)
 	}
-	if len(m.MemSeries(0)) != 8000 {
-		t.Errorf("mem samples = %d, want 8000", len(m.MemSeries(0)))
+	if n := len(m.MemSeries(0)); n == 0 || n > MaxMemSamples {
+		t.Errorf("mem samples = %d, want in (0, %d]", n, MaxMemSamples)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"blugpu/internal/gpu"
+	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
 
@@ -292,7 +293,35 @@ func (s *Scheduler) TryPlaceExcluding(memNeed int64, exclude map[int]bool) (*Pla
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tryPlaceLocked(memNeed, exclude)
+	return s.tryPlaceLocked(memNeed, exclude, trace.Context{})
+}
+
+// TryPlaceTraced is TryPlace recorded as a placement span: a "place"
+// child of tc at virtual time at, annotated with the demand, the chosen
+// device or terminal error, every breaker-quarantine skip, and — via
+// the reservation's bound span — any injected reservation fault.
+func (s *Scheduler) TryPlaceTraced(tc trace.Context, at vtime.Time, memNeed int64) (*Placement, error) {
+	return s.TryPlaceExcludingTraced(tc, at, memNeed, nil)
+}
+
+// TryPlaceExcludingTraced is TryPlaceExcluding recorded as a placement
+// span (see TryPlaceTraced).
+func (s *Scheduler) TryPlaceExcludingTraced(tc trace.Context, at vtime.Time, memNeed int64, exclude map[int]bool) (*Placement, error) {
+	if memNeed <= 0 {
+		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
+	}
+	child := tc.Begin("sched", "place", at)
+	s.mu.Lock()
+	p, err := s.tryPlaceLocked(memNeed, exclude, child)
+	s.mu.Unlock()
+	attrs := []trace.Attr{trace.Int("demand_bytes", memNeed)}
+	if err != nil {
+		attrs = append(attrs, trace.Str("error", err.Error()))
+	} else {
+		attrs = append(attrs, trace.Int("device", int64(p.Device().ID())))
+	}
+	child.End(at, attrs...)
+	return p, err
 }
 
 // tryPlaceLocked ranks every eligible device that can take the demand
@@ -300,7 +329,11 @@ func (s *Scheduler) TryPlaceExcluding(memNeed int64, exclude map[int]bool) (*Pla
 // fails (lost a race with a direct reservation, or faulted) does not
 // give up the placement while other candidates remain. The terminal
 // error wraps the last reservation failure so callers can classify it.
-func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool) (*Placement, error) {
+//
+// tc, when enabled, is the placement span: reservations run under its
+// id (attributing reserve faults to it) and quarantine skips become
+// attributes on it.
+func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool, tc trace.Context) (*Placement, error) {
 	type candidate struct {
 		idx  int
 		jobs int
@@ -312,7 +345,14 @@ func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool) (*Placem
 		if memNeed <= d.TotalMemory() {
 			fitsAnywhere = true
 		}
-		if exclude[d.ID()] || !s.eligibleLocked(i) {
+		if exclude[d.ID()] {
+			continue
+		}
+		if !s.eligibleLocked(i) {
+			if tc.Enabled() {
+				tc.Annotate(trace.Str("quarantined",
+					fmt.Sprintf("gpu%d reopen@%.6fs", d.ID(), float64(s.health[i].reopenAt))))
+			}
 			continue
 		}
 		free := d.FreeMemory()
@@ -340,7 +380,7 @@ func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool) (*Placem
 	})
 	var lastErr error
 	for n, c := range cands {
-		res, err := s.devices[c.idx].Reserve(memNeed)
+		res, err := s.devices[c.idx].ReserveSpan(memNeed, tc.ID())
 		if err == nil {
 			return &Placement{sched: s, res: res}, nil
 		}
@@ -394,7 +434,7 @@ func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, e
 				return nil, err
 			}
 		}
-		p, err := s.tryPlaceLocked(memNeed, nil)
+		p, err := s.tryPlaceLocked(memNeed, nil, trace.Context{})
 		if err == nil {
 			return p, nil
 		}
