@@ -6,9 +6,9 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/evaluator ./internal/bsort ./internal/engine \
                 ./internal/sched ./internal/fault ./internal/trace \
-                ./internal/monitor
+                ./internal/monitor ./internal/metrics
 
-.PHONY: build vet test race bench check trace-smoke
+.PHONY: build vet test race bench check trace-smoke metrics-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -32,4 +32,16 @@ trace-smoke:
 	$(GO) run ./cmd/blubench -sf 0.004 -trace /tmp/blu-trace-smoke.json fig5 > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/blu-trace-smoke.json
 
-check: vet test race trace-smoke
+# End-to-end metrics smoke: boot bluserve, warm it up, scrape every admin
+# endpoint against the live server and validate the exposition syntax.
+# sf=0.02 is the smallest scale where the optimizer routes work to the
+# GPU, so the scrape covers the kernel/transfer/scheduler families.
+metrics-smoke:
+	$(GO) run ./cmd/bluserve -sf 0.02 -smoke
+
+# Perf-regression gate: run the benchdiff suite and compare the modeled
+# (deterministic) timings against the committed BENCH_0.json baseline.
+bench-gate:
+	$(GO) run ./cmd/benchdiff -out /tmp/blu-bench-current.json
+
+check: vet test race trace-smoke metrics-smoke bench-gate

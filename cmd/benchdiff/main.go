@@ -1,0 +1,119 @@
+// Command benchdiff is the perf-regression gate: it runs the benchdiff
+// experiment suite, writes the result as a BENCH_<n>.json snapshot, and
+// compares the modeled (deterministic) timings against a committed
+// baseline.
+//
+// Usage:
+//
+//	benchdiff [-sf 0.02] [-seed N] [-devices 2] [-degree 24]
+//	          [-baseline BENCH_0.json] [-out FILE] [-threshold 0.05]
+//	          [-inflate 1.0]
+//
+// Exit status: 0 when every gated metric is within threshold, 1 when a
+// regression is detected, 2 on operational errors. The default scale
+// (sf=0.02) is the smallest at which the optimizer routes work to the
+// GPU, keeping the gate meaningful and CI-fast at once. -inflate
+// multiplies the fresh snapshot's modeled columns and exists to prove
+// the gate trips (`benchdiff -inflate 1.2` must fail a 5% threshold).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blugpu/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	devices := flag.Int("devices", 2, "number of simulated GPUs")
+	degree := flag.Int("degree", 24, "intra-query parallelism")
+	baseline := flag.String("baseline", "BENCH_0.json", "baseline snapshot to compare against")
+	out := flag.String("out", "", "where to write the fresh snapshot (default: next free BENCH_<n>.json)")
+	threshold := flag.Float64("threshold", 0.05, "allowed fractional growth of modeled time before the gate fails")
+	inflate := flag.Float64("inflate", 1.0, "multiply the fresh snapshot's modeled columns (gate self-test)")
+	flag.Parse()
+
+	fail := func(code int, err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(code)
+	}
+
+	baselineExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "baseline" {
+			baselineExplicit = true
+		}
+	})
+	// Resolve the baseline before the suite writes anything: a first run
+	// may auto-number its snapshot onto the default baseline path, and
+	// that must read as "no baseline yet", not as a self-comparison.
+	_, statErr := os.Stat(*baseline)
+	baselineExists := statErr == nil
+	if !baselineExists && baselineExplicit {
+		fail(2, fmt.Errorf("baseline %s: %v", *baseline, statErr))
+	}
+
+	fmt.Printf("benchdiff: running suite (sf=%g seed=%d devices=%d degree=%d)...\n", *sf, *seed, *devices, *degree)
+	start := time.Now()
+	cur, err := bench.TakeSnapshot(bench.Config{SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree})
+	if err != nil {
+		fail(2, err)
+	}
+	fmt.Printf("benchdiff: suite done in %.1fs\n", time.Since(start).Seconds())
+
+	if *inflate != 1.0 {
+		for i := range cur.Experiments {
+			cur.Experiments[i].ModeledOnMs *= *inflate
+			cur.Experiments[i].ModeledOffMs *= *inflate
+		}
+		fmt.Printf("benchdiff: modeled columns inflated by %.2fx (gate self-test)\n", *inflate)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextSnapshotPath()
+	}
+	if err := cur.WriteFile(path); err != nil {
+		fail(2, err)
+	}
+	fmt.Printf("benchdiff: snapshot written to %s\n", path)
+
+	if !baselineExists {
+		fmt.Printf("benchdiff: no baseline at %s; commit the snapshot above as the baseline\n", *baseline)
+		return
+	}
+	base, err := bench.ReadSnapshot(*baseline)
+	if err != nil {
+		fail(2, err)
+	}
+
+	regs, err := bench.Compare(base, cur, *threshold)
+	if err != nil {
+		fail(2, err)
+	}
+	fmt.Printf("\ncomparison against %s (gate: modeled time within %+.0f%%):\n", *baseline, *threshold*100)
+	bench.WriteDiff(os.Stdout, base, cur, regs)
+	if len(regs) > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Printf("  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regressions")
+}
+
+// nextSnapshotPath returns the first free BENCH_<n>.json, so repeated
+// local runs never clobber a committed baseline.
+func nextSnapshotPath() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

@@ -6,16 +6,24 @@
 //	blubench [-sf 0.05] [-seed N] [-devices 2] [-degree 24] [all|table1|fig5|fig6|fig7|table2|table3|fig8|fig9]...
 //
 // With no experiment arguments it runs everything in paper order.
+//
+// -serve holds the process open after the experiments with the admin
+// HTTP surface (/metrics, /healthz, /debug/queries) mounted, so the full
+// run's telemetry can be scraped; -metrics-json writes the same snapshot
+// to a file and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"blugpu/internal/bench"
+	"blugpu/internal/metrics"
 	"blugpu/internal/trace"
 )
 
@@ -26,6 +34,8 @@ func main() {
 	degree := flag.Int("degree", 24, "intra-query parallelism")
 	race := flag.Bool("race", false, "let the GPU moderator race a second kernel")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every query to this file (load via chrome://tracing or ui.perfetto.dev)")
+	serve := flag.String("serve", "", "after the experiments, serve /metrics, /healthz and /debug/queries on this host:port until interrupted")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blubench [flags] [experiment]...\nexperiments: all %s\nflags:\n",
 			strings.Join(bench.Experiments(), " "))
@@ -81,5 +91,32 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("trace: %d queries, %d spans -> %s\n", tracer.Queries(), len(tracer.Spans()), *traceOut)
+	}
+
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fail(err)
+		}
+		err = metrics.Collect(metrics.SourcesFromEngine(h.Eng)()).WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics: snapshot -> %s\n", *metricsJSON)
+	}
+
+	if *serve != "" {
+		srv, ln, err := metrics.Serve(*serve, metrics.SourcesFromEngine(h.Eng))
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving http://%s/metrics until interrupted\n", ln.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }

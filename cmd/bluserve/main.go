@@ -1,0 +1,182 @@
+// Command bluserve runs the hybrid engine as a long-lived process with
+// the admin HTTP surface mounted:
+//
+//	/metrics        Prometheus text exposition (deterministic ordering)
+//	/metrics.json   the same snapshot as structured JSON
+//	/healthz        scheduler device health + circuit-breaker state
+//	/debug/queries  per-query latency rollups + trace flame summary
+//
+// Usage:
+//
+//	bluserve [-addr 127.0.0.1:9090] [-sf 0.02] [-seed N] [-devices 2]
+//	         [-degree 24] [-warmup 1] [-faults 0] [-loop] [-smoke]
+//
+// On start it generates the dataset, runs -warmup passes over the BD
+// Insights suite so the first scrape already has data, then serves.
+// -loop keeps replaying the suite in the background so gauges move.
+// -smoke binds an ephemeral port, scrapes every endpoint against its own
+// server, validates the exposition syntax, and exits — the CI target
+// `make metrics-smoke` runs exactly this.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blugpu/internal/bench"
+	"blugpu/internal/fault"
+	"blugpu/internal/metrics"
+	"blugpu/internal/trace"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "admin listen address (host:port; port 0 picks a free port)")
+	sf := flag.Float64("sf", 0.02, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	devices := flag.Int("devices", 2, "number of simulated GPUs")
+	degree := flag.Int("degree", 24, "intra-query parallelism")
+	warmup := flag.Int("warmup", 1, "passes over the BD Insights suite before serving")
+	faults := flag.Float64("faults", 0, "uniform GPU fault-injection rate per site (0 disables)")
+	loop := flag.Bool("loop", false, "keep replaying the workload in the background while serving")
+	smoke := flag.Bool("smoke", false, "self-scrape every endpoint, validate, and exit (CI smoke test)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bluserve:", err)
+		os.Exit(1)
+	}
+
+	cfg := bench.Config{SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree, Trace: trace.New()}
+	if *faults > 0 {
+		cfg.Faults = fault.New(fault.Config{
+			Seed: *seed, Reserve: *faults, H2D: *faults, D2H: *faults, Kernel: *faults,
+		})
+	}
+	fmt.Printf("bluserve: generating dataset (sf=%g, seed=%d)...\n", *sf, *seed)
+	h, err := bench.NewHarness(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	suite := workload.BDInsights()
+	runSuite := func() error {
+		_, err := h.RunSet(suite)
+		return err
+	}
+	for i := 0; i < *warmup; i++ {
+		if err := runSuite(); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("bluserve: warmup done (%d passes over %d queries)\n", *warmup, len(suite))
+
+	bind := *addr
+	if *smoke {
+		bind = "127.0.0.1:0"
+	}
+	srv, ln, err := metrics.Serve(bind, metrics.SourcesFromEngine(h.Eng))
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("bluserve: serving %s/metrics %s/healthz %s/debug/queries\n", base, base, base)
+
+	if *smoke {
+		if err := smokeTest(base); err != nil {
+			fail(err)
+		}
+		fmt.Println("bluserve: metrics smoke ok")
+		return
+	}
+
+	if *loop {
+		go func() {
+			for {
+				if err := runSuite(); err != nil {
+					fmt.Fprintln(os.Stderr, "bluserve: workload loop:", err)
+					return
+				}
+				time.Sleep(time.Second)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nbluserve: shutting down")
+}
+
+// smokeTest scrapes every admin endpoint on the freshly started server
+// and validates what comes back: /metrics must parse as exposition
+// format and cover the acceptance families, /healthz must be 200 with a
+// status, /debug/queries must show the warmed-up queries.
+func smokeTest(base string) error {
+	body, code, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/metrics: HTTP %d", code)
+	}
+	if err := metrics.ValidateExposition(body); err != nil {
+		return fmt.Errorf("/metrics: invalid exposition: %w", err)
+	}
+	for _, family := range []string{
+		"blu_kernel_executions_total",
+		"blu_transfer_bytes_total",
+		"blu_sched_placements_total",
+		"blu_device_memory_total_bytes",
+		"blu_query_latency_seconds_bucket",
+	} {
+		if !contains(body, family) {
+			return fmt.Errorf("/metrics: family %s missing from scrape", family)
+		}
+	}
+	fmt.Printf("bluserve: /metrics ok (%d bytes, valid exposition)\n", len(body))
+
+	body, code, err = get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/healthz: HTTP %d: %s", code, body)
+	}
+	if !contains(body, `"status"`) {
+		return fmt.Errorf("/healthz: no status in %s", body)
+	}
+	fmt.Printf("bluserve: /healthz ok: %s", body)
+
+	body, code, err = get(base + "/debug/queries")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !contains(body, "queries:") {
+		return fmt.Errorf("/debug/queries: HTTP %d: %.120s", code, body)
+	}
+	fmt.Printf("bluserve: /debug/queries ok (%d bytes)\n", len(body))
+	return nil
+}
+
+func get(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func contains(body []byte, s string) bool {
+	return strings.Contains(string(body), s)
+}

@@ -11,10 +11,15 @@
 //	\describe T    show table T's columns
 //	\gpu on|off    toggle device offload
 //	\monitor       print the performance monitor report
+//	\metrics       print the Prometheus text exposition of the session
 //	\trace on|off  start/stop span tracing of subsequent queries
 //	\trace show    print the per-query flame summary
 //	\trace save F  write the Chrome trace-event JSON to file F
 //	\quit          exit
+//
+// -serve mounts the admin HTTP surface (/metrics, /healthz,
+// /debug/queries) on the given address for the session's lifetime, so a
+// scraper can watch the shell's engine live.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/engine"
+	"blugpu/internal/metrics"
 	"blugpu/internal/trace"
 	"blugpu/internal/workload"
 )
@@ -34,6 +40,7 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "dataset scale factor")
 	devices := flag.Int("devices", 2, "number of simulated GPUs")
 	gpuOn := flag.Bool("gpu", true, "start with GPU offload enabled")
+	serve := flag.String("serve", "", "also serve /metrics, /healthz and /debug/queries on this host:port")
 	flag.Parse()
 
 	fmt.Printf("generating dataset (sf=%g)...\n", *sf)
@@ -48,6 +55,15 @@ func main() {
 		os.Exit(1)
 	}
 	eng.SetGPUEnabled(*gpuOn)
+	if *serve != "" {
+		srv, ln, err := metrics.Serve(*serve, metrics.SourcesFromEngine(eng))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("admin surface: http://%s/metrics\n", ln.Addr())
+	}
 	fmt.Printf("ready: %d tables, %.1f MB, GPU %s. Type SQL or \\tables.\n",
 		len(data.Tables), float64(data.TotalBytes())/(1<<20), onOff(eng.GPUEnabled()))
 
@@ -110,6 +126,10 @@ func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
 		fmt.Printf("GPU offload: %s\n", onOff(eng.GPUEnabled()))
 	case "\\monitor":
 		eng.Monitor().Report(os.Stdout)
+	case "\\metrics":
+		if err := metrics.Collect(metrics.SourcesFromEngine(eng)()).WriteText(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "\\trace":
 		metaTrace(eng, fields)
 	case "\\explain":
@@ -125,7 +145,7 @@ func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
 		}
 		fmt.Print(out)
 	default:
-		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\trace on|off|show|save <f> \\quit")
+		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\metrics \\trace on|off|show|save <f> \\quit")
 	}
 	return false
 }

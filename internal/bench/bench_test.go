@@ -198,7 +198,7 @@ func TestFig8Shape(t *testing.T) {
 	}
 	h := shapeHarness(t)
 	var sb strings.Builder
-	res, err := h.Fig8(&sb)
+	res, _, err := h.Fig8(&sb)
 	if err != nil {
 		t.Fatal(err)
 	}

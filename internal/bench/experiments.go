@@ -37,7 +37,7 @@ func (h *Harness) Run(name string, w io.Writer) error {
 	case "table3":
 		return h.Table3(w)
 	case "fig8":
-		_, err := h.Fig8(w)
+		_, _, err := h.Fig8(w)
 		return err
 	case "fig9":
 		return h.Fig9(w)
@@ -277,8 +277,9 @@ func (h *Harness) desDevices() []des.DeviceSpec {
 
 // Fig8 reproduces the mixed concurrent workload: five JMeter-style thread
 // groups of two users each, with and without the GPU (paper: ~2x).
-// It returns the two DES results so Fig9 can reuse the GPU-on run.
-func (h *Harness) Fig8(w io.Writer) (*des.Result, error) {
+// It returns both DES results so Fig9 can reuse the GPU-on run and the
+// benchdiff snapshot can record both makespans.
+func (h *Harness) Fig8(w io.Writer) (*des.Result, *des.Result, error) {
 	header(w, "Figure 8: concurrent mixed workload (10 users in 5 thread groups)")
 	groups := workload.MixedThreadGroups()
 
@@ -292,7 +293,7 @@ func (h *Harness) Fig8(w io.Writer) (*des.Result, error) {
 			for _, q := range g.Queries {
 				r, err := h.RunBoth(q)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				on = append(on, r.ProfileOn)
 				off = append(off, r.ProfileOff)
@@ -323,13 +324,13 @@ func (h *Harness) Fig8(w io.Writer) (*des.Result, error) {
 	}
 	onRes, err := des.Run(cfg, onStreams)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	offCfg := cfg
 	offCfg.Devices = nil
 	offRes, err := des.Run(offCfg, offStreams)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Per-group elapsed: last completion among the group's streams.
@@ -359,13 +360,13 @@ func (h *Harness) Fig8(w io.Writer) (*des.Result, error) {
 		onRes.Makespan.Seconds()*1e3, offRes.Makespan.Seconds()*1e3,
 		offRes.Makespan.Seconds()/onRes.Makespan.Seconds())
 	fmt.Fprintf(w, "(paper: almost 2x end-to-end with GPU)\n")
-	return onRes, nil
+	return onRes, offRes, nil
 }
 
 // Fig9 reproduces the GPU memory-utilization series sampled during the
 // Figure-8 run: a spiky pattern with peaks near device capacity.
 func (h *Harness) Fig9(w io.Writer) error {
-	onRes, err := h.Fig8(io.Discard)
+	onRes, _, err := h.Fig8(io.Discard)
 	if err != nil {
 		return err
 	}

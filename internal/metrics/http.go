@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// AdminMux builds the admin HTTP surface over a scrape-time source
+// function:
+//
+//	/metrics        Prometheus text exposition of Collect(src())
+//	/metrics.json   the same snapshot as structured JSON
+//	/healthz        scheduler device health and circuit-breaker state
+//	/debug/queries  recent per-query rollups + the tracer's flame summary
+//
+// src is called per request, so every response reflects live state.
+func AdminMux(src func() Sources) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Collect(src()).WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Collect(src()).WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeHealth(w, src())
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeDebugQueries(w, src())
+	})
+	return mux
+}
+
+// deviceHealth is one device's entry in the /healthz body.
+type deviceHealth struct {
+	Device              int    `json:"device"`
+	Quarantined         bool   `json:"quarantined"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Trips               uint64 `json:"breaker_trips"`
+	Recoveries          uint64 `json:"breaker_recoveries"`
+	ReopenAtSeconds     string `json:"reopen_at,omitempty"`
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status     string         `json:"status"` // ok | degraded | unhealthy
+	GPUEnabled bool           `json:"gpu_enabled"`
+	Devices    []deviceHealth `json:"devices,omitempty"`
+}
+
+// writeHealth renders scheduler health. Status is "ok" with every
+// breaker closed (or no GPU fleet at all — the CPU path serves),
+// "degraded" with some devices quarantined, and "unhealthy" (HTTP 503)
+// only when every device is quarantined.
+func writeHealth(w http.ResponseWriter, src Sources) {
+	body := healthBody{Status: "ok", GPUEnabled: src.GPUEnabled}
+	if src.Sched != nil {
+		quarantined := 0
+		for _, h := range src.Sched.Health() {
+			dh := deviceHealth{
+				Device:              h.Device,
+				Quarantined:         h.Quarantined,
+				ConsecutiveFailures: h.ConsecutiveFails,
+				Trips:               h.Trips,
+				Recoveries:          h.Recoveries,
+			}
+			if h.Quarantined {
+				quarantined++
+				dh.ReopenAtSeconds = fmt.Sprintf("%.6f", float64(h.ReopenAt))
+			}
+			body.Devices = append(body.Devices, dh)
+		}
+		switch {
+		case quarantined == len(body.Devices) && quarantined > 0:
+			body.Status = "unhealthy"
+		case quarantined > 0:
+			body.Status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if body.Status == "unhealthy" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}
+
+// writeDebugQueries renders the per-query latency rollups and, when a
+// tracer is attached, its flame summary.
+func writeDebugQueries(w http.ResponseWriter, src Sources) {
+	if src.Monitor == nil {
+		fmt.Fprintln(w, "no monitor attached")
+		return
+	}
+	queries := src.Monitor.Queries()
+	fmt.Fprintf(w, "queries: %d distinct\n", len(queries))
+	if len(queries) > 0 {
+		fmt.Fprintf(w, "%-24s %-6s %-6s %-12s %-12s %-12s %-12s %s\n",
+			"query", "runs", "gpu", "total", "p50", "p95", "p99", "max")
+		for _, q := range queries {
+			fmt.Fprintf(w, "%-24s %-6d %-6d %-12s %-12s %-12s %-12s %s\n",
+				q.Name, q.Count, q.GPURuns, q.Total, q.P50, q.P95, q.P99, q.Max)
+		}
+	}
+	if src.Tracer != nil {
+		fmt.Fprintf(w, "\nflame summary (%d traced queries, %d spans):\n",
+			src.Tracer.Queries(), len(src.Tracer.Spans()))
+		src.Tracer.WriteFlame(w)
+	}
+}
+
+// Serve starts the admin surface on addr (host:port; port 0 picks a
+// free port) and returns the server and its bound listener. The caller
+// owns shutdown; serve errors after Close are swallowed.
+func Serve(addr string, src func() Sources) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: AdminMux(src)}
+	go srv.Serve(ln)
+	return srv, ln, nil
+}

@@ -108,3 +108,31 @@ func (h *Hist) Quantile(p float64) vtime.Duration {
 func (h *Hist) Quantiles() (p50, p95, p99 vtime.Duration) {
 	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 }
+
+// HistBucket is one exported histogram bucket: the cumulative count of
+// samples at or below UpperBound. The Prometheus exposition's le series
+// is built directly from these.
+type HistBucket struct {
+	UpperBound vtime.Duration
+	CumCount   uint64
+}
+
+// Buckets returns the non-empty buckets as cumulative counts with their
+// upper bounds (2^(i-30) seconds for bucket i). Empty buckets are
+// skipped — cumulative counts stay valid and the series stays minimal
+// and deterministic. An empty histogram returns nil.
+func (h *Hist) Buckets() []HistBucket {
+	var out []HistBucket
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		cum += h.counts[i]
+		out = append(out, HistBucket{
+			UpperBound: vtime.Duration(math.Ldexp(1, i-30)),
+			CumCount:   cum,
+		})
+	}
+	return out
+}

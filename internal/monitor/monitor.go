@@ -29,6 +29,8 @@ type KernelStats struct {
 	Max   vtime.Duration
 	// P50/P95/P99 are log-scale-histogram latency quantiles.
 	P50, P95, P99 vtime.Duration
+	// Buckets is the cumulative latency distribution (see Hist.Buckets).
+	Buckets []HistBucket
 }
 
 // TransferStats aggregates one transfer direction.
@@ -55,6 +57,7 @@ type EvalStats struct {
 	Total         vtime.Duration
 	Max           vtime.Duration
 	P50, P95, P99 vtime.Duration
+	Buckets       []HistBucket
 }
 
 // QueryStats is the per-query rollup: every execution recorded under
@@ -65,6 +68,7 @@ type QueryStats struct {
 	Total         vtime.Duration
 	Max           vtime.Duration
 	P50, P95, P99 vtime.Duration
+	Buckets       []HistBucket
 	// GPURuns counts the executions that took a device path.
 	GPURuns uint64
 }
@@ -221,10 +225,12 @@ func kernelSnapshot(a *kernelAgg) KernelStats {
 	return KernelStats{
 		Name: a.name, Count: a.hist.Count(), Total: a.hist.Total(),
 		Max: a.hist.Max(), P50: p50, P95: p95, P99: p99,
+		Buckets: a.hist.Buckets(),
 	}
 }
 
-// Kernels returns aggregated kernel stats sorted by total time descending.
+// Kernels returns aggregated kernel stats sorted by total time
+// descending, ties broken by name so the order is deterministic.
 func (m *Monitor) Kernels() []KernelStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -232,12 +238,17 @@ func (m *Monitor) Kernels() []KernelStats {
 	for _, ks := range m.kernels {
 		out = append(out, kernelSnapshot(ks))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
 // Evaluators returns aggregated evaluator stats sorted by total time
-// descending.
+// descending, ties broken by name so the order is deterministic.
 func (m *Monitor) Evaluators() []EvalStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -247,9 +258,15 @@ func (m *Monitor) Evaluators() []EvalStats {
 		out = append(out, EvalStats{
 			Name: es.name, Count: es.hist.Count(), Rows: es.rows,
 			Total: es.hist.Total(), Max: es.hist.Max(), P50: p50, P95: p95, P99: p99,
+			Buckets: es.hist.Buckets(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
@@ -263,7 +280,8 @@ func (m *Monitor) Queries() []QueryStats {
 		p50, p95, p99 := qs.hist.Quantiles()
 		out = append(out, QueryStats{
 			Name: qs.name, Count: qs.hist.Count(), Total: qs.hist.Total(),
-			Max: qs.hist.Max(), P50: p50, P95: p95, P99: p99, GPURuns: qs.gpuRuns,
+			Max: qs.hist.Max(), P50: p50, P95: p95, P99: p99,
+			Buckets: qs.hist.Buckets(), GPURuns: qs.gpuRuns,
 		})
 	}
 	return out

@@ -143,3 +143,79 @@ func TestReportIncludesMemorySummary(t *testing.T) {
 		t.Errorf("report missing peak percentage:\n%s", out)
 	}
 }
+
+// TestResetClearsEverything populates every aggregate the monitor owns —
+// kernel/evaluator/query histograms, transfer totals, reservation
+// counts, memory series, fault/retry/fallback/breaker counters — and
+// demands that Reset returns each accessor to its zero state, then that
+// recording resumes from scratch rather than on stale histograms.
+func TestResetClearsEverything(t *testing.T) {
+	m := New()
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventKernel, Name: "k", Modeled: vtime.Millisecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventTransferH2D, Bytes: 1 << 20, Modeled: vtime.Microsecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventTransferD2H, Bytes: 1 << 10, Modeled: vtime.Microsecond})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventReserve})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventReserveFail})
+	m.RecordGPUEvent(gpu.Event{Kind: gpu.EventFault, Name: "kernel"})
+	m.RecordEvaluator("HASH", 100, vtime.Millisecond)
+	m.RecordQuery("q1", vtime.Millisecond, true)
+	m.RecordGPURetry("place", true)
+	m.RecordFallback("groupby", false)
+	m.RecordBreaker(0, true)
+	m.RecordBreaker(0, false)
+	m.RecordMemSample(0, vtime.Time(1), 1<<20, 1<<30)
+
+	m.Reset()
+
+	if n := len(m.Kernels()); n != 0 {
+		t.Errorf("Kernels after Reset = %d entries", n)
+	}
+	if n := len(m.Evaluators()); n != 0 {
+		t.Errorf("Evaluators after Reset = %d entries", n)
+	}
+	if n := len(m.Queries()); n != 0 {
+		t.Errorf("Queries after Reset = %d entries", n)
+	}
+	h2d, d2h := m.Transfers()
+	if h2d.Count != 0 || h2d.Bytes != 0 || d2h.Count != 0 || d2h.Bytes != 0 {
+		t.Errorf("Transfers after Reset: h2d=%+v d2h=%+v", h2d, d2h)
+	}
+	if ok, fail := m.ReserveCounts(); ok != 0 || fail != 0 {
+		t.Errorf("ReserveCounts after Reset = %d, %d", ok, fail)
+	}
+	if n := len(m.Devices()); n != 0 {
+		t.Errorf("Devices after Reset = %v", m.Devices())
+	}
+	if n := len(m.MemSeries(0)); n != 0 {
+		t.Errorf("MemSeries after Reset = %d samples", n)
+	}
+	if n := m.FaultTotal(); n != 0 {
+		t.Errorf("FaultTotal after Reset = %d", n)
+	}
+	if fc := m.FaultCounts(); len(fc) != 0 {
+		t.Errorf("FaultCounts after Reset = %v", fc)
+	}
+	if n := len(m.Retries()); n != 0 {
+		t.Errorf("Retries after Reset = %d entries", n)
+	}
+	if n := len(m.Fallbacks()); n != 0 {
+		t.Errorf("Fallbacks after Reset = %d entries", n)
+	}
+	if trips, recov := m.BreakerCounts(); trips != 0 || recov != 0 {
+		t.Errorf("BreakerCounts after Reset = %d, %d", trips, recov)
+	}
+
+	// Recording after Reset must start fresh histograms, not resume the
+	// old ones: one sample, count 1, one populated bucket.
+	m.RecordQuery("q1", 2*vtime.Millisecond, false)
+	qs := m.Queries()
+	if len(qs) != 1 || qs[0].Count != 1 {
+		t.Fatalf("post-Reset query stats = %+v", qs)
+	}
+	if len(qs[0].Buckets) != 1 || qs[0].Buckets[0].CumCount != 1 {
+		t.Errorf("post-Reset histogram carries stale buckets: %+v", qs[0].Buckets)
+	}
+	if qs[0].Max != 2*vtime.Millisecond {
+		t.Errorf("post-Reset max = %v, want 2ms", qs[0].Max)
+	}
+}

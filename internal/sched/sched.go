@@ -86,6 +86,13 @@ type Scheduler struct {
 
 	failThreshold int
 	probation     vtime.Duration
+
+	// placements/placeFails count admissions and terminal placement
+	// failures (the metrics layer exposes both). Same-placement retries
+	// down the candidate ranking are reported to the sink, not counted
+	// here.
+	placements uint64
+	placeFails uint64
 }
 
 // New builds a scheduler over the given devices.
@@ -293,7 +300,11 @@ func (s *Scheduler) TryPlaceExcluding(memNeed int64, exclude map[int]bool) (*Pla
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tryPlaceLocked(memNeed, exclude, trace.Context{})
+	p, err := s.tryPlaceLocked(memNeed, exclude, trace.Context{})
+	if err != nil {
+		s.placeFails++
+	}
+	return p, err
 }
 
 // TryPlaceTraced is TryPlace recorded as a placement span: a "place"
@@ -313,6 +324,9 @@ func (s *Scheduler) TryPlaceExcludingTraced(tc trace.Context, at vtime.Time, mem
 	child := tc.Begin("sched", "place", at)
 	s.mu.Lock()
 	p, err := s.tryPlaceLocked(memNeed, exclude, child)
+	if err != nil {
+		s.placeFails++
+	}
 	s.mu.Unlock()
 	attrs := []trace.Attr{trace.Int("demand_bytes", memNeed)}
 	if err != nil {
@@ -382,6 +396,7 @@ func (s *Scheduler) tryPlaceLocked(memNeed int64, exclude map[int]bool, tc trace
 	for n, c := range cands {
 		res, err := s.devices[c.idx].ReserveSpan(memNeed, tc.ID())
 		if err == nil {
+			s.placements++
 			return &Placement{sched: s, res: res}, nil
 		}
 		lastErr = err
@@ -431,6 +446,7 @@ func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, e
 	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
+				s.placeFails++
 				return nil, err
 			}
 		}
@@ -439,6 +455,7 @@ func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, e
 			return p, nil
 		}
 		if errors.Is(err, ErrTooLarge) {
+			s.placeFails++
 			return nil, err
 		}
 		s.cond.Wait()
@@ -496,12 +513,23 @@ func (s *Scheduler) PlacePartitioned(memNeed int64) ([]*Placement, []int64, erro
 	}
 	if remaining > 0 {
 		rollback()
+		s.placeFails++
 		if lastErr != nil {
 			return nil, nil, fmt.Errorf("%w: %w", ErrNoDevice, lastErr)
 		}
 		return nil, nil, ErrNoDevice
 	}
+	s.placements += uint64(len(placements))
 	return placements, sizes, nil
+}
+
+// PlaceCounts returns (successful placements, terminal placement
+// failures) since the scheduler was built. Partitioned placements count
+// one per reserved chunk.
+func (s *Scheduler) PlaceCounts() (ok, fail uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.placements, s.placeFails
 }
 
 // Snapshot reports the fleet state for monitoring and tests.
