@@ -8,7 +8,7 @@ PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/sched ./internal/fault ./internal/trace \
                 ./internal/monitor ./internal/metrics
 
-.PHONY: build vet test race bench check trace-smoke metrics-smoke bench-gate
+.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,17 @@ trace-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/bluserve -sf 0.02 -smoke
 
+# End-to-end explain smoke: run the EXPLAIN ANALYZE suite through
+# blubench and validate every report — schema, decode, and full
+# reconciliation (no unattributed operators, no orphaned device events,
+# no monitor-vs-span counter mismatches).
+explain-smoke:
+	$(GO) run ./cmd/blubench -sf 0.004 -explain /tmp/blu-explain-smoke.json fig5 > /dev/null
+	$(GO) run ./cmd/explaincheck /tmp/blu-explain-smoke.json
+
 # Perf-regression gate: run the benchdiff suite and compare the modeled
 # (deterministic) timings against the committed BENCH_0.json baseline.
 bench-gate:
 	$(GO) run ./cmd/benchdiff -out /tmp/blu-bench-current.json
 
-check: vet test race trace-smoke metrics-smoke bench-gate
+check: vet test race trace-smoke metrics-smoke explain-smoke bench-gate

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"blugpu/internal/bench"
+	"blugpu/internal/explain"
 	"blugpu/internal/metrics"
 	"blugpu/internal/trace"
 )
@@ -36,6 +38,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every query to this file (load via chrome://tracing or ui.perfetto.dev)")
 	serve := flag.String("serve", "", "after the experiments, serve /metrics, /healthz and /debug/queries on this host:port until interrupted")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
+	explainOut := flag.String("explain", "", "run the explain suite and write its EXPLAIN ANALYZE reports as a JSON array to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blubench [flags] [experiment]...\nexperiments: all %s\nflags:\n",
 			strings.Join(bench.Experiments(), " "))
@@ -93,6 +96,12 @@ func main() {
 		fmt.Printf("trace: %d queries, %d spans -> %s\n", tracer.Queries(), len(tracer.Spans()), *traceOut)
 	}
 
+	if *explainOut != "" {
+		if err := writeExplainReports(h, *explainOut); err != nil {
+			fail(err)
+		}
+	}
+
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)
 		if err != nil {
@@ -119,4 +128,36 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+}
+
+// explainSuite is the fixed query set the -explain flag audits: one
+// plain group-by, one group-by feeding a sort+limit, and one filtered
+// group-by, covering every operator the audit attributes.
+var explainSuite = []struct{ name, sql string }{
+	{"explain-groupby", "SELECT ss_store_sk, SUM(ss_net_paid) AS total FROM store_sales GROUP BY ss_store_sk"},
+	{"explain-sort", "SELECT ss_item_sk, SUM(ss_net_paid) AS paid FROM store_sales GROUP BY ss_item_sk ORDER BY paid DESC LIMIT 10"},
+	{"explain-filter", "SELECT sr_store_sk, SUM(sr_return_amt) AS total_ret, COUNT(*) AS cnt FROM store_returns WHERE sr_returned_date_sk BETWEEN 100 AND 400 GROUP BY sr_store_sk"},
+}
+
+// writeExplainReports runs the explain suite through EXPLAIN ANALYZE
+// and writes the reports as one indented JSON array, the input format
+// cmd/explaincheck validates.
+func writeExplainReports(h *bench.Harness, path string) error {
+	reports := make([]*explain.Report, 0, len(explainSuite))
+	for _, q := range explainSuite {
+		rep, _, err := h.Eng.ExplainAnalyzeNamed(q.name, q.sql)
+		if err != nil {
+			return fmt.Errorf("explain %s: %w", q.name, err)
+		}
+		reports = append(reports, rep)
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("explain: %d reports -> %s\n", len(reports), path)
+	return nil
 }

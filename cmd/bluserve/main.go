@@ -5,6 +5,7 @@
 //	/metrics.json   the same snapshot as structured JSON
 //	/healthz        scheduler device health + circuit-breaker state
 //	/debug/queries  per-query latency rollups + trace flame summary
+//	/debug/explain  EXPLAIN ANALYZE decision audit for ?q=<sql>
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"blugpu/internal/bench"
+	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
 	"blugpu/internal/trace"
@@ -137,6 +140,8 @@ func smokeTest(base string) error {
 		"blu_sched_placements_total",
 		"blu_device_memory_total_bytes",
 		"blu_query_latency_seconds_bucket",
+		"blu_optimizer_decisions_total",
+		"blu_kmv_relative_error_count",
 	} {
 		if !contains(body, family) {
 			return fmt.Errorf("/metrics: family %s missing from scrape", family)
@@ -164,6 +169,27 @@ func smokeTest(base string) error {
 		return fmt.Errorf("/debug/queries: HTTP %d: %.120s", code, body)
 	}
 	fmt.Printf("bluserve: /debug/queries ok (%d bytes)\n", len(body))
+
+	sql := "SELECT ss_store_sk, SUM(ss_net_paid) AS total FROM store_sales GROUP BY ss_store_sk"
+	body, code, err = get(base + "/debug/explain?q=" + url.QueryEscape(sql))
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/debug/explain: HTTP %d: %.200s", code, body)
+	}
+	if err := explain.ValidateReport(body); err != nil {
+		return fmt.Errorf("/debug/explain: %w", err)
+	}
+	rep, err := explain.Decode(body)
+	if err != nil {
+		return fmt.Errorf("/debug/explain: %w", err)
+	}
+	if !rep.Reconciled() {
+		return fmt.Errorf("/debug/explain: report not reconciled: unattributed=%d orphans=%d mismatches=%v",
+			rep.Unattributed, rep.Orphans, rep.Totals.Mismatches)
+	}
+	fmt.Printf("bluserve: /debug/explain ok (%d bytes, %d operators, reconciled)\n", len(body), len(rep.Ops))
 	return nil
 }
 

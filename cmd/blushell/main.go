@@ -5,21 +5,12 @@
 //
 //	blushell [-sf 0.02] [-devices 2] [-gpu=true]
 //
-// Meta commands:
-//
-//	\tables        list tables with row counts
-//	\describe T    show table T's columns
-//	\gpu on|off    toggle device offload
-//	\monitor       print the performance monitor report
-//	\metrics       print the Prometheus text exposition of the session
-//	\trace on|off  start/stop span tracing of subsequent queries
-//	\trace show    print the per-query flame summary
-//	\trace save F  write the Chrome trace-event JSON to file F
-//	\quit          exit
+// Meta commands are listed by \help; the table in this file is the
+// single source of truth for dispatch, usage and help text.
 //
 // -serve mounts the admin HTTP surface (/metrics, /healthz,
-// /debug/queries) on the given address for the session's lifetime, so a
-// scraper can watch the shell's engine live.
+// /debug/queries, /debug/explain) on the given address for the
+// session's lifetime, so a scraper can watch the shell's engine live.
 package main
 
 import (
@@ -40,7 +31,7 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "dataset scale factor")
 	devices := flag.Int("devices", 2, "number of simulated GPUs")
 	gpuOn := flag.Bool("gpu", true, "start with GPU offload enabled")
-	serve := flag.String("serve", "", "also serve /metrics, /healthz and /debug/queries on this host:port")
+	serve := flag.String("serve", "", "also serve /metrics, /healthz, /debug/queries and /debug/explain on this host:port")
 	flag.Parse()
 
 	fmt.Printf("generating dataset (sf=%g)...\n", *sf)
@@ -64,9 +55,10 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("admin surface: http://%s/metrics\n", ln.Addr())
 	}
-	fmt.Printf("ready: %d tables, %.1f MB, GPU %s. Type SQL or \\tables.\n",
+	fmt.Printf("ready: %d tables, %.1f MB, GPU %s. Type SQL, \\tables or \\help.\n",
 		len(data.Tables), float64(data.TotalBytes())/(1<<20), onOff(eng.GPUEnabled()))
 
+	sh := &shell{eng: eng, data: data}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -79,7 +71,7 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if meta(eng, data, line) {
+			if sh.meta(line) {
 				return
 			}
 			continue
@@ -95,71 +87,170 @@ func onOff(b bool) string {
 	return "off"
 }
 
-// meta handles \commands; returns true on quit.
-func meta(eng *engine.Engine, data *workload.Dataset, line string) bool {
+// shell is the session state the meta commands operate on.
+type shell struct {
+	eng  *engine.Engine
+	data *workload.Dataset
+}
+
+// metaCommand is one \command: the names it answers to, its usage
+// syntax, a one-line description, and the handler. The handler gets the
+// whitespace-split fields and the raw line (for commands that take SQL)
+// and returns true to quit the shell.
+type metaCommand struct {
+	names []string
+	usage string
+	help  string
+	run   func(sh *shell, fields []string, line string) bool
+}
+
+// metaCommands is the single source of truth for dispatch, the
+// "commands:" line and \help. Order is display order.
+var metaCommands = []metaCommand{
+	{[]string{"\\tables"}, "\\tables", "list tables with row counts", (*shell).cmdTables},
+	{[]string{"\\describe"}, "\\describe <t>", "show table t's columns", (*shell).cmdDescribe},
+	{[]string{"\\explain"}, "\\explain [analyze] <sql>", "show the plan and optimizer prognosis; analyze runs the query and audits planned vs. actual", (*shell).cmdExplain},
+	{[]string{"\\gpu"}, "\\gpu on|off", "toggle device offload", (*shell).cmdGPU},
+	{[]string{"\\monitor"}, "\\monitor", "print the performance monitor report", (*shell).cmdMonitor},
+	{[]string{"\\metrics"}, "\\metrics", "print the Prometheus text exposition of the session", (*shell).cmdMetrics},
+	{[]string{"\\trace"}, "\\trace on|off|show|save <f>", "control span tracing: toggle, flame summary, Chrome JSON export", (*shell).cmdTrace},
+	{[]string{"\\help", "\\h", "\\?"}, "\\help", "list commands", nil},
+	{[]string{"\\quit", "\\q", "\\exit"}, "\\quit", "exit", func(*shell, []string, string) bool { return true }},
+}
+
+func init() {
+	// Assigned here rather than in the literal: cmdHelp renders
+	// metaCommands, and a direct reference would be an initialization
+	// cycle.
+	for i := range metaCommands {
+		if metaCommands[i].names[0] == "\\help" {
+			metaCommands[i].run = (*shell).cmdHelp
+		}
+	}
+}
+
+// meta dispatches one \command line; returns true on quit.
+func (sh *shell) meta(line string) bool {
 	fields := strings.Fields(line)
-	switch fields[0] {
-	case "\\quit", "\\q", "\\exit":
-		return true
-	case "\\tables":
-		for _, n := range append(workload.DimensionNames(), workload.FactNames()...) {
-			t := data.Table(n)
-			fmt.Printf("  %-24s %10d rows  %8.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
+	for _, c := range metaCommands {
+		for _, n := range c.names {
+			if fields[0] == n {
+				return c.run(sh, fields, line)
+			}
 		}
-	case "\\describe":
-		if len(fields) < 2 {
-			fmt.Println("usage: \\describe <table>")
-			return false
-		}
-		t := eng.Table(fields[1])
-		if t == nil {
-			fmt.Printf("unknown table %q\n", fields[1])
-			return false
-		}
-		for _, c := range t.Columns() {
-			fmt.Printf("  %-28s %s\n", c.Name(), c.Type())
-		}
-	case "\\gpu":
-		if len(fields) == 2 {
-			eng.SetGPUEnabled(fields[1] == "on")
-		}
-		fmt.Printf("GPU offload: %s\n", onOff(eng.GPUEnabled()))
-	case "\\monitor":
-		eng.Monitor().Report(os.Stdout)
-	case "\\metrics":
-		if err := metrics.Collect(metrics.SourcesFromEngine(eng)()).WriteText(os.Stdout); err != nil {
-			fmt.Println("error:", err)
-		}
-	case "\\trace":
-		metaTrace(eng, fields)
-	case "\\explain":
-		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
-		if sql == "" {
-			fmt.Println("usage: \\explain <sql>")
-			return false
-		}
-		out, err := eng.Explain(sql)
-		if err != nil {
-			fmt.Println("error:", err)
-			return false
-		}
-		fmt.Print(out)
-	default:
-		fmt.Println("commands: \\tables \\describe <t> \\explain <sql> \\gpu on|off \\monitor \\metrics \\trace on|off|show|save <f> \\quit")
+	}
+	fmt.Println(commandsLine())
+	return false
+}
+
+// commandsLine renders the one-line command summary from the table.
+func commandsLine() string {
+	var sb strings.Builder
+	sb.WriteString("commands:")
+	for _, c := range metaCommands {
+		sb.WriteString(" ")
+		sb.WriteString(c.usage)
+	}
+	return sb.String()
+}
+
+func (sh *shell) cmdHelp(fields []string, line string) bool {
+	for _, c := range metaCommands {
+		fmt.Printf("  %-28s %s\n", c.usage, c.help)
 	}
 	return false
 }
 
-// metaTrace handles the \trace subcommands: toggling the tracer on the
+func (sh *shell) cmdTables(fields []string, line string) bool {
+	for _, n := range append(workload.DimensionNames(), workload.FactNames()...) {
+		t := sh.data.Table(n)
+		fmt.Printf("  %-24s %10d rows  %8.1f KB\n", n, t.Rows(), float64(t.SizeBytes())/1024)
+	}
+	return false
+}
+
+func (sh *shell) cmdDescribe(fields []string, line string) bool {
+	if len(fields) < 2 {
+		fmt.Println("usage: \\describe <table>")
+		return false
+	}
+	t := sh.eng.Table(fields[1])
+	if t == nil {
+		fmt.Printf("unknown table %q\n", fields[1])
+		return false
+	}
+	for _, c := range t.Columns() {
+		fmt.Printf("  %-28s %s\n", c.Name(), c.Type())
+	}
+	return false
+}
+
+func (sh *shell) cmdGPU(fields []string, line string) bool {
+	if len(fields) == 2 {
+		sh.eng.SetGPUEnabled(fields[1] == "on")
+	}
+	fmt.Printf("GPU offload: %s\n", onOff(sh.eng.GPUEnabled()))
+	return false
+}
+
+func (sh *shell) cmdMonitor(fields []string, line string) bool {
+	sh.eng.Monitor().Report(os.Stdout)
+	return false
+}
+
+func (sh *shell) cmdMetrics(fields []string, line string) bool {
+	if err := metrics.Collect(metrics.SourcesFromEngine(sh.eng)()).WriteText(os.Stdout); err != nil {
+		fmt.Println("error:", err)
+	}
+	return false
+}
+
+// cmdExplain handles both plain \explain (plan + prognosis, no
+// execution) and \explain analyze (run the query, print the decision
+// audit, then the result).
+func (sh *shell) cmdExplain(fields []string, line string) bool {
+	sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	if len(fields) >= 2 && fields[1] == "analyze" {
+		sql = strings.TrimSpace(strings.TrimPrefix(sql, "analyze"))
+		if sql == "" {
+			fmt.Println("usage: \\explain analyze <sql>")
+			return false
+		}
+		rep, res, err := sh.eng.ExplainAnalyzeNamed("", sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		rep.WriteText(os.Stdout)
+		fmt.Println()
+		printResult(res)
+		fmt.Printf("(%d rows, modeled %v, gpu=%v)\n", res.Table.Rows(), res.Modeled, res.GPUUsed)
+		return false
+	}
+	if sql == "" {
+		fmt.Println("usage: \\explain [analyze] <sql>")
+		return false
+	}
+	out, err := sh.eng.Explain(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return false
+	}
+	fmt.Print(out)
+	return false
+}
+
+// cmdTrace handles the \trace subcommands: toggling the tracer on the
 // live engine, printing the flame summary, and exporting Chrome JSON.
-func metaTrace(eng *engine.Engine, fields []string) {
+func (sh *shell) cmdTrace(fields []string, line string) bool {
+	eng := sh.eng
 	if len(fields) < 2 {
 		state := "off"
 		if tr := eng.Tracer(); tr != nil {
 			state = fmt.Sprintf("on (%d queries, %d spans)", tr.Queries(), len(tr.Spans()))
 		}
 		fmt.Printf("tracing: %s\nusage: \\trace on|off|show|save <file>\n", state)
-		return
+		return false
 	}
 	switch fields[1] {
 	case "on":
@@ -174,23 +265,23 @@ func metaTrace(eng *engine.Engine, fields []string) {
 		tr := eng.Tracer()
 		if tr == nil {
 			fmt.Println("tracing is off; \\trace on first")
-			return
+			return false
 		}
 		tr.WriteFlame(os.Stdout)
 	case "save":
 		tr := eng.Tracer()
 		if tr == nil {
 			fmt.Println("tracing is off; \\trace on first")
-			return
+			return false
 		}
 		if len(fields) < 3 {
 			fmt.Println("usage: \\trace save <file>")
-			return
+			return false
 		}
 		f, err := os.Create(fields[2])
 		if err != nil {
 			fmt.Println("error:", err)
-			return
+			return false
 		}
 		err = tr.ExportChrome(f)
 		if cerr := f.Close(); err == nil {
@@ -198,13 +289,14 @@ func metaTrace(eng *engine.Engine, fields []string) {
 		}
 		if err != nil {
 			fmt.Println("error:", err)
-			return
+			return false
 		}
 		fmt.Printf("wrote %d spans to %s (load via chrome://tracing or ui.perfetto.dev)\n",
 			len(tr.Spans()), fields[2])
 	default:
 		fmt.Println("usage: \\trace on|off|show|save <file>")
 	}
+	return false
 }
 
 func run(eng *engine.Engine, sql string) {

@@ -1,0 +1,66 @@
+// Command explaincheck validates a JSON array of EXPLAIN ANALYZE
+// reports produced by `blubench -explain`: every element must pass the
+// schema validator, decode cleanly, and be fully reconciled — zero
+// unattributed operators, zero orphaned device events, and no
+// monitor-vs-span-tree counter mismatches. It is the checker behind
+// `make explain-smoke`.
+//
+// Usage:
+//
+//	explaincheck reports.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"blugpu/internal/explain"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: explaincheck <reports.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explaincheck:", err)
+		os.Exit(1)
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		fmt.Fprintf(os.Stderr, "explaincheck: not a JSON array of reports: %v\n", err)
+		os.Exit(1)
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(os.Stderr, "explaincheck: empty report array")
+		os.Exit(1)
+	}
+	fail := false
+	for i, doc := range raw {
+		if err := explain.ValidateReport(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "explaincheck: report %d: %v\n", i, err)
+			fail = true
+			continue
+		}
+		rep, err := explain.Decode(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explaincheck: report %d: %v\n", i, err)
+			fail = true
+			continue
+		}
+		if !rep.Reconciled() {
+			fmt.Fprintf(os.Stderr,
+				"explaincheck: report %d (%s): not reconciled: unattributed=%d orphans=%d mismatches=%v\n",
+				i, rep.Query, rep.Unattributed, rep.Orphans, rep.Totals.Mismatches)
+			fail = true
+			continue
+		}
+		fmt.Printf("%s: %d operators, %.3f ms, reconciled\n", rep.Query, len(rep.Ops), rep.ModeledMs)
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d valid, reconciled reports (%d bytes)\n", os.Args[1], len(raw), len(data))
+}

@@ -41,6 +41,10 @@ type ExperimentSnap struct {
 	// barely shifts.
 	KernelExecs   uint64 `json:"kernel_execs"`
 	TransferBytes int64  `json:"transfer_bytes"`
+	// KMVMeanRelErr is the mean KMV group-count estimator relative error
+	// across the experiment's group-bys — estimate-accountability
+	// tracking, informational only (never gated).
+	KMVMeanRelErr float64 `json:"kmv_mean_rel_err"`
 }
 
 // CounterSnap is the engine-wide counter state after the suite ran.
@@ -77,6 +81,18 @@ func monitorTotals(m *monitor.Monitor) (kernels uint64, bytes int64) {
 	return kernels, h2d.Bytes + d2h.Bytes
 }
 
+// kmvMean turns before/after KMV error histogram totals into the mean
+// relative error of the samples recorded in between, quantized like the
+// modeled columns so snapshots stay byte-comparable. Zero samples yield
+// zero rather than NaN.
+func kmvMean(s0 monitor.KMVErrorStats, s1 monitor.KMVErrorStats) float64 {
+	n := s1.Count - s0.Count
+	if n == 0 {
+		return 0
+	}
+	return roundMs((s1.Sum - s0.Sum) / float64(n))
+}
+
 // TakeSnapshot runs the benchdiff experiment suite — the BD Insights
 // complex and intermediate sets, the memory-gated ROLAP total, and the
 // Figure-8 mixed-workload makespan — and returns the snapshot. The
@@ -100,6 +116,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 	// the experiment, attributing monitor deltas to it.
 	runSet := func(name string, qs []workload.Query) error {
 		k0, b0 := monitorTotals(h.Eng.Monitor())
+		kmv0 := h.Eng.Monitor().KMVError()
 		start := time.Now()
 		runs, err := h.RunSet(qs)
 		if err != nil {
@@ -113,6 +130,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 			WallMs:        float64(wall.Nanoseconds()) / 1e6,
 			KernelExecs:   k1 - k0,
 			TransferBytes: b1 - b0,
+			KMVMeanRelErr: kmvMean(kmv0, h.Eng.Monitor().KMVError()),
 		}
 		for _, r := range runs {
 			e.ModeledOnMs += r.GPUOn.Milliseconds()
@@ -143,6 +161,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 		WallMs:  float64(time.Since(start).Nanoseconds()) / 1e6,
 	}
 	rolap.KernelExecs, rolap.TransferBytes = monitorTotals(mon)
+	rolap.KMVMeanRelErr = kmvMean(monitor.KMVErrorStats{}, mon.KMVError())
 	for _, r := range ran {
 		rolap.ModeledOnMs += r.GPUOn.Milliseconds()
 		rolap.ModeledOffMs += r.GPUOff.Milliseconds()
@@ -152,6 +171,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 
 	// Mixed concurrent workload: gate the two DES makespans.
 	k0, b0 := monitorTotals(h.Eng.Monitor())
+	kmv0 := h.Eng.Monitor().KMVError()
 	start = time.Now()
 	onRes, offRes, err := h.Fig8(io.Discard)
 	if err != nil {
@@ -166,6 +186,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 		WallMs:        float64(time.Since(start).Nanoseconds()) / 1e6,
 		KernelExecs:   k1 - k0,
 		TransferBytes: b1 - b0,
+		KMVMeanRelErr: kmvMean(kmv0, h.Eng.Monitor().KMVError()),
 	})
 
 	m := h.Eng.Monitor()
@@ -307,5 +328,6 @@ func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
 		row("wall_ms", b.WallMs, c.WallMs, false)
 		row("kernel_execs", float64(b.KernelExecs), float64(c.KernelExecs), false)
 		row("transfer_bytes", float64(b.TransferBytes), float64(c.TransferBytes), false)
+		row("kmv_mean_rel_err", b.KMVMeanRelErr, c.KMVMeanRelErr, false)
 	}
 }

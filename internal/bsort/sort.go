@@ -59,6 +59,11 @@ type Stats struct {
 	GPUJobs  int
 	CPUJobs  int
 	MaxDepth int // deepest key segment consulted
+	// Requeues counts duplicate ranges the GPU handed back for the next
+	// key depth; Fallbacks counts GPU-eligible jobs that ended up on the
+	// host because placement or a device operation failed.
+	Requeues  int
+	Fallbacks int
 
 	KeyGen  vtime.Duration // host partial-key/payload generation
 	CPUTime vtime.Duration // host sorting
@@ -203,6 +208,7 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 					cfg.Scheduler.ReportSuccess(placement.Device())
 					gpuBusy[placement.Device().ID()] += t
 					st.GPUJobs++
+					st.Requeues += len(dups)
 					for _, d := range dups {
 						queue = append(queue, job{r: d, depth: j.depth + 1, requeued: true})
 					}
@@ -216,12 +222,16 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 				if errors.Is(gerr, gpu.ErrInjected) {
 					cfg.Scheduler.ReportFailure(placement.Device())
 				}
+				st.Fallbacks++
 				if cfg.Monitor != nil {
 					cfg.Monitor.RecordFallback("sort", errors.Is(gerr, gpu.ErrInjected))
 				}
 				js.Annotate(trace.Str("gpu-error", gerr.Error()))
-			} else if cfg.Monitor != nil {
-				cfg.Monitor.RecordFallback("sort", errors.Is(err, gpu.ErrInjected))
+			} else {
+				st.Fallbacks++
+				if cfg.Monitor != nil {
+					cfg.Monitor.RecordFallback("sort", errors.Is(err, gpu.ErrInjected))
+				}
 			}
 			// No device admitted the job (or it failed): fall back to the
 			// host, like Section 2.1.1's fallback path.

@@ -9,6 +9,7 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/evaluator"
+	"blugpu/internal/explain"
 	"blugpu/internal/gpu"
 	"blugpu/internal/groupby"
 	"blugpu/internal/optimizer"
@@ -28,10 +29,11 @@ type aggPlanItem struct {
 }
 
 func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
+	start := f.at()
 	op := f.begin("op", "groupby")
 
 	// Lower plan aggregates to evaluator aggregates.
@@ -102,14 +104,22 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	if !preGPU {
 		decision = optimizer.UseCPU
 	}
+	// Every effective path decision feeds the monitor, so the decision
+	// breakdown (and the Prometheus counters built from it) covers every
+	// query, not just the ones run under EXPLAIN ANALYZE.
+	e.mon.RecordDecision(decision.String(), reason.String())
 
 	var out *groupby.Result
 	detail := ""
+	fallbackCause := ""
+	var ginfo gpuRunInfo
 	if decision == optimizer.UseGPU {
-		gout, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f, op)
+		gout, info, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f, op)
+		ginfo = info
 		if gerr != nil {
 			// Device full, admission failed, or a GPU operation faulted:
 			// Section 2.1.1's fallback. The query never sees the error.
+			fallbackCause = gerr.Error()
 			e.mon.RecordFallback("groupby", errors.Is(gerr, gpu.ErrInjected))
 			op.Annotate(trace.Str("fallback", gerr.Error()))
 		} else {
@@ -129,6 +139,14 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		detail = fmt.Sprintf("cpu (%s)", reason)
 	}
 
+	// Estimate accountability: with the actual group count in hand, the
+	// KMV estimate the decision ran on gets its relative error recorded.
+	var relErr float64
+	if in.EstGroups > 0 && out.Groups > 0 {
+		relErr = math.Abs(float64(int64(in.EstGroups))-float64(out.Groups)) / float64(out.Groups)
+		e.mon.RecordKMVError(relErr)
+	}
+
 	// Build the output table: decoded key columns + finalized aggregates.
 	outTbl, err := e.buildAggOutput(chain, in, out, items)
 	if err != nil {
@@ -138,12 +156,31 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	e.addCPU(f, finalize)
 	op.End(f.at(), trace.Int("groups", int64(out.Groups)), trace.Str("path", detail))
 	f.tbl = outTbl
-	f.ops = append(f.ops, OpStat{
+	st := OpStat{
 		Op:      "groupby",
 		Detail:  detail,
 		Rows:    out.Groups,
 		Modeled: chain.Modeled + out.Stats.Modeled + finalize,
-	})
+	}
+	f.ops = append(f.ops, st)
+	if q.col != nil {
+		q.record(st, op.ID(), start, f.at(), &explain.AggRecord{
+			Keys:          append([]string(nil), n.Keys...),
+			Plan:          q.col.NextPrognosis(),
+			InputRows:     rows,
+			EstGroups:     int64(in.EstGroups),
+			ActualGroups:  int64(out.Groups),
+			RelErr:        relErr,
+			MemoryDemand:  demand,
+			Decision:      decision.String(),
+			Reason:        reason.String(),
+			Path:          detail,
+			Attempts:      ginfo.attempts,
+			Retries:       ginfo.retries,
+			FallbackCause: fallbackCause,
+			Devices:       ginfo.devices,
+		}, nil)
+	}
 	return f, nil
 }
 
@@ -158,20 +195,31 @@ const maxGPUAttempts = 2
 // attempt).
 const gpuRetryBackoff = 100 * vtime.Microsecond
 
+// gpuRunInfo summarizes a group-by's device attempts for the explain
+// collector: how many placements were tried, how many turned into
+// cross-device retries, and which devices admitted the task.
+type gpuRunInfo struct {
+	attempts int
+	retries  int
+	devices  []int
+}
+
 // runAggregateGPU places the task on the fleet and runs the device path,
 // retrying once on a different device when an operation faults. Every
 // attempt's reservation is released exactly once, before any retry or
 // fallback runs. Each attempt gets a span under the group-by operator's
 // span op; the reservation is bound to it, so every kernel, transfer and
 // injected fault of the attempt lands on that span in the trace.
-func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame, op trace.Context) (*groupby.Result, error) {
+func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f *frame, op trace.Context) (*groupby.Result, gpuRunInfo, error) {
+	var info gpuRunInfo
 	if e.sched == nil {
-		return nil, errors.New("engine: no devices")
+		return nil, info, errors.New("engine: no devices")
 	}
 	var exclude map[int]bool
 	backoff := gpuRetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < maxGPUAttempts; attempt++ {
+		info.attempts++
 		g := op.Begin("gpu", fmt.Sprintf("gpu-groupby attempt %d", attempt+1), f.at())
 		placement, err := e.sched.TryPlaceExcludingTraced(g, f.at(), demand, exclude)
 		if err != nil {
@@ -179,10 +227,11 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 			// waiting briefly is an option (Section 2.1.1); the prototype
 			// falls back to the CPU instead.
 			g.End(f.at(), trace.Str("error", err.Error()))
-			return nil, err
+			return nil, info, err
 		}
 		placement.Reservation().BindSpan(g.ID())
 		dev := placement.Device()
+		info.devices = append(info.devices, dev.ID())
 		out, err := groupby.RunGPU(in, placement.Reservation(), e.model, groupby.GPUOptions{
 			Race:   e.cfg.Race,
 			Pinned: pinned,
@@ -198,7 +247,7 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 			e.mon.RecordMemSample(dev.ID(), vtime.Time(f.modeled.Seconds()), 0, dev.TotalMemory())
 			g.End(f.at(), trace.Int("device", int64(dev.ID())),
 				trace.Str("kernel", out.Stats.Kernel))
-			return out, nil
+			return out, info, nil
 		}
 		faulted := errors.Is(err, gpu.ErrInjected)
 		if faulted {
@@ -207,6 +256,7 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 		g.End(f.at(), trace.Int("device", int64(dev.ID())), trace.Str("error", err.Error()))
 		lastErr = err
 		if attempt+1 < maxGPUAttempts {
+			info.retries++
 			e.mon.RecordGPURetry("groupby", faulted)
 			if exclude == nil {
 				exclude = make(map[int]bool)
@@ -218,7 +268,7 @@ func (e *Engine) runAggregateGPU(in *groupby.Input, demand int64, pinned bool, f
 			backoff *= 2
 		}
 	}
-	return nil, lastErr
+	return nil, info, lastErr
 }
 
 // buildAggOutput decodes group keys and finalizes aggregates into the

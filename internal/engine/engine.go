@@ -21,6 +21,7 @@ import (
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/des"
+	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/gpu"
 	"blugpu/internal/hostmem"
@@ -276,61 +277,73 @@ func (e *Engine) Explain(sql string) (string, error) {
 // explainAggregates annotates every Aggregate node with the Figure-3
 // decision the engine would take from table statistics.
 func (e *Engine) explainAggregates(sb *strings.Builder, n plan.Node) {
-	var input func(plan.Node) plan.Node
-	input = func(n plan.Node) plan.Node {
-		switch x := n.(type) {
-		case *plan.Join:
-			return x.Left
-		case *plan.Filter:
-			return x.Input
-		case *plan.Derive:
-			return x.Input
-		case *plan.Aggregate:
-			return x.Input
-		case *plan.Window:
-			return x.Input
-		case *plan.Project:
-			return x.Input
-		case *plan.Sort:
-			return x.Input
-		case *plan.Limit:
-			return x.Input
-		default:
-			return nil
-		}
+	for _, pr := range e.prognoses(n) {
+		fmt.Fprintf(sb, "groupby keys=%v: est rows<=%d groups~%d -> %s (%s)\n",
+			pr.Keys, pr.Estimate.Rows, pr.Estimate.Groups, pr.Decision, pr.Reason)
 	}
+}
+
+// planInput descends one level along a plan's input spine.
+func planInput(n plan.Node) plan.Node {
+	switch x := n.(type) {
+	case *plan.Join:
+		return x.Left
+	case *plan.Filter:
+		return x.Input
+	case *plan.Derive:
+		return x.Input
+	case *plan.Aggregate:
+		return x.Input
+	case *plan.Window:
+		return x.Input
+	case *plan.Project:
+		return x.Input
+	case *plan.Sort:
+		return x.Input
+	case *plan.Limit:
+		return x.Input
+	default:
+		return nil
+	}
+}
+
+// prognoses computes the plan-time Figure-3 prognosis for every
+// Aggregate in the plan, in plan (top-down) order. EXPLAIN renders
+// these directly; EXPLAIN ANALYZE hands them to the collector so each
+// executed group-by can be audited against its plan-time call.
+func (e *Engine) prognoses(n plan.Node) []optimizer.Prognosis {
+	var out []optimizer.Prognosis
 	// Estimate base cardinality: the scan's table rows (filters unknown
 	// until runtime; the estimate is the upper bound the optimizer has).
 	var baseRows int64 = -1
-	for cur := n; cur != nil; cur = input(cur) {
+	for cur := n; cur != nil; cur = planInput(cur) {
 		if s, ok := cur.(*plan.Scan); ok {
 			if ts := e.stats[s.Table]; ts != nil {
 				baseRows = int64(ts.Rows)
 			}
 		}
 	}
-	for cur := n; cur != nil; cur = input(cur) {
+	for cur := n; cur != nil; cur = planInput(cur) {
 		agg, ok := cur.(*plan.Aggregate)
 		if !ok {
 			continue
 		}
 		var groups uint64
-		for cc := cur; cc != nil; cc = input(cc) {
+		for cc := cur; cc != nil; cc = planInput(cc) {
 			if s, ok := cc.(*plan.Scan); ok {
 				if ts := e.stats[s.Table]; ts != nil {
 					groups = ts.EstimateGroups(agg.Keys, baseRows)
 				}
 			}
 		}
-		decision, reason := optimizer.Decide(optimizer.Estimate{
+		out = append(out, optimizer.Prognose(agg.Keys, optimizer.Estimate{
 			Rows:   baseRows,
 			Groups: int64(groups),
 			// Rough demand: rows * (key + payload vectors).
 			MemoryDemand: baseRows * int64(8*(1+len(agg.Aggs))),
-		}, e.thresholds, e.maxDeviceMem())
-		fmt.Fprintf(sb, "groupby keys=%v: est rows<=%d groups~%d -> %s (%s)\n",
-			agg.Keys, baseRows, groups, decision, reason)
+		}, e.thresholds, e.maxDeviceMem()))
 	}
+	return out
 }
 
 // Execute runs a lowered plan.
@@ -342,7 +355,17 @@ func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
 // is attached. Consecutive queries lay out back to back on the engine's
 // virtual clock, so one trace file holds a whole session.
 func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, error) {
-	var q qctx
+	res, _, err := e.executeWith(name, p, sql, nil)
+	return res, err
+}
+
+// executeWith is executeNamed with an optional explain collector
+// threaded through the query context. It additionally returns the
+// query's 1-based sequence number on the tracer (0 when tracing is
+// off), which EXPLAIN ANALYZE uses to carve the query's span subtree
+// out of a shared tracer.
+func (e *Engine) executeWith(name string, p *plan.Plan, sql string, col *explain.Collector) (*Result, uint64, error) {
+	q := qctx{col: col}
 	tr := e.tracer.Load()
 	if tr != nil {
 		e.clockMu.Lock()
@@ -358,7 +381,7 @@ func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, e
 		if q.tc.Enabled() {
 			q.tc.End(q.base, trace.Str("error", err.Error()))
 		}
-		return nil, err
+		return nil, q.tc.Query(), err
 	}
 	cols := p.Output
 	if len(cols) == 0 {
@@ -393,15 +416,42 @@ func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, e
 	if e.sched != nil {
 		e.sched.Advance(res.Modeled)
 	}
-	return res, nil
+	return res, q.tc.Query(), nil
 }
 
 // qctx is the per-query trace context threaded through execution: the
 // query's root span plus its start offset on the engine's virtual clock.
 // The zero value (tracer detached) makes every span operation a no-op.
+// col, when set, collects per-operator explain records; depth is the
+// current plan-tree depth (root 0), bumped by deeper() at every exec
+// recursion so records carry their node's depth even though the frame
+// itself carries the deepest (scan-level) context.
 type qctx struct {
-	tc   trace.Context
-	base vtime.Time
+	tc    trace.Context
+	base  vtime.Time
+	col   *explain.Collector
+	depth int
+}
+
+// deeper returns the context one plan level down.
+func (q qctx) deeper() qctx {
+	q.depth++
+	return q
+}
+
+// record hooks one executed operator into the explain collector; a nil
+// collector makes it a no-op. start/end bound the operator on the
+// query's virtual timeline (end - start includes retry backoff, which
+// the OpStat's Modeled excludes).
+func (q qctx) record(st OpStat, span trace.SpanID, start, end vtime.Time, agg *explain.AggRecord, srt *explain.SortRecord) {
+	if q.col == nil {
+		return
+	}
+	q.col.Record(explain.OpRecord{
+		Op: st.Op, Detail: st.Detail, Depth: q.depth, Rows: st.Rows,
+		Span: span, Start: start, End: end, Modeled: st.Modeled,
+		Agg: agg, Sort: srt,
+	})
 }
 
 // frame is an intermediate execution state.

@@ -63,19 +63,23 @@ func (e *Engine) execScan(n *plan.Scan, q qctx) (*frame, error) {
 		}
 	}
 	f := &frame{q: q, tbl: tbl}
+	start := f.at()
 	sp := f.begin("op", "scan")
 	t := e.model.CPUTime(float64(tbl.Rows()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(f, t)
 	sp.End(f.at(), trace.Str("table", n.Table), trace.Int("rows", int64(tbl.Rows())))
-	f.ops = append(f.ops, OpStat{Op: "scan", Detail: n.Table, Rows: tbl.Rows(), Modeled: t})
+	st := OpStat{Op: "scan", Detail: n.Table, Rows: tbl.Rows(), Modeled: t}
+	f.ops = append(f.ops, st)
+	q.record(st, sp.ID(), start, f.at(), nil, nil)
 	return f, nil
 }
 
 func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
+	start := f.at()
 	sp := f.begin("op", "filter")
 	sel, err := expr.EvalPredicateDegree(f.tbl, n.Pred, e.cfg.Degree)
 	if err != nil {
@@ -88,15 +92,18 @@ func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
 	e.addCPU(f, t)
 	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
-	f.ops = append(f.ops, OpStat{Op: "filter", Detail: n.Pred.String(), Rows: out.Rows(), Modeled: t})
+	st := OpStat{Op: "filter", Detail: n.Pred.String(), Rows: out.Rows(), Modeled: t}
+	f.ops = append(f.ops, st)
+	q.record(st, sp.ID(), start, f.at(), nil, nil)
 	return f, nil
 }
 
 func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
-	left, err := e.exec(n.Left, q)
+	left, err := e.exec(n.Left, q.deeper())
 	if err != nil {
 		return nil, err
 	}
+	start := left.at()
 	sp := left.begin("op", "join")
 	right := e.tables[n.Table]
 	if right == nil {
@@ -198,18 +205,21 @@ func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
 	e.addCPU(left, t)
 	sp.End(left.at(), trace.Str("table", n.Table), trace.Int("rows", int64(out.Rows())))
 	left.tbl = out
-	left.ops = append(left.ops, OpStat{
+	st := OpStat{
 		Op: "join", Detail: fmt.Sprintf("%s on %s=%s", n.Table, lcol, rcol),
 		Rows: out.Rows(), Modeled: t,
-	})
+	}
+	left.ops = append(left.ops, st)
+	q.record(st, sp.ID(), start, left.at(), nil, nil)
 	return left, nil
 }
 
 func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
+	start := f.at()
 	sp := f.begin("op", "derive")
 	cols := append([]columnar.Column{}, f.tbl.Columns()...)
 	for _, dc := range n.Cols {
@@ -227,15 +237,18 @@ func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
 	e.addCPU(f, t)
 	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
-	f.ops = append(f.ops, OpStat{Op: "derive", Rows: out.Rows(), Modeled: t})
+	st := OpStat{Op: "derive", Rows: out.Rows(), Modeled: t}
+	f.ops = append(f.ops, st)
+	q.record(st, sp.ID(), start, f.at(), nil, nil)
 	return f, nil
 }
 
 func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
+	start := f.at()
 	sp := f.begin("op", "project")
 	cols := make([]columnar.Column, len(n.Cols))
 	exprWork := 0
@@ -264,12 +277,14 @@ func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
 	e.addCPU(f, t)
 	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))
 	f.tbl = out
-	f.ops = append(f.ops, OpStat{Op: "project", Rows: out.Rows(), Modeled: t})
+	st := OpStat{Op: "project", Rows: out.Rows(), Modeled: t}
+	f.ops = append(f.ops, st)
+	q.record(st, sp.ID(), start, f.at(), nil, nil)
 	return f, nil
 }
 
 func (e *Engine) execLimit(n *plan.Limit, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +294,11 @@ func (e *Engine) execLimit(n *plan.Limit, q qctx) (*frame, error) {
 	}
 	rows := columnar.IotaRows(limit, e.cfg.Degree)
 	f.tbl = columnar.GatherTableDegree(f.tbl.Name()+"_l", f.tbl, rows, e.cfg.Degree)
-	f.ops = append(f.ops, OpStat{Op: "limit", Rows: f.tbl.Rows()})
+	st := OpStat{Op: "limit", Rows: f.tbl.Rows()}
+	f.ops = append(f.ops, st)
+	// Limit charges no modeled time and emits no span; the zero-width
+	// record keeps the audit's operator list 1:1 with Result.Ops.
+	q.record(st, 0, f.at(), f.at(), nil, nil)
 	return f, nil
 }
 

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"blugpu/internal/explain"
+	"blugpu/internal/plan"
+	"blugpu/internal/sqlparse"
+	"blugpu/internal/trace"
+)
+
+// monTotals is a point-in-time snapshot of the monitor counters the
+// explain report reconciles. Subtracting two snapshots taken around one
+// query yields that query's Totals. Only valid for single-query use:
+// concurrent queries on the same engine would interleave their deltas.
+type monTotals struct {
+	kernels       uint64
+	transfers     uint64
+	transferBytes int64
+	retries       uint64
+	placeRetries  uint64
+	fallbacks     uint64
+	faults        uint64
+}
+
+func (e *Engine) monTotals() monTotals {
+	var t monTotals
+	for _, k := range e.mon.Kernels() {
+		t.kernels += k.Count
+	}
+	h2d, d2h := e.mon.Transfers()
+	t.transfers = h2d.Count + d2h.Count
+	t.transferBytes = h2d.Bytes + d2h.Bytes
+	for _, r := range e.mon.Retries() {
+		if r.Op == "place" {
+			t.placeRetries += r.Count
+		} else {
+			t.retries += r.Count
+		}
+	}
+	for _, fb := range e.mon.Fallbacks() {
+		t.fallbacks += fb.Count
+	}
+	t.faults = e.mon.FaultTotal()
+	return t
+}
+
+func (t monTotals) sub(o monTotals) explain.Totals {
+	return explain.Totals{
+		Kernels:       t.kernels - o.kernels,
+		Transfers:     t.transfers - o.transfers,
+		TransferBytes: t.transferBytes - o.transferBytes,
+		Retries:       t.retries - o.retries,
+		PlaceRetries:  t.placeRetries - o.placeRetries,
+		Fallbacks:     t.fallbacks - o.fallbacks,
+		Faults:        t.faults - o.faults,
+	}
+}
+
+// ExplainAnalyze runs sql and returns the decision audit: the plan-time
+// prognosis next to what actually ran, reconciled against the span tree
+// and the monitor counters.
+func (e *Engine) ExplainAnalyze(sql string) (*explain.Report, error) {
+	rep, _, err := e.ExplainAnalyzeNamed("", sql)
+	return rep, err
+}
+
+// ExplainAnalyzeNamed is ExplainAnalyze under an explicit query name
+// (empty picks the tracer's automatic "q<N>"). It also returns the
+// query result, which the shell prints below the audit.
+//
+// A tracer is required for span attribution; when none is attached the
+// engine installs a temporary one for the duration of the call and
+// detaches it afterwards.
+func (e *Engine) ExplainAnalyzeNamed(name, sql string) (*explain.Report, *Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := plan.Build(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := e.tracer.Load()
+	if tr == nil {
+		tr = trace.New()
+		e.tracer.Store(tr)
+		defer e.tracer.Store(nil)
+	}
+	col := explain.NewCollector(e.prognoses(p.Root))
+	before := e.monTotals()
+	orphans0 := tr.Orphans()
+	host0 := e.registry.Stats()
+	e.registry.ResetWatermark()
+
+	res, seq, err := e.executeWith(name, p, sql, col)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	after := e.monTotals()
+	host1 := e.registry.Stats()
+	if name == "" {
+		// Mirror the tracer's automatic root-span naming.
+		name = fmt.Sprintf("q%d", seq)
+	}
+	rep := explain.Build(explain.Input{
+		Query:      name,
+		SQL:        sql,
+		Plan:       fmt.Sprintf("%s", p.Root),
+		GPUEnabled: e.GPUEnabled(),
+		Thresholds: e.thresholds,
+		Modeled:    res.Modeled,
+		Rows:       res.Table.Rows(),
+		Ops:        col.Ops(),
+		Spans:      tr.QuerySpans(seq),
+		Monitor:    after.sub(before),
+		Host: explain.HostMemStats{
+			WatermarkBytes: host1.Watermark,
+			FreeSpans:      host1.FreeSpans,
+			MaxFreeSpans:   host1.MaxFreeSpans,
+			Allocs:         host1.Allocs - host0.Allocs,
+			Fails:          host1.Fails - host0.Fails,
+		},
+		Orphans: tr.Orphans() - orphans0,
+	})
+	return rep, res, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"blugpu/internal/bsort"
 	"blugpu/internal/columnar"
+	"blugpu/internal/explain"
 	"blugpu/internal/parallel"
 	"blugpu/internal/plan"
 	"blugpu/internal/trace"
@@ -122,12 +123,21 @@ func (e *Engine) hybridSort(tbl *columnar.Table, keys []plan.SortKey, f *frame, 
 	return perm, stats, nil
 }
 
+// sortRecord converts bsort stats to the explain collector's shape.
+func sortRecord(stats bsort.Stats) *explain.SortRecord {
+	return &explain.SortRecord{
+		Jobs: stats.Jobs, GPUJobs: stats.GPUJobs, CPUJobs: stats.CPUJobs,
+		Requeues: stats.Requeues, Fallbacks: stats.Fallbacks, MaxDepth: stats.MaxDepth,
+	}
+}
+
 func (e *Engine) execSort(n *plan.Sort, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
 	if f.tbl.Rows() > 1 {
+		start := f.at()
 		sp := f.begin("op", "sort")
 		perm, stats, err := e.hybridSort(f.tbl, n.Keys, f, sp)
 		if err != nil {
@@ -136,18 +146,20 @@ func (e *Engine) execSort(n *plan.Sort, q qctx) (*frame, error) {
 		sp.End(f.at(), trace.Int("rows", int64(f.tbl.Rows())),
 			trace.Int("jobs", int64(stats.Jobs)), trace.Int("gpu-jobs", int64(stats.GPUJobs)))
 		f.tbl = columnar.GatherTableDegree(f.tbl.Name()+"_s", f.tbl, perm, e.cfg.Degree)
-		f.ops = append(f.ops, OpStat{
+		st := OpStat{
 			Op:      "sort",
 			Detail:  fmt.Sprintf("jobs=%d gpu=%d cpu=%d", stats.Jobs, stats.GPUJobs, stats.CPUJobs),
 			Rows:    f.tbl.Rows(),
 			Modeled: stats.Modeled,
-		})
+		}
+		f.ops = append(f.ops, st)
+		q.record(st, sp.ID(), start, f.at(), nil, sortRecord(stats))
 	}
 	return f, nil
 }
 
 func (e *Engine) execWindow(n *plan.Window, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q)
+	f, err := e.exec(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -161,18 +173,21 @@ func (e *Engine) execWindow(n *plan.Window, q qctx) (*frame, error) {
 			keys = append(keys, plan.SortKey{Column: p})
 		}
 		keys = append(keys, n.OrderBy...)
+		start := f.at()
 		sp := f.begin("op", "window-sort")
 		perm, stats, err := e.hybridSort(tbl, keys, f, sp)
 		if err != nil {
 			return nil, err
 		}
 		sp.End(f.at(), trace.Int("rows", int64(tbl.Rows())))
-		f.ops = append(f.ops, OpStat{
+		st := OpStat{
 			Op:      "window-sort",
 			Detail:  fmt.Sprintf("rank over %d rows", tbl.Rows()),
 			Rows:    tbl.Rows(),
 			Modeled: stats.Modeled,
-		})
+		}
+		f.ops = append(f.ops, st)
+		q.record(st, sp.ID(), start, f.at(), nil, sortRecord(stats))
 
 		partKeys, err := encodeSortKeys(tbl, partitionKeys(n), e.cfg.Degree)
 		if err != nil {

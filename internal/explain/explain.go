@@ -1,0 +1,147 @@
+// Package explain implements EXPLAIN ANALYZE for the hybrid engine: a
+// per-query decision audit that reconciles what the optimizer planned
+// with what actually ran.
+//
+// The engine already produces three partial views of one execution —
+// the tracer's span tree (which operator, which attempt, which kernel),
+// the monitor's aggregate counters (how much, fleet-wide), and the
+// optimizer's Figure-3 decisions (where work *should* run). None of
+// them answers the operational question "was the plan right for this
+// query?". This package joins all three: lightweight hooks in the
+// engine record per-operator facts into a Collector while the query
+// runs, and Build then cross-checks them against the query's span
+// subtree and the monitor deltas, producing a Report whose per-operator
+// kernel/transfer/fallback counts sum exactly to the query totals.
+//
+// Reports render two ways, following the repo's exporter conventions:
+// a byte-stable text tree (golden-locked — only virtual-time values and
+// deterministic orderings appear) and JSON with an independent
+// validator (ValidateReport), the same pattern as trace.ValidateChrome
+// and metrics.ValidateExposition.
+package explain
+
+import (
+	"sync"
+
+	"blugpu/internal/optimizer"
+	"blugpu/internal/trace"
+	"blugpu/internal/vtime"
+)
+
+// AggRecord is the group-by-specific slice of an operator record: the
+// estimate-accountability and path-decision facts only the engine's
+// aggregate executor knows.
+type AggRecord struct {
+	Keys []string
+	// Plan is the plan-time prognosis (from table statistics), when the
+	// planner produced one for this group-by.
+	Plan *optimizer.Prognosis
+	// InputRows is the exact input cardinality the runtime decision saw.
+	InputRows int64
+	// EstGroups is the KMV sketch's group-count estimate; ActualGroups
+	// is what the group-by actually produced. RelErr is
+	// |EstGroups-ActualGroups|/ActualGroups (0 when ActualGroups is 0).
+	EstGroups    int64
+	ActualGroups int64
+	RelErr       float64
+	// MemoryDemand is the exact device demand the runtime decision saw.
+	MemoryDemand int64
+	// Decision/Reason are the runtime Figure-3 outcome; Path is what
+	// finally executed ("gpu/<kernel>" or "cpu (<reason>)").
+	Decision string
+	Reason   string
+	Path     string
+	// Attempts counts device placements tried; Retries the cross-device
+	// retries among them; FallbackCause is the terminal GPU error that
+	// routed the query to the CPU (empty when the GPU path succeeded or
+	// was never tried).
+	Attempts      int
+	Retries       int
+	FallbackCause string
+	// Devices lists the device ids of successful placements, in order.
+	Devices []int
+}
+
+// SortRecord is the sort-specific slice of an operator record: the
+// hybrid job-queue breakdown.
+type SortRecord struct {
+	Jobs      int
+	GPUJobs   int
+	CPUJobs   int
+	Requeues  int // duplicate ranges the GPU handed back
+	Fallbacks int // GPU-eligible jobs that ended up on the host
+	MaxDepth  int
+}
+
+// OpRecord is one executed operator as the engine's hooks saw it.
+type OpRecord struct {
+	Op     string
+	Detail string
+	// Depth is the operator's depth in the plan tree (the root operator
+	// is depth 0); execution order is deepest-first.
+	Depth int
+	Rows  int
+	// Span is the operator's trace span id (0 when the operator emits no
+	// span, e.g. limit). Start/End bound the operator on the query's
+	// virtual timeline; Modeled is the engine-charged self time (which
+	// excludes retry backoff — the span bounds include it).
+	Span       trace.SpanID
+	Start, End vtime.Time
+	Modeled    vtime.Duration
+	Agg        *AggRecord
+	Sort       *SortRecord
+}
+
+// Collector accumulates operator records during one query execution.
+// The engine threads one through its per-query context; hooks are
+// no-ops when no collector is attached. Safe for concurrent use (the
+// engine is single-threaded per query today, but hooks follow the
+// tracer's locking discipline).
+type Collector struct {
+	mu        sync.Mutex
+	ops       []OpRecord
+	prognoses []optimizer.Prognosis
+}
+
+// NewCollector returns a collector pre-loaded with the plan-time
+// prognoses in plan order (root first). Execution visits aggregates
+// bottom-up, so NextPrognosis pops from the back.
+func NewCollector(prognoses []optimizer.Prognosis) *Collector {
+	return &Collector{prognoses: prognoses}
+}
+
+// Record appends one operator record in execution order.
+func (c *Collector) Record(rec OpRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops = append(c.ops, rec)
+}
+
+// NextPrognosis hands out the next plan-time prognosis in execution
+// (bottom-up) order, nil when none remain.
+func (c *Collector) NextPrognosis() *optimizer.Prognosis {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.prognoses) == 0 {
+		return nil
+	}
+	p := c.prognoses[len(c.prognoses)-1]
+	c.prognoses = c.prognoses[:len(c.prognoses)-1]
+	return &p
+}
+
+// Ops returns the recorded operators in execution order.
+func (c *Collector) Ops() []OpRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]OpRecord(nil), c.ops...)
+}

@@ -1,0 +1,470 @@
+package explain
+
+import (
+	"fmt"
+	"math"
+
+	"blugpu/internal/optimizer"
+	"blugpu/internal/trace"
+	"blugpu/internal/vtime"
+)
+
+// ReportSchema versions the JSON report layout; ValidateReport refuses
+// documents from a different schema.
+const ReportSchema = 1
+
+// Totals are the monitor-counter deltas the engine attributes to one
+// query (snapshots taken immediately before and after execution).
+type Totals struct {
+	Kernels       uint64
+	Transfers     uint64
+	TransferBytes int64
+	// Retries counts cross-device group-by retries; PlaceRetries counts
+	// the scheduler's same-placement retries down its candidate ranking
+	// (those have no dedicated span, so they reconcile separately).
+	Retries      uint64
+	PlaceRetries uint64
+	Fallbacks    uint64
+	Faults       uint64
+}
+
+// HostMemStats is the pinned host segment's per-query accounting.
+type HostMemStats struct {
+	// WatermarkBytes is the segment's in-use peak during the query (the
+	// registry's watermark, re-armed just before execution).
+	WatermarkBytes int64
+	FreeSpans      int
+	MaxFreeSpans   int
+	Allocs         uint64
+	Fails          uint64
+}
+
+// Input is everything Build joins into a report.
+type Input struct {
+	Query      string
+	SQL        string
+	Plan       string
+	GPUEnabled bool
+	Thresholds optimizer.Thresholds
+	Modeled    vtime.Duration
+	Rows       int
+	// Ops are the engine hooks' records in execution order.
+	Ops []OpRecord
+	// Spans is the query's complete span subtree (Tracer.QuerySpans) and
+	// Root the query-root span id.
+	Spans []trace.Span
+	Root  trace.SpanID
+	// Monitor holds the query's counter deltas; Host the pinned-segment
+	// accounting; Orphans the tracer's orphaned-device-event delta.
+	Monitor Totals
+	Host    HostMemStats
+	Orphans uint64
+}
+
+// PlanReport is the plan-time half of a group-by audit.
+type PlanReport struct {
+	Rows        int64  `json:"rows"`
+	Groups      int64  `json:"groups"`
+	DemandBytes int64  `json:"demand_bytes"`
+	Decision    string `json:"decision"`
+	Reason      string `json:"reason"`
+	// Agrees reports whether the runtime decision matched the plan-time
+	// one — the headline of the decision audit.
+	Agrees bool `json:"agrees"`
+}
+
+// GroupbyReport is the estimate-accountability and path audit of one
+// group-by operator.
+type GroupbyReport struct {
+	Keys []string    `json:"keys"`
+	Plan *PlanReport `json:"plan,omitempty"`
+	// InputRows/EstGroups/DemandBytes are what the runtime Figure-3
+	// decision actually saw; ActualGroups what the operator produced.
+	InputRows    int64   `json:"input_rows"`
+	EstGroups    int64   `json:"est_groups"`
+	ActualGroups int64   `json:"actual_groups"`
+	RelErr       float64 `json:"rel_err"`
+	DemandBytes  int64   `json:"demand_bytes"`
+	Decision     string  `json:"decision"`
+	Reason       string  `json:"reason"`
+	Path         string  `json:"path"`
+	Attempts     int     `json:"attempts"`
+	Retries      int     `json:"retries"`
+	FallbackCause string `json:"fallback_cause,omitempty"`
+	Devices      []int   `json:"devices,omitempty"`
+}
+
+// SortReport is the hybrid sort's job-queue breakdown. JobSpans is the
+// span-side count of "sort-job" spans under the operator, which must
+// equal Jobs in a fully attributed run.
+type SortReport struct {
+	Jobs      int `json:"jobs"`
+	GPUJobs   int `json:"gpu_jobs"`
+	CPUJobs   int `json:"cpu_jobs"`
+	Requeues  int `json:"requeues"`
+	Fallbacks int `json:"fallbacks"`
+	MaxDepth  int `json:"max_depth"`
+	JobSpans  int `json:"job_spans"`
+}
+
+// OpReport is one operator of the audited plan, annotated with both the
+// engine-side record and the span-subtree evidence.
+type OpReport struct {
+	Op     string `json:"op"`
+	Detail string `json:"detail,omitempty"`
+	Depth  int    `json:"depth"`
+	Rows   int    `json:"rows"`
+	// VtimeMs is the operator's span-bounded virtual time (includes retry
+	// backoff); SelfMs is the engine-charged operator cost (excludes it).
+	VtimeMs float64 `json:"vtime_ms"`
+	SelfMs  float64 `json:"self_ms"`
+	// Span-subtree evidence: device work, placement attempts, breaker
+	// exclusions and degradations under this operator.
+	Kernels         int    `json:"kernels"`
+	Transfers       int    `json:"transfers"`
+	TransferBytes   int64  `json:"transfer_bytes"`
+	Placements      int    `json:"placements"`
+	PlaceFailures   int    `json:"place_failures"`
+	QuarantineSkips int    `json:"quarantine_skips"`
+	Retries         int    `json:"retries"`
+	Fallbacks       int    `json:"fallbacks"`
+	Faults          int    `json:"faults"`
+	Attributed      bool   `json:"attributed"`
+	Groupby *GroupbyReport `json:"groupby,omitempty"`
+	Sort    *SortReport    `json:"sort,omitempty"`
+}
+
+// TotalsReport is the query-level double-entry ledger: each monitor
+// counter next to its span-tree counterpart. Mismatches lists every
+// disagreement (empty in a reconciled run).
+type TotalsReport struct {
+	Kernels           uint64 `json:"kernels"`
+	KernelSpans       int    `json:"kernel_spans"`
+	Transfers         uint64 `json:"transfers"`
+	TransferSpans     int    `json:"transfer_spans"`
+	TransferBytes     int64  `json:"transfer_bytes"`
+	TransferSpanBytes int64  `json:"transfer_span_bytes"`
+	Retries           uint64 `json:"retries"`
+	RetrySpans        int    `json:"retry_spans"`
+	PlaceRetries      uint64 `json:"place_retries"`
+	Fallbacks         uint64 `json:"fallbacks"`
+	FallbackSpans     int    `json:"fallback_spans"`
+	Faults            uint64 `json:"faults"`
+	FaultAttrs        int    `json:"fault_attrs"`
+	Placements        int    `json:"placements"`
+	PlaceFailures     int    `json:"place_failures"`
+	QuarantineSkips   int    `json:"quarantine_skips"`
+	Mismatches        []string `json:"mismatches,omitempty"`
+}
+
+// MemoryReport is the query's memory accounting.
+type MemoryReport struct {
+	// DeviceHighWaterBytes is the largest single device reservation the
+	// query held (max demand among successful placements).
+	DeviceHighWaterBytes int64 `json:"device_high_water_bytes"`
+	HostWatermarkBytes   int64 `json:"host_watermark_bytes"`
+	HostFreeSpans        int   `json:"host_free_spans"`
+	HostMaxFreeSpans     int   `json:"host_max_free_spans"`
+	HostAllocs           uint64 `json:"host_allocs"`
+	HostAllocFails       uint64 `json:"host_alloc_fails"`
+}
+
+// Report is one query's complete decision audit.
+type Report struct {
+	Schema     int    `json:"schema"`
+	Query      string `json:"query"`
+	SQL        string `json:"sql,omitempty"`
+	Plan       string `json:"plan"`
+	GPUEnabled bool   `json:"gpu_enabled"`
+	Thresholds string `json:"thresholds"`
+	ModeledMs  float64 `json:"modeled_ms"`
+	Rows       int    `json:"rows"`
+	// Ops is in display order: the plan root first, its input below it.
+	Ops    []OpReport   `json:"ops"`
+	Totals TotalsReport `json:"totals"`
+	Memory MemoryReport `json:"memory"`
+	// Unattributed counts operators that did work without a span plus
+	// device-work spans claimed by no operator; Orphans is the tracer's
+	// orphaned-event count for the query. Both are 0 in a clean run.
+	Unattributed int    `json:"unattributed"`
+	Orphans      uint64 `json:"orphans"`
+}
+
+// quantMs quantizes a virtual duration to 1e-6 ms (one modeled
+// nanosecond) — the same quantum as the bench snapshots, and for the
+// same reason: parallel host pools accumulate chunk durations in
+// completion order, which drifts by ~1 ulp run to run, and the rendered
+// report must be byte-stable.
+func quantMs(d vtime.Duration) float64 {
+	return math.Round(d.Milliseconds()*1e6) / 1e6
+}
+
+// spanStats is what one span subtree contributes to an operator.
+type spanStats struct {
+	kernels, transfers           int
+	transferBytes                int64
+	placements, placeFails       int
+	quarantineSkips              int
+	retries, fallbacks, faults   int
+	jobSpans                     int
+}
+
+// Build joins the engine's operator records, the query's span subtree
+// and the monitor deltas into a Report.
+func Build(in Input) *Report {
+	r := &Report{
+		Schema:     ReportSchema,
+		Query:      in.Query,
+		SQL:        in.SQL,
+		Plan:       in.Plan,
+		GPUEnabled: in.GPUEnabled,
+		Thresholds: in.Thresholds.String(),
+		ModeledMs:  quantMs(in.Modeled),
+		Rows:       in.Rows,
+		Orphans:    in.Orphans,
+	}
+
+	// Index the span subtree: id -> span, parent -> children, both in
+	// creation order (deterministic).
+	byID := make(map[trace.SpanID]*trace.Span, len(in.Spans))
+	children := make(map[trace.SpanID][]trace.SpanID, len(in.Spans))
+	for i := range in.Spans {
+		s := &in.Spans[i]
+		byID[s.ID] = s
+		children[s.Parent] = append(children[s.Parent], s.ID)
+	}
+
+	// tally accumulates one span (not its children) into st.
+	tally := func(s *trace.Span, st *spanStats) {
+		switch s.Cat {
+		case "kernel":
+			st.kernels++
+		case "transfer":
+			st.transfers++
+			for _, a := range s.Attrs {
+				if a.Key == "bytes" && a.IsInt {
+					st.transferBytes += a.Int
+				}
+			}
+		case "sort-job":
+			st.jobSpans++
+		case "sched":
+			if s.Name == "place" {
+				ok := false
+				for _, a := range s.Attrs {
+					if a.Key == "device" {
+						ok = true
+					}
+				}
+				if ok {
+					st.placements++
+				} else {
+					st.placeFails++
+				}
+			}
+		case "gpu":
+			if s.Name == "retry-backoff" {
+				st.retries++
+			}
+		}
+		for _, a := range s.Attrs {
+			switch a.Key {
+			case "quarantined":
+				st.quarantineSkips++
+			case "fault":
+				st.faults++
+			case "fallback", "gpu-error":
+				st.fallbacks++
+			}
+		}
+	}
+
+	// walk tallies a whole subtree rooted at id (inclusive), marking every
+	// visited span as claimed.
+	claimed := make(map[trace.SpanID]bool, len(in.Spans))
+	var walk func(id trace.SpanID, st *spanStats)
+	walk = func(id trace.SpanID, st *spanStats) {
+		s := byID[id]
+		if s == nil {
+			return
+		}
+		claimed[id] = true
+		tally(s, st)
+		for _, c := range children[id] {
+			walk(c, st)
+		}
+	}
+
+	// deviceHighWater scans successful placements for the largest demand.
+	var deviceHighWater int64
+	for i := range in.Spans {
+		s := &in.Spans[i]
+		if s.Cat != "sched" || s.Name != "place" {
+			continue
+		}
+		var demand int64
+		ok := false
+		for _, a := range s.Attrs {
+			if a.Key == "demand_bytes" && a.IsInt {
+				demand = a.Int
+			}
+			if a.Key == "device" {
+				ok = true
+			}
+		}
+		if ok && demand > deviceHighWater {
+			deviceHighWater = demand
+		}
+	}
+
+	// Per-operator reports, in execution order first.
+	unattributed := 0
+	execOrder := make([]OpReport, 0, len(in.Ops))
+	for _, rec := range in.Ops {
+		op := OpReport{
+			Op:     rec.Op,
+			Detail: rec.Detail,
+			Depth:  rec.Depth,
+			Rows:   rec.Rows,
+			SelfMs: quantMs(rec.Modeled),
+		}
+		var st spanStats
+		if rec.Span != 0 {
+			if s := byID[rec.Span]; s != nil {
+				walk(rec.Span, &st)
+				op.VtimeMs = quantMs(s.End.Sub(s.Start))
+				op.Attributed = true
+			}
+		}
+		if !op.Attributed {
+			op.VtimeMs = quantMs(rec.End.Sub(rec.Start))
+			// An operator that charged no time needs no span to be
+			// accounted for (limit does pure bookkeeping).
+			if rec.Modeled == 0 && rec.End == rec.Start {
+				op.Attributed = true
+			} else {
+				unattributed++
+			}
+		}
+		op.Kernels = st.kernels
+		op.Transfers = st.transfers
+		op.TransferBytes = st.transferBytes
+		op.Placements = st.placements
+		op.PlaceFailures = st.placeFails
+		op.QuarantineSkips = st.quarantineSkips
+		op.Retries = st.retries
+		op.Fallbacks = st.fallbacks
+		op.Faults = st.faults
+		if rec.Agg != nil {
+			a := rec.Agg
+			g := &GroupbyReport{
+				Keys:          a.Keys,
+				InputRows:     a.InputRows,
+				EstGroups:     a.EstGroups,
+				ActualGroups:  a.ActualGroups,
+				RelErr:        math.Round(a.RelErr*1e6) / 1e6,
+				DemandBytes:   a.MemoryDemand,
+				Decision:      a.Decision,
+				Reason:        a.Reason,
+				Path:          a.Path,
+				Attempts:      a.Attempts,
+				Retries:       a.Retries,
+				FallbackCause: a.FallbackCause,
+				Devices:       a.Devices,
+			}
+			if a.Plan != nil {
+				g.Plan = &PlanReport{
+					Rows:        a.Plan.Estimate.Rows,
+					Groups:      a.Plan.Estimate.Groups,
+					DemandBytes: a.Plan.Estimate.MemoryDemand,
+					Decision:    a.Plan.Decision.String(),
+					Reason:      a.Plan.Reason.String(),
+					Agrees:      a.Plan.Decision.String() == a.Decision,
+				}
+			}
+			op.Groupby = g
+		}
+		if rec.Sort != nil {
+			s := rec.Sort
+			op.Sort = &SortReport{
+				Jobs: s.Jobs, GPUJobs: s.GPUJobs, CPUJobs: s.CPUJobs,
+				Requeues: s.Requeues, Fallbacks: s.Fallbacks, MaxDepth: s.MaxDepth,
+				JobSpans: st.jobSpans,
+			}
+		}
+		execOrder = append(execOrder, op)
+	}
+	// Display order: plan root first.
+	r.Ops = make([]OpReport, 0, len(execOrder))
+	for i := len(execOrder) - 1; i >= 0; i-- {
+		r.Ops = append(r.Ops, execOrder[i])
+	}
+
+	// Query-level span totals over the whole subtree, then device-work
+	// spans no operator claimed.
+	var qt spanStats
+	for i := range in.Spans {
+		tally(&in.Spans[i], &qt)
+	}
+	for i := range in.Spans {
+		s := &in.Spans[i]
+		if claimed[s.ID] {
+			continue
+		}
+		if s.Cat == "kernel" || s.Cat == "transfer" {
+			unattributed++
+		}
+	}
+	r.Unattributed = unattributed
+
+	t := TotalsReport{
+		Kernels:           in.Monitor.Kernels,
+		KernelSpans:       qt.kernels,
+		Transfers:         in.Monitor.Transfers,
+		TransferSpans:     qt.transfers,
+		TransferBytes:     in.Monitor.TransferBytes,
+		TransferSpanBytes: qt.transferBytes,
+		Retries:           in.Monitor.Retries,
+		RetrySpans:        qt.retries,
+		PlaceRetries:      in.Monitor.PlaceRetries,
+		Fallbacks:         in.Monitor.Fallbacks,
+		FallbackSpans:     qt.fallbacks,
+		Faults:            in.Monitor.Faults,
+		FaultAttrs:        qt.faults,
+		Placements:        qt.placements,
+		PlaceFailures:     qt.placeFails,
+		QuarantineSkips:   qt.quarantineSkips,
+	}
+	mismatch := func(name string, counter uint64, spans int) {
+		if counter != uint64(spans) {
+			t.Mismatches = append(t.Mismatches,
+				fmt.Sprintf("%s: monitor=%d spans=%d", name, counter, spans))
+		}
+	}
+	mismatch("kernels", t.Kernels, t.KernelSpans)
+	mismatch("transfers", t.Transfers, t.TransferSpans)
+	if t.TransferBytes != t.TransferSpanBytes {
+		t.Mismatches = append(t.Mismatches,
+			fmt.Sprintf("transfer-bytes: monitor=%d spans=%d", t.TransferBytes, t.TransferSpanBytes))
+	}
+	mismatch("retries", t.Retries, t.RetrySpans)
+	mismatch("fallbacks", t.Fallbacks, t.FallbackSpans)
+	mismatch("faults", t.Faults, t.FaultAttrs)
+	r.Totals = t
+
+	r.Memory = MemoryReport{
+		DeviceHighWaterBytes: deviceHighWater,
+		HostWatermarkBytes:   in.Host.WatermarkBytes,
+		HostFreeSpans:        in.Host.FreeSpans,
+		HostMaxFreeSpans:     in.Host.MaxFreeSpans,
+		HostAllocs:           in.Host.Allocs,
+		HostAllocFails:       in.Host.Fails,
+	}
+	return r
+}
+
+// Reconciled reports whether the double-entry ledger balanced and every
+// operator was attributed.
+func (r *Report) Reconciled() bool {
+	return r.Unattributed == 0 && r.Orphans == 0 && len(r.Totals.Mismatches) == 0
+}

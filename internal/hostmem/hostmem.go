@@ -35,8 +35,13 @@ type Registry struct {
 
 	inUse     int64
 	peakInUse int64
-	allocs    uint64
-	fails     uint64
+	// watermark is the peak in-use level since the last ResetWatermark —
+	// the per-epoch (typically per-query) high-water mark, as opposed to
+	// peakInUse which covers the registry's whole lifetime.
+	watermark    int64
+	maxFreeSpans int
+	allocs       uint64
+	fails        uint64
 }
 
 type span struct {
@@ -60,8 +65,9 @@ func NewRegistry(size int) (*Registry, error) {
 	}
 	size = alignUp(size)
 	return &Registry{
-		buf:  make([]byte, size),
-		free: []span{{0, size}},
+		buf:          make([]byte, size),
+		free:         []span{{0, size}},
+		maxFreeSpans: 1,
 	}, nil
 }
 
@@ -80,9 +86,16 @@ type Stats struct {
 	Size      int
 	InUse     int64
 	PeakInUse int64
+	// Watermark is the peak in-use level since the last ResetWatermark
+	// (per-query memory accounting reads it after each execution).
+	Watermark int64
 	Allocs    uint64
 	Fails     uint64
-	FreeSpans int
+	// FreeSpans is the current free-list length: 1 means the free space
+	// is contiguous, more means fragmentation. MaxFreeSpans is the worst
+	// fragmentation the allocator has seen.
+	FreeSpans    int
+	MaxFreeSpans int
 }
 
 // Stats returns a snapshot of allocator counters.
@@ -90,13 +103,33 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Stats{
-		Size:      len(r.buf),
-		InUse:     r.inUse,
-		PeakInUse: r.peakInUse,
-		Allocs:    r.allocs,
-		Fails:     r.fails,
-		FreeSpans: len(r.free),
+		Size:         len(r.buf),
+		InUse:        r.inUse,
+		PeakInUse:    r.peakInUse,
+		Watermark:    r.watermark,
+		Allocs:       r.allocs,
+		Fails:        r.fails,
+		FreeSpans:    len(r.free),
+		MaxFreeSpans: r.maxFreeSpans,
 	}
+}
+
+// Watermark returns the peak in-use level since the last ResetWatermark.
+func (r *Registry) Watermark() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watermark
+}
+
+// ResetWatermark rearms the per-epoch high-water mark at the current
+// in-use level and returns the previous watermark. Callers doing
+// per-query accounting reset before the query and read after it.
+func (r *Registry) ResetWatermark() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.watermark
+	r.watermark = r.inUse
+	return old
 }
 
 // Alloc serves an n-byte block from the registered segment (first fit).
@@ -121,6 +154,9 @@ func (r *Registry) Alloc(n int) (*Block, error) {
 		r.inUse += int64(n)
 		if r.inUse > r.peakInUse {
 			r.peakInUse = r.inUse
+		}
+		if r.inUse > r.watermark {
+			r.watermark = r.inUse
 		}
 		r.allocs++
 		return &Block{reg: r, off: off, data: r.buf[off : off+n : off+n]}, nil
@@ -176,6 +212,9 @@ func (r *Registry) insertFree(s span) {
 	if i > 0 && r.free[i-1].off+r.free[i-1].len == r.free[i].off {
 		r.free[i-1].len += r.free[i].len
 		r.free = append(r.free[:i], r.free[i+1:]...)
+	}
+	if len(r.free) > r.maxFreeSpans {
+		r.maxFreeSpans = len(r.free)
 	}
 }
 

@@ -116,6 +116,79 @@ func TestPeakTracking(t *testing.T) {
 	}
 }
 
+func TestWatermarkResetsPerEpoch(t *testing.T) {
+	r, _ := NewRegistry(1 << 20)
+	a, _ := r.Alloc(100 * Alignment)
+	a.Release()
+	if got := r.Watermark(); got != int64(100*Alignment) {
+		t.Errorf("Watermark = %d, want %d", got, 100*Alignment)
+	}
+	// Reset rearms at the current (zero) in-use level; the lifetime peak
+	// is untouched.
+	if old := r.ResetWatermark(); old != int64(100*Alignment) {
+		t.Errorf("ResetWatermark returned %d, want %d", old, 100*Alignment)
+	}
+	if got := r.Watermark(); got != 0 {
+		t.Errorf("Watermark after reset = %d, want 0", got)
+	}
+	b, _ := r.Alloc(30 * Alignment)
+	defer b.Release()
+	st := r.Stats()
+	if st.Watermark != int64(30*Alignment) {
+		t.Errorf("Watermark after second epoch = %d, want %d", st.Watermark, 30*Alignment)
+	}
+	if st.PeakInUse != int64(100*Alignment) {
+		t.Errorf("PeakInUse = %d, want %d (lifetime peak must survive reset)", st.PeakInUse, 100*Alignment)
+	}
+}
+
+func TestWatermarkResetWithLiveBlocks(t *testing.T) {
+	r, _ := NewRegistry(1 << 20)
+	a, _ := r.Alloc(10 * Alignment)
+	r.ResetWatermark()
+	// The watermark restarts at the live level, not zero.
+	if got := r.Watermark(); got != int64(10*Alignment) {
+		t.Errorf("Watermark = %d, want %d", got, 10*Alignment)
+	}
+	a.Release()
+	if got := r.Watermark(); got != int64(10*Alignment) {
+		t.Error("release must not lower the watermark")
+	}
+}
+
+func TestMaxFreeSpansTracksFragmentation(t *testing.T) {
+	r, _ := NewRegistry(8 * Alignment)
+	blocks := make([]*Block, 8)
+	for i := range blocks {
+		blocks[i], _ = r.Alloc(Alignment)
+	}
+	if st := r.Stats(); st.FreeSpans != 0 {
+		t.Errorf("FreeSpans fully allocated = %d, want 0", st.FreeSpans)
+	}
+	// Releasing every second block leaves four non-adjacent holes.
+	for _, i := range []int{0, 2, 4, 6} {
+		blocks[i].Release()
+	}
+	st := r.Stats()
+	if st.FreeSpans != 4 {
+		t.Errorf("FreeSpans after alternating release = %d, want 4", st.FreeSpans)
+	}
+	if st.MaxFreeSpans != 4 {
+		t.Errorf("MaxFreeSpans = %d, want 4", st.MaxFreeSpans)
+	}
+	// Coalescing shrinks the live count but the high-water mark stays.
+	for _, i := range []int{1, 3, 5, 7} {
+		blocks[i].Release()
+	}
+	st = r.Stats()
+	if st.FreeSpans != 1 {
+		t.Errorf("FreeSpans after full release = %d, want 1", st.FreeSpans)
+	}
+	if st.MaxFreeSpans != 4 {
+		t.Errorf("MaxFreeSpans after coalescing = %d, want 4", st.MaxFreeSpans)
+	}
+}
+
 func TestUnregisteredFallback(t *testing.T) {
 	b := Unregistered(100)
 	if b.Registered() {

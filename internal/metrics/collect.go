@@ -3,6 +3,7 @@ package metrics
 import (
 	"strconv"
 
+	"blugpu/internal/explain"
 	"blugpu/internal/gpu"
 	"blugpu/internal/monitor"
 	"blugpu/internal/sched"
@@ -10,13 +11,16 @@ import (
 )
 
 // Sources names the live objects one scrape snapshots. Monitor is
-// required; the rest are optional (nil/empty is skipped).
+// required; the rest are optional (nil/empty is skipped). Explain, when
+// set, backs the /debug/explain endpoint: it runs a query and returns
+// its EXPLAIN ANALYZE decision audit.
 type Sources struct {
 	Monitor    *monitor.Monitor
 	Sched      *sched.Scheduler
 	Devices    []*gpu.Device
 	Tracer     *trace.Tracer
 	GPUEnabled bool
+	Explain    func(sql string) (*explain.Report, error)
 }
 
 // EngineLike is the slice of the engine API the metrics layer needs;
@@ -28,6 +32,7 @@ type EngineLike interface {
 	Devices() []*gpu.Device
 	Tracer() *trace.Tracer
 	GPUEnabled() bool
+	ExplainAnalyze(sql string) (*explain.Report, error)
 }
 
 // SourcesFromEngine adapts an engine into the scrape-time source
@@ -40,6 +45,7 @@ func SourcesFromEngine(e EngineLike) func() Sources {
 			Devices:    e.Devices(),
 			Tracer:     e.Tracer(),
 			GPUEnabled: e.GPUEnabled(),
+			Explain:    e.ExplainAnalyze,
 		}
 	}
 }
@@ -142,6 +148,15 @@ func collectMonitor(r *Registry, m *monitor.Monitor) {
 		deg.With(L("kind", "fallback"), L("op", ds.Op)).AddUint(ds.Count)
 		degFaulted.With(L("kind", "fallback"), L("op", ds.Op)).AddUint(ds.Faulted)
 	}
+	dec := r.Counter("blu_optimizer_decisions_total", "Figure-3 optimizer path decisions at group-by execution, by decision and reason.")
+	for _, d := range m.Decisions() {
+		dec.With(L("decision", d.Decision), L("reason", d.Reason)).AddUint(d.Count)
+	}
+	if kmv := m.KMVError(); kmv.Count > 0 {
+		kmvHist := r.Histogram("blu_kmv_relative_error", "KMV group-count estimator relative error |estimated-actual|/actual, one sample per executed group-by.")
+		histFromBuckets(kmvHist.With(), kmv.Buckets, kmv.Sum, kmv.Count)
+	}
+
 	trips, recovers := m.BreakerCounts()
 	breaker := r.Counter("blu_breaker_transitions_total", "Circuit-breaker transitions by direction.")
 	breaker.With(L("transition", "trip")).AddUint(trips)

@@ -50,6 +50,11 @@ func testSources(t *testing.T) Sources {
 	m.RecordGPURetry("place", true)
 	m.RecordFallback("groupby", false)
 	m.RecordBreaker(1, true)
+	m.RecordDecision("gpu", "eligible")
+	m.RecordDecision("gpu", "eligible")
+	m.RecordDecision("cpu", "groups<=T2")
+	m.RecordKMVError(0.02)
+	m.RecordKMVError(0.10)
 	m.RecordMemSample(0, vtime.Time(0.001), 1<<20, 1<<30)
 	m.RecordMemSample(0, vtime.Time(0.002), 3<<20, 1<<30)
 

@@ -14,6 +14,8 @@ import (
 //	/metrics.json   the same snapshot as structured JSON
 //	/healthz        scheduler device health and circuit-breaker state
 //	/debug/queries  recent per-query rollups + the tracer's flame summary
+//	/debug/explain  run ?q=<sql> and return its EXPLAIN ANALYZE audit
+//	                (&format=text for the text tree; JSON by default)
 //
 // src is called per request, so every response reflects live state.
 func AdminMux(src func() Sources) *http.ServeMux {
@@ -33,7 +35,42 @@ func AdminMux(src func() Sources) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeDebugQueries(w, src())
 	})
+	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, req *http.Request) {
+		writeDebugExplain(w, req, src())
+	})
 	return mux
+}
+
+// writeDebugExplain runs the query named by ?q= through the source's
+// Explain hook and renders the decision audit: JSON by default,
+// &format=text for the same report as the shell renders it.
+func writeDebugExplain(w http.ResponseWriter, req *http.Request, src Sources) {
+	if src.Explain == nil {
+		http.Error(w, "no explain source attached", http.StatusNotFound)
+		return
+	}
+	sql := req.URL.Query().Get("q")
+	if sql == "" {
+		http.Error(w, "missing q parameter (the SQL to explain)", http.StatusBadRequest)
+		return
+	}
+	rep, err := src.Explain(sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // deviceHealth is one device's entry in the /healthz body.

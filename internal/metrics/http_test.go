@@ -2,12 +2,15 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
+	"blugpu/internal/explain"
 	"blugpu/internal/gpu"
 	"blugpu/internal/monitor"
 	"blugpu/internal/sched"
@@ -51,6 +54,9 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 		"blu_device_memory_used_bytes{device=\"0\"} 1048576",
 		"blu_device_quarantined{device=\"1\"} 1",
 		"blu_query_latency_seconds_bucket{query=\"bd-complex-1\",le=\"+Inf\"} 2",
+		"blu_optimizer_decisions_total{decision=\"gpu\",reason=\"eligible\"} 2",
+		"blu_optimizer_decisions_total{decision=\"cpu\",reason=\"groups<=T2\"} 1",
+		"blu_kmv_relative_error_count 2",
 		"blu_gpu_enabled 1",
 	} {
 		if !strings.Contains(body, want) {
@@ -132,6 +138,53 @@ func TestDebugQueries(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("debug/queries missing %q:\n%s", want, body)
 		}
+	}
+}
+
+func TestDebugExplain(t *testing.T) {
+	src := testSources(t)
+	src.Explain = func(sql string) (*explain.Report, error) {
+		if sql != "SELECT 1" {
+			return nil, errors.New("bad sql")
+		}
+		return &explain.Report{
+			Schema: explain.ReportSchema, Query: "q1", Plan: "scan", Thresholds: "T1=1 T2=2 T3=3",
+			Ops: []explain.OpReport{{Op: "scan", Attributed: true}},
+		}, nil
+	}
+	srv := httptest.NewServer(AdminMux(func() Sources { return src }))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/explain?q="+url.QueryEscape("SELECT 1"))
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/explain: %d %s", code, body)
+	}
+	rep, err := explain.Decode([]byte(body))
+	if err != nil {
+		t.Fatalf("response is not a report: %v\n%s", err, body)
+	}
+	if rep.Query != "q1" || len(rep.Ops) != 1 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	code, body = get(t, srv, "/debug/explain?format=text&q="+url.QueryEscape("SELECT 1"))
+	if code != http.StatusOK || !strings.Contains(body, "EXPLAIN ANALYZE q1") {
+		t.Fatalf("text format: code=%d body=%s", code, body)
+	}
+
+	if code, _ := get(t, srv, "/debug/explain"); code != http.StatusBadRequest {
+		t.Fatalf("missing q must 400, got %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/explain?q=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("explain error must 400, got %d", code)
+	}
+
+	// Without an Explain source the endpoint reports itself absent.
+	bare := testSources(t)
+	srv2 := httptest.NewServer(AdminMux(func() Sources { return bare }))
+	defer srv2.Close()
+	if code, _ := get(t, srv2, "/debug/explain?q=x"); code != http.StatusNotFound {
+		t.Fatalf("no source must 404, got %d", code)
 	}
 }
 

@@ -122,6 +122,10 @@ type Monitor struct {
 	reserveFails uint64
 	memSamples   map[int]*memSeries
 	degrade      degradeState
+	// decisions counts optimizer outcomes by (decision, reason); kmvErr
+	// is the KMV estimator relative-error distribution (see estimator.go).
+	decisions map[[2]string]uint64
+	kmvErr    Hist
 }
 
 // New returns an empty monitor.
@@ -339,6 +343,8 @@ func (m *Monitor) Reset() {
 	m.reserves, m.reserveFails = 0, 0
 	m.memSamples = make(map[int]*memSeries)
 	m.degrade = newDegradeState()
+	m.decisions = nil
+	m.kmvErr = Hist{}
 }
 
 // Report writes a human-readable summary, the moral equivalent of the

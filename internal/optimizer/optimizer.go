@@ -247,3 +247,27 @@ func Decide(est Estimate, th Thresholds, maxDeviceMem int64) (Decision, Reason) 
 func (ts *TableStats) String() string {
 	return fmt.Sprintf("stats(%s: %d rows, %d columns)", ts.Table, ts.Rows, len(ts.Columns))
 }
+
+// String renders the Figure-3 knobs compactly, for decision audits.
+func (t Thresholds) String() string {
+	return fmt.Sprintf("T1=%d T2=%d T3=%d", t.T1Rows, t.T2Groups, t.T3Rows)
+}
+
+// Prognosis is one group-by's plan-time path prediction: the estimate
+// the decision ran on, the thresholds in force, and the outcome. The
+// engine's EXPLAIN renders these, and EXPLAIN ANALYZE carries them into
+// the per-operator audit so the plan-time call can be compared with
+// what actually ran.
+type Prognosis struct {
+	Keys       []string
+	Estimate   Estimate
+	Thresholds Thresholds
+	Decision   Decision
+	Reason     Reason
+}
+
+// Prognose runs Decide and captures its full context for later audit.
+func Prognose(keys []string, est Estimate, th Thresholds, maxDeviceMem int64) Prognosis {
+	d, r := Decide(est, th, maxDeviceMem)
+	return Prognosis{Keys: keys, Estimate: est, Thresholds: th, Decision: d, Reason: r}
+}

@@ -112,6 +112,11 @@ func (c Context) Enabled() bool { return c.tr != nil }
 // ID returns the context's span id, 0 when disabled.
 func (c Context) ID() SpanID { return c.id }
 
+// Query returns the 1-based query sequence number the context belongs
+// to, 0 when disabled. EXPLAIN ANALYZE uses it to carve one query's
+// subtree out of a shared tracer.
+func (c Context) Query() uint64 { return c.query }
+
 // newSpanLocked allocates and registers a span. Caller holds t.mu.
 func (t *Tracer) newSpanLocked(parent SpanID, query uint64, depth int, cat, name string, at vtime.Time) *span {
 	t.lastID++
@@ -266,6 +271,24 @@ func (t *Tracer) Spans() []Span {
 	for i, s := range t.spans {
 		out[i] = s.Span
 		out[i].Attrs = append([]Attr(nil), s.Attrs...)
+	}
+	return out
+}
+
+// QuerySpans returns a snapshot of every span belonging to query
+// sequence number q, in creation order. It is the span-side input to
+// the EXPLAIN ANALYZE reconciliation: one query's complete subtree.
+func (t *Tracer) QuerySpans(q uint64) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for _, s := range t.spans {
+		if s.Query != q {
+			continue
+		}
+		sp := s.Span
+		sp.Attrs = append([]Attr(nil), s.Attrs...)
+		out = append(out, sp)
 	}
 	return out
 }
