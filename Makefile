@@ -6,9 +6,9 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/evaluator ./internal/bsort ./internal/engine \
                 ./internal/sched ./internal/fault ./internal/trace \
-                ./internal/monitor ./internal/metrics
+                ./internal/monitor ./internal/metrics ./internal/fusion
 
-.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate
+.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke
 
 build:
 	$(GO) build ./...
@@ -52,4 +52,10 @@ explain-smoke:
 bench-gate:
 	$(GO) run ./cmd/benchdiff -out /tmp/blu-bench-current.json
 
-check: vet test race trace-smoke metrics-smoke explain-smoke bench-gate
+# Data-path fusion smoke: run the BD + ROLAP suites through a fused and
+# an unfused engine over the same dataset, diff every result table
+# byte-for-byte, and assert the fused run moved fewer H2D bytes.
+fuse-smoke:
+	$(GO) run ./cmd/fusecheck
+
+check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke bench-gate

@@ -69,8 +69,11 @@ func main() {
 		for i := range cur.Experiments {
 			cur.Experiments[i].ModeledOnMs *= *inflate
 			cur.Experiments[i].ModeledOffMs *= *inflate
+			// H2D bytes gate lower-is-better, but the self-test direction is
+			// the same: inflating must trip it.
+			cur.Experiments[i].TransferH2DBytes = int64(float64(cur.Experiments[i].TransferH2DBytes) * *inflate)
 		}
-		fmt.Printf("benchdiff: modeled columns inflated by %.2fx (gate self-test)\n", *inflate)
+		fmt.Printf("benchdiff: modeled and transfer columns inflated by %.2fx (gate self-test)\n", *inflate)
 	}
 
 	path := *out

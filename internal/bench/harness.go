@@ -43,6 +43,10 @@ type Config struct {
 	DeviceMemory int64
 	// Race lets the GPU moderator race a second kernel per query.
 	Race bool
+	// NoFusion disables the fused device data path (and its column cache)
+	// on every engine the harness builds — the control arm for fusion
+	// A/B runs (cmd/fusecheck, TestFusionDifferential).
+	NoFusion bool
 	// Faults optionally injects GPU faults into the harness engine
 	// (robustness experiments); nil disables injection.
 	Faults *fault.Injector
@@ -97,6 +101,7 @@ func (h *Harness) newEngine(degree int, devMem int64) (*engine.Engine, error) {
 		DeviceSpec: spec,
 		Degree:     degree,
 		Race:       h.cfg.Race,
+		NoFusion:   h.cfg.NoFusion,
 		Faults:     h.cfg.Faults,
 		Tracer:     h.cfg.Trace,
 	})

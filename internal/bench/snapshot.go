@@ -35,12 +35,24 @@ type ExperimentSnap struct {
 	ModeledOnMs  float64 `json:"modeled_on_ms"`
 	ModeledOffMs float64 `json:"modeled_off_ms"`
 	WallMs       float64 `json:"wall_ms"`
+	// WallMsP50/WallMsP95 are per-query wall-clock latency quantiles from
+	// the monitor's wall histogram (bucket resolution), machine-dependent
+	// and informational only — never gated.
+	WallMsP50 float64 `json:"wall_ms_p50,omitempty"`
+	WallMsP95 float64 `json:"wall_ms_p95,omitempty"`
 	// KernelExecs and TransferBytes are the GPU activity the experiment
 	// generated (deltas on the engine's monitor), so a plan change that
 	// silently moves work off the device shows up even when modeled time
 	// barely shifts.
 	KernelExecs   uint64 `json:"kernel_execs"`
 	TransferBytes int64  `json:"transfer_bytes"`
+	// TransferH2DBytes/TransferD2HBytes split TransferBytes by direction.
+	// H2D is gated lower-is-better: data-path work (fusion, caching) earns
+	// its keep by cutting upload traffic, and a change that silently
+	// re-inflates it fails the diff. Old baselines carry only the combined
+	// TransferBytes; Compare falls back to it (historically all-H2D).
+	TransferH2DBytes int64 `json:"transfer_h2d_bytes,omitempty"`
+	TransferD2HBytes int64 `json:"transfer_d2h_bytes,omitempty"`
 	// KMVMeanRelErr is the mean KMV group-count estimator relative error
 	// across the experiment's group-bys — estimate-accountability
 	// tracking, informational only (never gated).
@@ -71,14 +83,20 @@ type Snapshot struct {
 	Counters    CounterSnap      `json:"counters"`
 }
 
-// monitorTotals sums the kernel executions and transferred bytes a
-// monitor has seen, for before/after deltas around an experiment.
-func monitorTotals(m *monitor.Monitor) (kernels uint64, bytes int64) {
+// monitorTotals sums the kernel executions and per-direction transferred
+// bytes a monitor has seen, for before/after deltas around an experiment.
+func monitorTotals(m *monitor.Monitor) (kernels uint64, h2dBytes, d2hBytes int64) {
 	for _, k := range m.Kernels() {
 		kernels += k.Count
 	}
 	h2d, d2h := m.Transfers()
-	return kernels, h2d.Bytes + d2h.Bytes
+	return kernels, h2d.Bytes, d2h.Bytes
+}
+
+// wallQuantiles converts a wall-histogram delta into (p50, p95)
+// milliseconds.
+func wallQuantiles(h monitor.Hist) (p50, p95 float64) {
+	return h.Quantile(0.50).Milliseconds(), h.Quantile(0.95).Milliseconds()
 }
 
 // kmvMean turns before/after KMV error histogram totals into the mean
@@ -115,23 +133,27 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 	// runSet measures one query set on the harness engine and appends
 	// the experiment, attributing monitor deltas to it.
 	runSet := func(name string, qs []workload.Query) error {
-		k0, b0 := monitorTotals(h.Eng.Monitor())
+		k0, h0, d0 := monitorTotals(h.Eng.Monitor())
 		kmv0 := h.Eng.Monitor().KMVError()
+		w0 := h.Eng.Monitor().WallHist()
 		start := time.Now()
 		runs, err := h.RunSet(qs)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		wall := time.Since(start)
-		k1, b1 := monitorTotals(h.Eng.Monitor())
+		k1, h1, d1 := monitorTotals(h.Eng.Monitor())
 		e := ExperimentSnap{
-			Name:          name,
-			Queries:       len(runs),
-			WallMs:        float64(wall.Nanoseconds()) / 1e6,
-			KernelExecs:   k1 - k0,
-			TransferBytes: b1 - b0,
-			KMVMeanRelErr: kmvMean(kmv0, h.Eng.Monitor().KMVError()),
+			Name:             name,
+			Queries:          len(runs),
+			WallMs:           float64(wall.Nanoseconds()) / 1e6,
+			KernelExecs:      k1 - k0,
+			TransferBytes:    (h1 - h0) + (d1 - d0),
+			TransferH2DBytes: h1 - h0,
+			TransferD2HBytes: d1 - d0,
+			KMVMeanRelErr:    kmvMean(kmv0, h.Eng.Monitor().KMVError()),
 		}
+		e.WallMsP50, e.WallMsP95 = wallQuantiles(h.Eng.Monitor().WallHist().Sub(w0))
 		for _, r := range runs {
 			e.ModeledOnMs += r.GPUOn.Milliseconds()
 			e.ModeledOffMs += r.GPUOff.Milliseconds()
@@ -160,8 +182,10 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 		Queries: len(ran) + len(gated),
 		WallMs:  float64(time.Since(start).Nanoseconds()) / 1e6,
 	}
-	rolap.KernelExecs, rolap.TransferBytes = monitorTotals(mon)
+	rolap.KernelExecs, rolap.TransferH2DBytes, rolap.TransferD2HBytes = monitorTotals(mon)
+	rolap.TransferBytes = rolap.TransferH2DBytes + rolap.TransferD2HBytes
 	rolap.KMVMeanRelErr = kmvMean(monitor.KMVErrorStats{}, mon.KMVError())
+	rolap.WallMsP50, rolap.WallMsP95 = wallQuantiles(mon.WallHist())
 	for _, r := range ran {
 		rolap.ModeledOnMs += r.GPUOn.Milliseconds()
 		rolap.ModeledOffMs += r.GPUOff.Milliseconds()
@@ -170,27 +194,32 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 	snap.Experiments = append(snap.Experiments, rolap)
 
 	// Mixed concurrent workload: gate the two DES makespans.
-	k0, b0 := monitorTotals(h.Eng.Monitor())
+	k0, h0, d0 := monitorTotals(h.Eng.Monitor())
 	kmv0 := h.Eng.Monitor().KMVError()
+	w0 := h.Eng.Monitor().WallHist()
 	start = time.Now()
 	onRes, offRes, err := h.Fig8(io.Discard)
 	if err != nil {
 		return nil, fmt.Errorf("mixed: %w", err)
 	}
-	k1, b1 := monitorTotals(h.Eng.Monitor())
-	snap.Experiments = append(snap.Experiments, ExperimentSnap{
-		Name:          "mixed_makespan",
-		Queries:       len(onRes.Queries),
-		ModeledOnMs:   roundMs(onRes.Makespan.Seconds() * 1e3),
-		ModeledOffMs:  roundMs(offRes.Makespan.Seconds() * 1e3),
-		WallMs:        float64(time.Since(start).Nanoseconds()) / 1e6,
-		KernelExecs:   k1 - k0,
-		TransferBytes: b1 - b0,
-		KMVMeanRelErr: kmvMean(kmv0, h.Eng.Monitor().KMVError()),
-	})
+	k1, h1, d1 := monitorTotals(h.Eng.Monitor())
+	mixed := ExperimentSnap{
+		Name:             "mixed_makespan",
+		Queries:          len(onRes.Queries),
+		ModeledOnMs:      roundMs(onRes.Makespan.Seconds() * 1e3),
+		ModeledOffMs:     roundMs(offRes.Makespan.Seconds() * 1e3),
+		WallMs:           float64(time.Since(start).Nanoseconds()) / 1e6,
+		KernelExecs:      k1 - k0,
+		TransferBytes:    (h1 - h0) + (d1 - d0),
+		TransferH2DBytes: h1 - h0,
+		TransferD2HBytes: d1 - d0,
+		KMVMeanRelErr:    kmvMean(kmv0, h.Eng.Monitor().KMVError()),
+	}
+	mixed.WallMsP50, mixed.WallMsP95 = wallQuantiles(h.Eng.Monitor().WallHist().Sub(w0))
+	snap.Experiments = append(snap.Experiments, mixed)
 
 	m := h.Eng.Monitor()
-	snap.Counters.KernelExecs, _ = monitorTotals(m)
+	snap.Counters.KernelExecs, _, _ = monitorTotals(m)
 	h2d, d2h := m.Transfers()
 	snap.Counters.TransferH2DBytes = h2d.Bytes
 	snap.Counters.TransferD2HBytes = d2h.Bytes
@@ -280,6 +309,18 @@ func Compare(base, cur *Snapshot, threshold float64) ([]Regression, error) {
 		}
 		check("modeled_on_ms", b.ModeledOnMs, c.ModeledOnMs)
 		check("modeled_off_ms", b.ModeledOffMs, c.ModeledOffMs)
+		// H2D transfer bytes gate lower-is-better: growth beyond the
+		// threshold is a regression (the fused data path's savings must not
+		// silently erode). The counter is deterministic, so the same
+		// one-quantum tolerance story does not apply — but transfer sizes
+		// are whole bytes, so the 1e-6 absolute slack in check is inert.
+		// Baselines from before the direction split carry only the combined
+		// TransferBytes, which was all-H2D (d2h was unaccounted then).
+		baseH2D := float64(b.TransferH2DBytes)
+		if b.TransferH2DBytes == 0 {
+			baseH2D = float64(b.TransferBytes)
+		}
+		check("transfer_h2d_bytes", baseH2D, float64(c.TransferH2DBytes))
 	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Experiment != regs[j].Experiment {
@@ -326,8 +367,16 @@ func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
 		row("modeled_on_ms", b.ModeledOnMs, c.ModeledOnMs, true)
 		row("modeled_off_ms", b.ModeledOffMs, c.ModeledOffMs, true)
 		row("wall_ms", b.WallMs, c.WallMs, false)
+		row("wall_ms_p50", b.WallMsP50, c.WallMsP50, false)
+		row("wall_ms_p95", b.WallMsP95, c.WallMsP95, false)
 		row("kernel_execs", float64(b.KernelExecs), float64(c.KernelExecs), false)
 		row("transfer_bytes", float64(b.TransferBytes), float64(c.TransferBytes), false)
+		baseH2D := float64(b.TransferH2DBytes)
+		if b.TransferH2DBytes == 0 {
+			baseH2D = float64(b.TransferBytes)
+		}
+		row("transfer_h2d_bytes", baseH2D, float64(c.TransferH2DBytes), true)
+		row("transfer_d2h_bytes", float64(b.TransferD2HBytes), float64(c.TransferD2HBytes), false)
 		row("kmv_mean_rel_err", b.KMVMeanRelErr, c.KMVMeanRelErr, false)
 	}
 }

@@ -106,6 +106,67 @@ func TestCompareDetectsInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestCompareGatesTransferH2D is the lower-is-better gate's self-test:
+// H2D byte growth beyond the threshold must trip, shrinkage (the fusion
+// win) must pass, and baselines from before the direction split — which
+// carry only the combined TransferBytes — must gate against that total.
+func TestCompareGatesTransferH2D(t *testing.T) {
+	base := quickSnapshot(t)
+	if base.Experiments[0].TransferH2DBytes == 0 {
+		t.Fatal("suite snapshot records no H2D bytes; the gate would be inert")
+	}
+	clone := func() *Snapshot {
+		cur := *base
+		cur.Experiments = append([]ExperimentSnap(nil), base.Experiments...)
+		return &cur
+	}
+
+	// Growth trips on exactly the inflated experiment.
+	cur := clone()
+	cur.Experiments[0].TransferH2DBytes = int64(float64(cur.Experiments[0].TransferH2DBytes) * 1.20)
+	regs, err := Compare(base, cur, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "transfer_h2d_bytes" || regs[0].Experiment != base.Experiments[0].Name {
+		t.Fatalf("20%% H2D growth must trip the gate once, got %v", regs)
+	}
+
+	// Shrinkage never trips: lower is better.
+	cur = clone()
+	for i := range cur.Experiments {
+		cur.Experiments[i].TransferH2DBytes /= 2
+	}
+	if regs, err = Compare(base, cur, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("halved H2D bytes must pass: %v", regs)
+	}
+
+	// Pre-split baseline: H2D column absent, combined TransferBytes is
+	// the stand-in base. Current runs at or below it pass; beyond it trip.
+	old := clone()
+	for i := range old.Experiments {
+		old.Experiments[i].TransferH2DBytes = 0
+		old.Experiments[i].TransferD2HBytes = 0
+	}
+	if regs, err = Compare(old, base, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("current H2D below the combined baseline must pass: %v", regs)
+	}
+	cur = clone()
+	cur.Experiments[0].TransferH2DBytes = int64(float64(old.Experiments[0].TransferBytes) * 1.20)
+	if regs, err = Compare(old, cur, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "transfer_h2d_bytes" {
+		t.Fatalf("growth past the combined baseline must trip, got %v", regs)
+	}
+}
+
 func TestCompareMissingExperiment(t *testing.T) {
 	base := quickSnapshot(t)
 	cur := *base

@@ -29,9 +29,23 @@ type aggPlanItem struct {
 }
 
 func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	// Fusion planning happens before the descent: the chain record rides
+	// the query context so the filter/derive hooks can capture the entry
+	// table and stage shapes as the host operators execute.
+	qq := q.deeper()
+	var cr *chainRec
+	if e.fcache != nil && e.GPUEnabled() {
+		cr = planFusedChain(n)
+		qq.chain = cr
+	}
+	f, err := e.exec(n.Input, qq)
 	if err != nil {
 		return nil, err
+	}
+	if cr != nil && cr.entry == nil {
+		// Chain with no filter/derive stages: the aggregate's direct
+		// input (scan or join output) is the entry table.
+		cr.entry = f.tbl
 	}
 	start := f.at()
 	op := f.begin("op", "groupby")
@@ -113,8 +127,18 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	detail := ""
 	fallbackCause := ""
 	var ginfo gpuRunInfo
+	var fx *fusedExec
 	if decision == optimizer.UseGPU {
-		gout, info, gerr := e.runAggregateGPU(in, demand, chain.Pinned, f, op)
+		// Try the fused chain first; it declines (nil fusedExec, nil
+		// error) when it cannot improve on the staged path, which then
+		// runs exactly as it would without fusion. A fused fault skips
+		// the staged retry — the chain has already spilled, and Section
+		// 2.1.1's discipline routes the query to the CPU.
+		gout, info, fexec, gerr := e.runAggregateFused(cr, in, demand, chain.Pinned, chain.Modeled, f, op)
+		fx = fexec
+		if fexec == nil && gerr == nil {
+			gout, info, gerr = e.runAggregateGPU(in, demand, chain.Pinned, f, op)
+		}
 		ginfo = info
 		if gerr != nil {
 			// Device full, admission failed, or a GPU operation faulted:
@@ -124,7 +148,11 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 			op.Annotate(trace.Str("fallback", gerr.Error()))
 		} else {
 			out = gout
-			detail = fmt.Sprintf("gpu/%s", out.Stats.Kernel)
+			if fx != nil {
+				detail = fmt.Sprintf("gpu/fused/%s", out.Stats.Kernel)
+			} else {
+				detail = fmt.Sprintf("gpu/%s", out.Stats.Kernel)
+			}
 		}
 	}
 	if out == nil {
@@ -162,9 +190,15 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		Rows:    out.Groups,
 		Modeled: chain.Modeled + out.Stats.Modeled + finalize,
 	}
+	if fx != nil {
+		// Fused chains charge cache fills and stage kernels beyond the
+		// group-by's own Stats.Modeled; attribute them here so self times
+		// still sum to the query total.
+		st.Modeled += fx.chainModeled
+	}
 	f.ops = append(f.ops, st)
 	if q.col != nil {
-		q.record(st, op.ID(), start, f.at(), &explain.AggRecord{
+		rec := &explain.AggRecord{
 			Keys:          append([]string(nil), n.Keys...),
 			Plan:          q.col.NextPrognosis(),
 			InputRows:     rows,
@@ -179,7 +213,15 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 			Retries:       ginfo.retries,
 			FallbackCause: fallbackCause,
 			Devices:       ginfo.devices,
-		}, nil)
+		}
+		if fx != nil {
+			rec.Fused = true
+			rec.FusedStages = fx.stages
+			rec.SavedBytes = fx.saved
+			rec.UploadBytes = fx.uploaded
+			rec.ChainHighWater = fx.highWater
+		}
+		q.record(st, op.ID(), start, f.at(), rec, nil)
 	}
 	return f, nil
 }

@@ -18,11 +18,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/des"
 	"blugpu/internal/explain"
 	"blugpu/internal/fault"
+	"blugpu/internal/fusion"
 	"blugpu/internal/gpu"
 	"blugpu/internal/hostmem"
 	"blugpu/internal/monitor"
@@ -63,6 +65,11 @@ type Config struct {
 	// kernel/transfer/fault. nil disables tracing (the zero-cost default);
 	// SetTracer can attach one later.
 	Tracer *trace.Tracer
+	// NoFusion disables the fused device pipeline (device-resident
+	// intermediates; see internal/engine/fusion.go), restoring the
+	// materialize-per-operator staged path for every group-by. The
+	// benchmarks use it to produce fusion-off baselines.
+	NoFusion bool
 }
 
 // Engine executes SQL over registered columnar tables.
@@ -77,6 +84,9 @@ type Engine struct {
 	stats      map[string]*optimizer.TableStats
 	thresholds optimizer.Thresholds
 	gpuEnabled bool
+	// fcache is the device-resident column cache behind the fused data
+	// path; nil when fusion is disabled (no devices or Config.NoFusion).
+	fcache *fusion.Cache
 
 	// tracer is swappable at runtime (blushell toggles it mid-session);
 	// device sinks read it through the pointer on every event.
@@ -131,6 +141,9 @@ func New(cfg Config) (*Engine, error) {
 		}
 		s.SetSink(e.mon)
 		e.sched = s
+		if !cfg.NoFusion {
+			e.fcache = fusion.NewCache()
+		}
 	}
 	return e, nil
 }
@@ -365,6 +378,7 @@ func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, e
 // off), which EXPLAIN ANALYZE uses to carve the query's span subtree
 // out of a shared tracer.
 func (e *Engine) executeWith(name string, p *plan.Plan, sql string, col *explain.Collector) (*Result, uint64, error) {
+	wallStart := time.Now()
 	q := qctx{col: col}
 	tr := e.tracer.Load()
 	if tr != nil {
@@ -411,6 +425,7 @@ func (e *Engine) executeWith(name string, p *plan.Plan, sql string, col *explain
 		name = "query"
 	}
 	e.mon.RecordQuery(name, f.modeled, f.gpuUsed)
+	e.mon.RecordQueryWall(vtime.Duration(time.Since(wallStart).Seconds()))
 	// The scheduler's breaker probations expire in virtual time; each
 	// query's modeled duration is what makes that clock move.
 	if e.sched != nil {
@@ -431,6 +446,10 @@ type qctx struct {
 	base  vtime.Time
 	col   *explain.Collector
 	depth int
+	// chain, when set, is the fusion chain record for the aggregate
+	// currently being descended into; the filter/derive exec hooks
+	// record entry table and stage shapes on it.
+	chain *chainRec
 }
 
 // deeper returns the context one plan level down.

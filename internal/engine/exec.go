@@ -87,6 +87,12 @@ func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
 	}
 	rows := sel.IndicesDegree(e.cfg.Degree)
 	out := columnar.GatherTableDegree(f.tbl.Name()+"_f", f.tbl, rows, e.cfg.Degree)
+	if cr := q.chain; cr.member(n) {
+		// Fusion chain bookkeeping: f.tbl is still this filter's input
+		// here, so the deepest member captures the chain's entry table.
+		cr.noteEntry(f.tbl)
+		cr.stages = append(cr.stages, chainStage{op: "filter", inRows: f.tbl.Rows(), outRows: out.Rows()})
+	}
 	t := e.model.CPUTime(float64(f.tbl.Rows()), e.model.CPUExprRate, e.cfg.Degree) +
 		e.model.CPUTime(float64(len(rows)*out.NumColumns()), e.model.CPUScanRate, e.cfg.Degree)
 	e.addCPU(f, t)
@@ -232,6 +238,10 @@ func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
 	out, err := columnar.NewTable(f.tbl.Name()+"_d", cols...)
 	if err != nil {
 		return nil, err
+	}
+	if cr := q.chain; cr.member(n) {
+		cr.noteEntry(f.tbl)
+		cr.stages = append(cr.stages, chainStage{op: "derive", inRows: f.tbl.Rows(), outRows: out.Rows(), cols: len(n.Cols)})
 	}
 	t := e.model.CPUTime(float64(f.tbl.Rows()*len(n.Cols)), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, t)

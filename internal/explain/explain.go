@@ -60,6 +60,17 @@ type AggRecord struct {
 	FallbackCause string
 	// Devices lists the device ids of successful placements, in order.
 	Devices []int
+	// Fused marks a group-by that ran as a fused device chain: its input
+	// operators executed on-device under one chain-level reservation, and
+	// H2D collapsed to column-cache misses. FusedStages counts the fused
+	// pipeline stages ahead of the group-by; SavedBytes/UploadBytes are
+	// the H2D bytes avoided (cache hits) vs moved (cache fills);
+	// ChainHighWater is the chain reservation's peak allocation.
+	Fused          bool
+	FusedStages    int
+	SavedBytes     int64
+	UploadBytes    int64
+	ChainHighWater int64
 }
 
 // SortRecord is the sort-specific slice of an operator record: the

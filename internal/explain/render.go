@@ -77,6 +77,10 @@ func (r *Report) WriteText(w io.Writer) {
 				fmt.Fprintf(w, " fallback=%q", g.FallbackCause)
 			}
 			fmt.Fprintf(w, "\n")
+			if g.Fused {
+				fmt.Fprintf(w, "%sfused: stages=%d saved=%d B upload=%d B chain-high-water=%d B\n",
+					sub, g.FusedStages, g.SavedBytes, g.UploadBytes, g.ChainHighWater)
+			}
 		}
 		if s := op.Sort; s != nil {
 			fmt.Fprintf(w, "%sjobs: total=%d gpu=%d cpu=%d requeues=%d fallbacks=%d maxdepth=%d spans=%d\n",

@@ -92,6 +92,13 @@ type GroupbyReport struct {
 	Retries      int     `json:"retries"`
 	FallbackCause string `json:"fallback_cause,omitempty"`
 	Devices      []int   `json:"devices,omitempty"`
+	// Fused-chain audit: present only when the group-by ran as a fused
+	// device chain (see AggRecord).
+	Fused          bool  `json:"fused,omitempty"`
+	FusedStages    int   `json:"fused_stages,omitempty"`
+	SavedBytes     int64 `json:"saved_bytes,omitempty"`
+	UploadBytes    int64 `json:"upload_bytes,omitempty"`
+	ChainHighWater int64 `json:"chain_high_water,omitempty"`
 }
 
 // SortReport is the hybrid sort's job-queue breakdown. JobSpans is the
@@ -371,6 +378,13 @@ func Build(in Input) *Report {
 				Retries:       a.Retries,
 				FallbackCause: a.FallbackCause,
 				Devices:       a.Devices,
+			}
+			if a.Fused {
+				g.Fused = true
+				g.FusedStages = a.FusedStages
+				g.SavedBytes = a.SavedBytes
+				g.UploadBytes = a.UploadBytes
+				g.ChainHighWater = a.ChainHighWater
 			}
 			if a.Plan != nil {
 				g.Plan = &PlanReport{

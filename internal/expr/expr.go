@@ -557,3 +557,42 @@ func EvalPredicateDegree(tbl *columnar.Table, pred Expr, degree int) (*columnar.
 	}
 	return bm, nil
 }
+
+// Columns returns the distinct column names e references, in first-
+// reference order. Planners use it to compute the exact column set an
+// expression needs (late materialization).
+func Columns(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Col:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *Arith:
+			walk(x.Left)
+			walk(x.Right)
+		case *Cmp:
+			walk(x.Left)
+			walk(x.Right)
+		case *Logic:
+			walk(x.Left)
+			walk(x.Right)
+		case *Not:
+			walk(x.Inner)
+		case *Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *In:
+			walk(x.X)
+		case *IsNull:
+			walk(x.X)
+		}
+	}
+	walk(e)
+	return out
+}

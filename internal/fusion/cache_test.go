@@ -1,0 +1,149 @@
+package fusion
+
+import (
+	"errors"
+	"testing"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/fault"
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+func testDevice(t *testing.T, mem int64, inj *fault.Injector) *gpu.Device {
+	t.Helper()
+	spec := vtime.TeslaK40()
+	if mem > 0 {
+		spec.DeviceMemory = mem
+	}
+	return gpu.NewDevice(0, spec, gpu.WithModel(vtime.Default()), gpu.WithFaults(inj))
+}
+
+func intCol(name string, vals []int64) columnar.Column {
+	return columnar.NewInt64Column(name, vals, nil)
+}
+
+func TestColumnKeyContentAddressing(t *testing.T) {
+	a := intCol("a", []int64{1, 2, 3, 4})
+	// Same content in a distinct slice, different name: must collide.
+	b := intCol("b", []int64{1, 2, 3, 4})
+	if ColumnKey(a) != ColumnKey(b) {
+		t.Fatalf("equal content produced different keys")
+	}
+	c := intCol("a", []int64{1, 2, 3, 5})
+	if ColumnKey(a) == ColumnKey(c) {
+		t.Fatalf("different content produced equal keys")
+	}
+	// A null changes the key even when the backing value is equal.
+	bld := columnar.NewInt64Builder("a")
+	for _, v := range []int64{1, 2, 3} {
+		bld.Append(v)
+	}
+	bld.AppendNull()
+	withNull := bld.Build()
+	plain := intCol("a", append([]int64{1, 2, 3}, withNull.Data()[3]))
+	if ColumnKey(withNull) == ColumnKey(plain) {
+		t.Fatalf("null position did not affect the key")
+	}
+}
+
+func TestEnsureHitSkipsTransfer(t *testing.T) {
+	dev := testDevice(t, 0, nil)
+	c := NewCache()
+	model := vtime.Default()
+	cols := []columnar.Column{intCol("x", []int64{1, 2, 3}), intCol("y", []int64{4, 5, 6})}
+
+	l1, err := c.Ensure(dev, cols, 0, model, true, 4)
+	if err != nil {
+		t.Fatalf("first Ensure: %v", err)
+	}
+	if l1.Uploaded == 0 || l1.Saved != 0 {
+		t.Fatalf("first Ensure: uploaded=%d saved=%d, want uploads only", l1.Uploaded, l1.Saved)
+	}
+	xfers := dev.Counters().Transfers
+	l1.Release()
+
+	// Equal content in fresh slices: both columns must hit.
+	again := []columnar.Column{intCol("x2", []int64{1, 2, 3}), intCol("y2", []int64{4, 5, 6})}
+	l2, err := c.Ensure(dev, again, 0, model, true, 4)
+	if err != nil {
+		t.Fatalf("second Ensure: %v", err)
+	}
+	defer l2.Release()
+	if l2.Uploaded != 0 || l2.Saved != l1.Uploaded {
+		t.Fatalf("second Ensure: uploaded=%d saved=%d, want 0/%d", l2.Uploaded, l2.Saved, l1.Uploaded)
+	}
+	if got := dev.Counters().Transfers; got != xfers {
+		t.Fatalf("hit performed %d device transfers", got-xfers)
+	}
+	if l2.Modeled != 0 {
+		t.Fatalf("hit charged %v", l2.Modeled)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.SavedBytes != l1.Uploaded {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionLRUAndNoRoom(t *testing.T) {
+	// Room for exactly one 4-row column image (16 bytes packed).
+	dev := testDevice(t, DeviceBytes(4), nil)
+	c := NewCache()
+	model := vtime.Default()
+	a := intCol("a", []int64{1, 2, 3, 4})
+	b := intCol("b", []int64{5, 6, 7, 8})
+
+	la, err := c.Ensure(dev, []columnar.Column{a}, 0, model, true, 4)
+	if err != nil {
+		t.Fatalf("Ensure a: %v", err)
+	}
+
+	// While a is pinned, b cannot fit and nothing is evictable.
+	if _, err := c.Ensure(dev, []columnar.Column{b}, 0, model, true, 4); !errors.Is(err, ErrNoRoom) {
+		t.Fatalf("Ensure b with a pinned: %v, want ErrNoRoom", err)
+	}
+	la.Release()
+
+	// Unpinned, a is the LRU victim.
+	lb, err := c.Ensure(dev, []columnar.Column{b}, 0, model, true, 4)
+	if err != nil {
+		t.Fatalf("Ensure b after release: %v", err)
+	}
+	lb.Release()
+	if n, _ := c.Resident(0); n != 1 {
+		t.Fatalf("resident entries = %d, want 1", n)
+	}
+	if c.MissBytes(0, []columnar.Column{a}) == 0 {
+		t.Fatalf("a still resident after eviction")
+	}
+	if c.MissBytes(0, []columnar.Column{b}) != 0 {
+		t.Fatalf("b not resident after insert")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// Purge drops the remaining entry and frees its reservation.
+	if freed := c.PurgeAll(); freed != DeviceBytes(4) {
+		t.Fatalf("PurgeAll freed %d", freed)
+	}
+	if dev.UsedMemory() != 0 {
+		t.Fatalf("device still holds %d bytes after purge", dev.UsedMemory())
+	}
+}
+
+func TestEnsureFaultPropagates(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 1, H2D: 1.0})
+	dev := testDevice(t, 0, inj)
+	c := NewCache()
+	_, err := c.Ensure(dev, []columnar.Column{intCol("a", []int64{1, 2})}, 0, vtime.Default(), true, 4)
+	if !errors.Is(err, gpu.ErrInjected) {
+		t.Fatalf("Ensure under H2D fault: %v, want ErrInjected", err)
+	}
+	if n, _ := c.Resident(0); n != 0 {
+		t.Fatalf("faulted fill left %d entries resident", n)
+	}
+	if dev.UsedMemory() != 0 {
+		t.Fatalf("faulted fill leaked %d reserved bytes", dev.UsedMemory())
+	}
+}

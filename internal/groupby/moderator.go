@@ -59,6 +59,11 @@ type GPUOptions struct {
 	// kernel choice once it has observed this query signature, and
 	// records every execution's outcome.
 	Feedback *FeedbackModerator
+	// Fused marks a fused-chain execution: the input vectors are already
+	// resident on the device (uploaded or reused by the fused pipeline),
+	// so no input staging or H2D transfer happens here. The chain-exit
+	// result transfer still runs.
+	Fused bool
 }
 
 // ChooseKernel is the GPU moderator's primary selection, from optimizer
@@ -118,9 +123,13 @@ func RunGPU(in *Input, res *gpu.Reservation, model *vtime.CostModel, opts GPUOpt
 		primary = ChooseKernel(in, dev)
 	}
 
-	transferIn, err := stageInput(in, res, opts.Pinned)
-	if err != nil {
-		return nil, err
+	var transferIn vtime.Duration
+	if !opts.Fused {
+		var err error
+		transferIn, err = stageInput(in, res, opts.Pinned)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	type attempt struct {
@@ -128,6 +137,7 @@ func RunGPU(in *Input, res *gpu.Reservation, model *vtime.CostModel, opts GPUOpt
 		result  *Result
 		modeled vtime.Duration
 		retried int
+		table   *deviceTable
 	}
 	runOne := func(k Kernel) (*attempt, error) {
 		slots := TableSlots(in.EstGroups, in.NumRows)
@@ -164,7 +174,7 @@ func RunGPU(in *Input, res *gpu.Reservation, model *vtime.CostModel, opts GPUOpt
 			}
 			result, extractT := t.extract(in, model)
 			result.Stats.KernelTime = initT + kt + extractT
-			return &attempt{kernel: k, result: result, modeled: initT + kt + extractT, retried: retried}, nil
+			return &attempt{kernel: k, result: result, modeled: initT + kt + extractT, retried: retried, table: t}, nil
 		}
 	}
 
@@ -200,7 +210,10 @@ func RunGPU(in *Input, res *gpu.Reservation, model *vtime.CostModel, opts GPUOpt
 	}
 
 	result := winner.result
-	transferOut := dev.TransferTime(ResultDeviceBytes(in, result.Groups), opts.Pinned)
+	transferOut, err := copyResultOut(in, result, winner.table, dev, opts.Pinned)
+	if err != nil {
+		return nil, err
+	}
 	result.Stats.Path = PathGPU
 	result.Stats.Kernel = winner.kernel.String()
 	result.Stats.Retried = winner.retried
@@ -212,6 +225,26 @@ func RunGPU(in *Input, res *gpu.Reservation, model *vtime.CostModel, opts GPUOpt
 	// chunks are being grouped.
 	result.Stats.Modeled = gpu.PipelineTime(transferIn, result.Stats.KernelTime) + transferOut
 	return result, nil
+}
+
+// copyResultOut performs the chain-exit device-to-host copy of the dense
+// result block (groups x entry words). Earlier versions only modeled this
+// transfer, which is why historical snapshots report zero
+// transfer_d2h_bytes even though every result leaves the device; routing
+// the copy through Device.CopyFromDevice makes the D2H counters real and
+// gives the injector's D2H site an operation that actually fires. The
+// result rows live in the winning kernel's hash table, so the copy
+// sources from that table's buffer, bounded to the dense result size.
+func copyResultOut(in *Input, result *Result, table *deviceTable, dev *gpu.Device, pinned bool) (vtime.Duration, error) {
+	words := int(ResultDeviceBytes(in, result.Groups) / 8)
+	if words == 0 || table == nil {
+		return 0, nil
+	}
+	if tw := table.buf.Len(); words > tw {
+		words = tw
+	}
+	dst := make([]uint64, words)
+	return dev.CopyFromDevice(dst, table.buf, pinned)
 }
 
 // stageInput allocates device buffers for the task's vectors out of the

@@ -1,0 +1,69 @@
+package groupby
+
+import (
+	"testing"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/monitor"
+	"blugpu/internal/vtime"
+)
+
+// TestRunGPUAccountsD2H pins the chain-exit accounting: the dense result
+// block leaves the device through Device.CopyFromDevice, so an attached
+// monitor must see real D2H transfers with the result's byte volume —
+// not the zero the counters reported when the copy was modeled only as
+// kernel-side time.
+func TestRunGPUAccountsD2H(t *testing.T) {
+	mon := monitor.New()
+	dev := gpu.NewDevice(0, vtime.TeslaK40(), gpu.WithSink(mon))
+	in := buildInput(makeKeys(20000, 3000), stdAggs, 3000)
+	res := reserveFor(t, dev, in)
+	defer res.Release()
+
+	out, err := RunGPU(in, res, vtime.Default(), GPUOptions{Kernel: K1Regular, Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2d, d2h := mon.Transfers()
+	if h2d.Count == 0 || h2d.Bytes == 0 {
+		t.Errorf("no H2D transfers recorded: %+v", h2d)
+	}
+	if d2h.Count == 0 {
+		t.Fatalf("chain-exit copy not accounted: no D2H transfers recorded")
+	}
+	// The result block is (key + agg columns) x groups at 8 bytes per
+	// word; the recorded bytes must cover at least that.
+	minBytes := int64(out.Groups) * int64(1+len(stdAggs)) * 8
+	if d2h.Bytes < minBytes {
+		t.Errorf("D2H bytes = %d, want >= %d (the dense result block)", d2h.Bytes, minBytes)
+	}
+	if d2h.Total <= 0 {
+		t.Error("D2H transfer carries no modeled time")
+	}
+	if out.Stats.TransferOut <= 0 {
+		t.Errorf("result stats missing transfer-out time: %+v", out.Stats)
+	}
+}
+
+// TestRunGPUFusedSkipsInputStaging is the fused-path counterpart: with
+// GPUOptions.Fused the input is already device-resident (the engine's
+// chain uploaded or found it), so RunGPU must not stage it again — no
+// H2D traffic — while the exit copy still pays D2H.
+func TestRunGPUFusedSkipsInputStaging(t *testing.T) {
+	mon := monitor.New()
+	dev := gpu.NewDevice(0, vtime.TeslaK40(), gpu.WithSink(mon))
+	in := buildInput(makeKeys(20000, 3000), stdAggs, 3000)
+	res := reserveFor(t, dev, in)
+	defer res.Release()
+
+	if _, err := RunGPU(in, res, vtime.Default(), GPUOptions{Kernel: K1Regular, Pinned: true, Fused: true}); err != nil {
+		t.Fatal(err)
+	}
+	h2d, d2h := mon.Transfers()
+	if h2d.Count != 0 || h2d.Bytes != 0 {
+		t.Errorf("fused run staged input over PCIe anyway: %+v", h2d)
+	}
+	if d2h.Count == 0 || d2h.Bytes == 0 {
+		t.Errorf("fused run skipped the chain-exit D2H copy: %+v", d2h)
+	}
+}

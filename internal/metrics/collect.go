@@ -157,6 +157,12 @@ func collectMonitor(r *Registry, m *monitor.Monitor) {
 		histFromBuckets(kmvHist.With(), kmv.Buckets, kmv.Sum, kmv.Count)
 	}
 
+	if chains, saved, uploaded := m.FusedStats(); chains > 0 {
+		r.Counter("blu_fused_chains_total", "Group-by operator chains executed as fused device pipelines.").With().AddUint(chains)
+		r.Counter("blu_transfer_saved_bytes_total", "H2D bytes avoided by fused chains whose input columns were already device-resident.").With().Add(float64(saved))
+		r.Counter("blu_fused_fill_bytes_total", "H2D bytes uploaded by fused-chain column-cache fills (investment that later chains save against).").With().Add(float64(uploaded))
+	}
+
 	trips, recovers := m.BreakerCounts()
 	breaker := r.Counter("blu_breaker_transitions_total", "Circuit-breaker transitions by direction.")
 	breaker.With(L("transition", "trip")).AddUint(trips)

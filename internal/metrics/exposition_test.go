@@ -55,6 +55,8 @@ func testSources(t *testing.T) Sources {
 	m.RecordDecision("cpu", "groups<=T2")
 	m.RecordKMVError(0.02)
 	m.RecordKMVError(0.10)
+	m.RecordFusedChain(1<<20, 1<<19)
+	m.RecordFusedChain(1<<21, 0)
 	m.RecordMemSample(0, vtime.Time(0.001), 1<<20, 1<<30)
 	m.RecordMemSample(0, vtime.Time(0.002), 3<<20, 1<<30)
 

@@ -126,6 +126,16 @@ type Monitor struct {
 	// is the KMV estimator relative-error distribution (see estimator.go).
 	decisions map[[2]string]uint64
 	kmvErr    Hist
+	// wall is the wall-clock (not modeled) per-query latency
+	// distribution, recorded by the engine around each execution — the
+	// first instrument of the ROADMAP's wall-clock campaign.
+	wall Hist
+	// fusedChains / fusedSaved / fusedUploaded count completed fused
+	// device chains and their H2D bytes avoided (cache hits) vs moved
+	// (cache fills).
+	fusedChains   uint64
+	fusedSaved    int64
+	fusedUploaded int64
 }
 
 // New returns an empty monitor.
@@ -195,6 +205,43 @@ func (m *Monitor) RecordQuery(name string, modeled vtime.Duration, gpuUsed bool)
 	if gpuUsed {
 		qs.gpuRuns++
 	}
+}
+
+// RecordQueryWall accumulates one query's wall-clock execution time into
+// the global wall-latency histogram. Wall time is real elapsed time, not
+// modeled: it varies run to run and is reported but never gated on.
+func (m *Monitor) RecordQueryWall(d vtime.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wall.Observe(d)
+}
+
+// WallHist returns a copy of the wall-clock per-query latency histogram.
+// Callers can diff two snapshots with Hist.Sub to get quantiles for just
+// the queries run in between.
+func (m *Monitor) WallHist() Hist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wall
+}
+
+// RecordFusedChain accumulates one completed fused device chain: saved is
+// the H2D bytes avoided because the chain's input columns were already
+// device-resident, uploaded the bytes its cache fills actually moved.
+func (m *Monitor) RecordFusedChain(saved, uploaded int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fusedChains++
+	m.fusedSaved += saved
+	m.fusedUploaded += uploaded
+}
+
+// FusedStats returns (chains completed, H2D bytes saved, H2D bytes
+// uploaded by cache fills) for the fused data path.
+func (m *Monitor) FusedStats() (chains uint64, saved, uploaded int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fusedChains, m.fusedSaved, m.fusedUploaded
 }
 
 // RecordMemSample appends one device-memory utilization sample, subject
@@ -345,6 +392,8 @@ func (m *Monitor) Reset() {
 	m.degrade = newDegradeState()
 	m.decisions = nil
 	m.kmvErr = Hist{}
+	m.wall = Hist{}
+	m.fusedChains, m.fusedSaved, m.fusedUploaded = 0, 0, 0
 }
 
 // Report writes a human-readable summary, the moral equivalent of the
@@ -374,6 +423,10 @@ func (m *Monitor) Report(w io.Writer) {
 	writeDir("h2d", h2d)
 	writeDir("d2h", d2h)
 	fmt.Fprintf(w, "reservations: %d ok, %d failed\n", ok, fail)
+	if chains, saved, uploaded := m.FusedStats(); chains > 0 {
+		fmt.Fprintf(w, "fused chains: %d, %.1f MB transfer saved, %.1f MB uploaded by cache fills\n",
+			chains, float64(saved)/(1<<20), float64(uploaded)/(1<<20))
+	}
 	// Degraded-op counts live in the main table; the robustness section
 	// below adds per-op detail only when something actually degraded.
 	var retryN, fbN uint64
