@@ -6,9 +6,10 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/evaluator ./internal/bsort ./internal/engine \
                 ./internal/sched ./internal/fault ./internal/trace \
-                ./internal/monitor ./internal/metrics ./internal/fusion
+                ./internal/monitor ./internal/metrics ./internal/fusion \
+                ./internal/serve
 
-.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke
+.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -58,4 +59,12 @@ bench-gate:
 fuse-smoke:
 	$(GO) run ./cmd/fusecheck
 
-check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke bench-gate
+# End-to-end serving smoke: boot bluserve with a deliberately small
+# admission queue, drive a multi-user mix through POST /query over HTTP
+# (retrying shed 429s), run one inline EXPLAIN ANALYZE, drain, verify
+# the post-drain 503, and reconcile the admission ledger via
+# /debug/serve.
+serve-smoke:
+	$(GO) run ./cmd/bluserve -sf 0.02 -queue 4 -serve-smoke
+
+check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke serve-smoke bench-gate

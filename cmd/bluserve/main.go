@@ -1,29 +1,41 @@
 // Command bluserve runs the hybrid engine as a long-lived process with
-// the admin HTTP surface mounted:
+// the serving and admin HTTP surfaces mounted on one listener:
 //
-//	/metrics        Prometheus text exposition (deterministic ordering)
-//	/metrics.json   the same snapshot as structured JSON
-//	/healthz        scheduler device health + circuit-breaker state
-//	/debug/queries  per-query latency rollups + trace flame summary
-//	/debug/explain  EXPLAIN ANALYZE decision audit for ?q=<sql>
+//	POST /query       SQL in, JSON results out (admission-controlled;
+//	                  "explain":true inlines the EXPLAIN ANALYZE report)
+//	GET  /sessions    live session list
+//	POST /drain       stop admitting, finish in-flight work
+//	GET  /debug/serve admission counters (reconciliation snapshot)
+//	/metrics          Prometheus text exposition (deterministic ordering)
+//	/metrics.json     the same snapshot as structured JSON
+//	/healthz          scheduler device health + circuit-breaker state
+//	/debug/queries    per-query latency rollups + trace flame summary
+//	/debug/explain    EXPLAIN ANALYZE decision audit for ?q=<sql>
 //
 // Usage:
 //
 //	bluserve [-addr 127.0.0.1:9090] [-sf 0.02] [-seed N] [-devices 2]
-//	         [-degree 24] [-warmup 1] [-faults 0] [-loop] [-smoke]
+//	         [-degree 24] [-warmup 1] [-faults 0] [-queue 64]
+//	         [-drain-ms 5000] [-loop] [-smoke] [-serve-smoke]
 //
 // On start it generates the dataset, runs -warmup passes over the BD
 // Insights suite so the first scrape already has data, then serves.
+// SIGTERM/SIGINT drain gracefully: in-flight queries finish (up to
+// -drain-ms), queued queries are refused, nothing new is admitted.
 // -loop keeps replaying the suite in the background so gauges move.
-// -smoke binds an ephemeral port, scrapes every endpoint against its own
-// server, validates the exposition syntax, and exits — the CI target
-// `make metrics-smoke` runs exactly this.
+// -smoke binds an ephemeral port, scrapes every admin endpoint against
+// its own server (including /healthz in both its 200 and 503 states),
+// validates the exposition syntax, and exits — `make metrics-smoke`.
+// -serve-smoke drives the full serving lifecycle over HTTP: a
+// multi-user mix through POST /query with shed retries, a drain, and a
+// counter reconciliation via /debug/serve — `make serve-smoke`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -36,20 +48,25 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
+	"blugpu/internal/sched"
+	"blugpu/internal/serve"
 	"blugpu/internal/trace"
 	"blugpu/internal/workload"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9090", "admin listen address (host:port; port 0 picks a free port)")
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address (host:port; port 0 picks a free port)")
 	sf := flag.Float64("sf", 0.02, "dataset scale factor")
 	seed := flag.Uint64("seed", 20160626, "generator seed")
 	devices := flag.Int("devices", 2, "number of simulated GPUs")
 	degree := flag.Int("degree", 24, "intra-query parallelism")
 	warmup := flag.Int("warmup", 1, "passes over the BD Insights suite before serving")
 	faults := flag.Float64("faults", 0, "uniform GPU fault-injection rate per site (0 disables)")
+	queue := flag.Int("queue", 0, "admission queue capacity (0 = default)")
+	drainMs := flag.Int("drain-ms", 5000, "graceful-drain deadline on shutdown, in milliseconds")
 	loop := flag.Bool("loop", false, "keep replaying the workload in the background while serving")
-	smoke := flag.Bool("smoke", false, "self-scrape every endpoint, validate, and exit (CI smoke test)")
+	smoke := flag.Bool("smoke", false, "self-scrape every admin endpoint, validate, and exit (CI smoke test)")
+	serveSmoke := flag.Bool("serve-smoke", false, "drive the full serving lifecycle against this process and exit")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -81,23 +98,50 @@ func main() {
 	}
 	fmt.Printf("bluserve: warmup done (%d passes over %d queries)\n", *warmup, len(suite))
 
-	bind := *addr
-	if *smoke {
-		bind = "127.0.0.1:0"
-	}
-	srv, ln, err := metrics.Serve(bind, metrics.SourcesFromEngine(h.Eng))
+	server, err := serve.New(h.Eng, serve.Config{
+		QueueCapacity: *queue,
+		DrainDeadline: time.Duration(*drainMs) * time.Millisecond,
+	})
 	if err != nil {
 		fail(err)
 	}
+
+	// The admin surface rides the serve mux; every scrape carries the
+	// admission counters alongside the engine metrics.
+	engineSources := metrics.SourcesFromEngine(h.Eng)
+	sources := func() metrics.Sources {
+		src := engineSources()
+		src.Admission = server.AdmissionSnapshot
+		return src
+	}
+	handler := serve.NewMux(server, metrics.AdminMux(sources))
+
+	bind := *addr
+	if *smoke || *serveSmoke {
+		bind = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("bluserve: serving %s/metrics %s/healthz %s/debug/queries\n", base, base, base)
+	fmt.Printf("bluserve: serving %s/query %s/metrics %s/healthz\n", base, base, base)
 
 	if *smoke {
-		if err := smokeTest(base); err != nil {
+		if err := smokeTest(base, h); err != nil {
 			fail(err)
 		}
 		fmt.Println("bluserve: metrics smoke ok")
+		return
+	}
+	if *serveSmoke {
+		if err := serveSmokeTest(base, server); err != nil {
+			fail(err)
+		}
+		fmt.Println("bluserve: serve smoke ok")
 		return
 	}
 
@@ -116,14 +160,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nbluserve: shutting down")
+	fmt.Println("\nbluserve: draining")
+	rep := server.Drain(time.Duration(*drainMs) * time.Millisecond)
+	fmt.Printf("bluserve: drained (flushed=%d forced=%d waited=%s)\n",
+		rep.Flushed, rep.ForcedCancels, rep.Waited.Round(time.Millisecond))
 }
 
 // smokeTest scrapes every admin endpoint on the freshly started server
 // and validates what comes back: /metrics must parse as exposition
-// format and cover the acceptance families, /healthz must be 200 with a
-// status, /debug/queries must show the warmed-up queries.
-func smokeTest(base string) error {
+// format and cover the acceptance families, /healthz must answer 200
+// while healthy AND 503 once every breaker is tripped (recovering to
+// 200 afterwards), /debug/queries must show the warmed-up queries.
+func smokeTest(base string, h *bench.Harness) error {
 	body, code, err := get(base + "/metrics")
 	if err != nil {
 		return err
@@ -142,6 +190,8 @@ func smokeTest(base string) error {
 		"blu_query_latency_seconds_bucket",
 		"blu_optimizer_decisions_total",
 		"blu_kmv_relative_error_count",
+		"blu_serve_queue_depth",
+		"blu_serve_submitted_total",
 	} {
 		if !contains(body, family) {
 			return fmt.Errorf("/metrics: family %s missing from scrape", family)
@@ -160,6 +210,41 @@ func smokeTest(base string) error {
 		return fmt.Errorf("/healthz: no status in %s", body)
 	}
 	fmt.Printf("bluserve: /healthz ok: %s", body)
+
+	// Trip every breaker: all devices quarantined must turn /healthz
+	// into a 503 (the same signal the admission shedder keys off).
+	sch := h.Eng.Scheduler()
+	for _, dev := range sch.Devices() {
+		for i := 0; i < sched.DefaultFailThreshold; i++ {
+			sch.ReportFailure(dev)
+		}
+	}
+	body, code, err = get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz with all breakers open: HTTP %d %s, want 503", code, body)
+	}
+	if !contains(body, metrics.HealthUnhealthy) {
+		return fmt.Errorf("/healthz with all breakers open: no unhealthy status in %s", body)
+	}
+	fmt.Printf("bluserve: /healthz unhealthy ok: %s", body)
+
+	// Recover: advance the virtual clock past probation and report a
+	// successful probe per device — the breakers close again.
+	sch.Advance(10 * 60) // ten virtual minutes, far beyond any probation
+	for _, dev := range sch.Devices() {
+		sch.ReportSuccess(dev)
+	}
+	body, code, err = get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/healthz after recovery: HTTP %d %s, want 200", code, body)
+	}
+	fmt.Printf("bluserve: /healthz recovered: %s", body)
 
 	body, code, err = get(base + "/debug/queries")
 	if err != nil {

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blugpu/internal/serve"
+	"blugpu/internal/workload"
+)
+
+// serveSmokeTest drives the full serving lifecycle over HTTP against
+// this process's own listener: a multi-user BD Insights mix through
+// POST /query (retrying shed submissions), one inline EXPLAIN ANALYZE,
+// a graceful drain, the post-drain 503, and a final counter
+// reconciliation via /debug/serve. `make serve-smoke` runs exactly this.
+func serveSmokeTest(base string, server *serve.Server) error {
+	mix := workload.UserMix{Simple: 14, Intermediate: 4, Complex: 2, QueriesPerUser: 2}
+	streams := workload.BDInsightsStreams(mix)
+
+	var submitted, admitted, shedRetries atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, mix.Users())
+	for u, stream := range streams {
+		wg.Add(1)
+		go func(u int, stream []workload.Query) {
+			defer wg.Done()
+			session := fmt.Sprintf("smoke-user-%d", u)
+			for _, q := range stream {
+				for attempt := 0; ; attempt++ {
+					if attempt > 500 {
+						errs <- fmt.Errorf("%s: %s never admitted", session, q.ID)
+						return
+					}
+					submitted.Add(1)
+					code, body, err := postJSON(base+"/query", map[string]any{
+						"sql": q.SQL, "session": session, "class": string(q.Class), "name": q.ID,
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if code == http.StatusTooManyRequests {
+						shedRetries.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if code != http.StatusOK {
+						errs <- fmt.Errorf("%s: %s: HTTP %d: %.200s", session, q.ID, code, body)
+						return
+					}
+					var resp struct {
+						RowCount int    `json:"row_count"`
+						Class    string `json:"class"`
+					}
+					if err := json.Unmarshal(body, &resp); err != nil {
+						errs <- fmt.Errorf("%s: bad /query body: %w", session, err)
+						return
+					}
+					if resp.Class != string(q.Class) {
+						errs <- fmt.Errorf("%s: class %q echoed as %q", session, q.Class, resp.Class)
+						return
+					}
+					admitted.Add(1)
+					break
+				}
+			}
+		}(u, stream)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	fmt.Printf("bluserve: served %d queries over %d users (%d submissions, %d shed retries)\n",
+		admitted.Load(), mix.Users(), submitted.Load(), shedRetries.Load())
+
+	// One inline EXPLAIN ANALYZE through the serving path.
+	submitted.Add(1)
+	code, body, err := postJSON(base+"/query", map[string]any{
+		"sql":     "SELECT ss_store_sk, SUM(ss_net_paid) AS total FROM store_sales GROUP BY ss_store_sk",
+		"explain": true,
+	})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("explain query: HTTP %d: %.200s", code, body)
+	}
+	var withExplain struct {
+		Explain json.RawMessage `json:"explain"`
+	}
+	if err := json.Unmarshal(body, &withExplain); err != nil || len(withExplain.Explain) == 0 {
+		return fmt.Errorf("inline explain missing: err=%v body=%.200s", err, body)
+	}
+	admitted.Add(1)
+	fmt.Println("bluserve: inline EXPLAIN ANALYZE ok")
+
+	// Graceful drain over HTTP, then prove nothing new is admitted.
+	code, body, err = postJSON(base+"/drain?deadline_ms=5000", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/drain: HTTP %d: %.200s", code, body)
+	}
+	var rep serve.DrainReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("/drain body: %w", err)
+	}
+	if rep.ForcedCancels != 0 {
+		return fmt.Errorf("drain force-canceled %d queries with no load in flight", rep.ForcedCancels)
+	}
+	submitted.Add(1)
+	code, body, err = postJSON(base+"/query", map[string]any{"sql": "SELECT 1 FROM store_sales LIMIT 1"})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("post-drain /query: HTTP %d %.200s, want 503", code, body)
+	}
+	fmt.Printf("bluserve: drain ok (flushed=%d, post-drain submissions refused)\n", rep.Flushed)
+
+	// Reconcile: the server's ledger must match the client's count and
+	// the four outcomes must partition it exactly.
+	_, body, err = postJSON(base+"/debug/serve", nil)
+	if err != nil {
+		return err
+	}
+	snap := server.AdmissionSnapshot()
+	var httpSnap struct {
+		Submitted uint64 `json:"submitted"`
+		Admitted  uint64 `json:"admitted"`
+		Shed      uint64 `json:"shed"`
+		TimedOut  uint64 `json:"timed_out"`
+		Drained   uint64 `json:"drained"`
+	}
+	if err := json.Unmarshal(body, &httpSnap); err != nil {
+		return fmt.Errorf("/debug/serve body: %w", err)
+	}
+	if httpSnap.Submitted != submitted.Load() {
+		return fmt.Errorf("server saw %d submissions, client sent %d", httpSnap.Submitted, submitted.Load())
+	}
+	if got := httpSnap.Admitted + httpSnap.Shed + httpSnap.TimedOut + httpSnap.Drained; got != httpSnap.Submitted {
+		return fmt.Errorf("outcomes do not partition submissions: %d+%d+%d+%d = %d != %d",
+			httpSnap.Admitted, httpSnap.Shed, httpSnap.TimedOut, httpSnap.Drained, got, httpSnap.Submitted)
+	}
+	if snap.Admitted != httpSnap.Admitted || snap.Submitted != httpSnap.Submitted {
+		return fmt.Errorf("/debug/serve disagrees with the in-process snapshot: %+v vs %+v", httpSnap, snap)
+	}
+	fmt.Printf("bluserve: ledger reconciled (submitted=%d admitted=%d shed=%d timed_out=%d drained=%d)\n",
+		httpSnap.Submitted, httpSnap.Admitted, httpSnap.Shed, httpSnap.TimedOut, httpSnap.Drained)
+	return nil
+}
+
+func postJSON(url string, payload map[string]any) (int, []byte, error) {
+	var body []byte
+	if payload != nil {
+		body, _ = json.Marshal(payload)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"blugpu/internal/metrics"
+	"blugpu/internal/serve"
+	"blugpu/internal/workload"
+)
+
+// SustainedResult is one sustained-serving measurement: a multi-user
+// mix pushed through the admission-controlled serving layer, with
+// clients retrying shed submissions until admitted. All numbers are
+// wall-clock on this machine — trend data, never gated.
+type SustainedResult struct {
+	Users     int
+	Wall      time.Duration
+	QPS       float64 // admitted queries per wall second
+	ShedRate  float64 // shed submissions / total submissions
+	P50Ms     float64 // client-observed latency incl. queueing + retries
+	P95Ms     float64
+	P99Ms     float64
+	PerClass  map[workload.Class][]float64 // per-class client latencies (ms)
+	Snapshot  *metrics.AdmissionSnapshot   // final server ledger
+	DrainRep  serve.DrainReport
+	perClassO []workload.Class // class print order
+}
+
+// RunSustained drives one stream per user of mix through a serve.Server
+// over the harness engine. Every user retries shed submissions (each
+// retry counts as a new submission on the server's ledger) until the
+// query is admitted, so the run measures saturated steady-state
+// behaviour: queueing delay, shed rate, and delivered throughput.
+func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*SustainedResult, error) {
+	s, err := serve.New(h.Eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+	streams := workload.BDInsightsStreams(mix)
+
+	var mu sync.Mutex
+	perClass := map[workload.Class][]float64{}
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for u, stream := range streams {
+		wg.Add(1)
+		go func(u int, stream []workload.Query) {
+			defer wg.Done()
+			session := fmt.Sprintf("user-%d", u)
+			for _, q := range stream {
+				qStart := time.Now()
+				for attempt := 0; ; attempt++ {
+					if attempt > 5000 {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s: %s never admitted", session, q.ID)
+						}
+						mu.Unlock()
+						return
+					}
+					_, err := s.Do(context.Background(), serve.Request{
+						Session: session, SQL: q.SQL, Class: q.Class, Name: q.ID,
+					})
+					var refused *serve.RefusedError
+					if errors.As(err, &refused) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s: %s: %w", session, q.ID, err)
+						}
+						mu.Unlock()
+						return
+					}
+					ms := float64(time.Since(qStart).Nanoseconds()) / 1e6
+					perClass[q.Class] = append(perClass[q.Class], ms)
+					mu.Unlock()
+					break
+				}
+			}
+		}(u, stream)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep := s.Drain(5 * time.Second)
+	snap := s.AdmissionSnapshot()
+	if got := snap.Admitted + snap.Shed + snap.TimedOut + snap.Drained; got != snap.Submitted {
+		return nil, fmt.Errorf("bench: serving ledger does not reconcile: %d+%d+%d+%d != %d",
+			snap.Admitted, snap.Shed, snap.TimedOut, snap.Drained, snap.Submitted)
+	}
+
+	res := &SustainedResult{
+		Users:     mix.Users(),
+		Wall:      wall,
+		PerClass:  perClass,
+		Snapshot:  snap,
+		DrainRep:  rep,
+		perClassO: []workload.Class{workload.Simple, workload.Intermediate, workload.Complex},
+	}
+	if wall > 0 {
+		res.QPS = float64(snap.Admitted) / wall.Seconds()
+	}
+	if snap.Submitted > 0 {
+		res.ShedRate = float64(snap.Shed) / float64(snap.Submitted)
+	}
+	var all []float64
+	for _, lats := range perClass {
+		all = append(all, lats...)
+	}
+	res.P50Ms, res.P95Ms, res.P99Ms = quantileMs(all, 0.50), quantileMs(all, 0.95), quantileMs(all, 0.99)
+	return res, nil
+}
+
+// quantileMs returns the q-quantile of samples (nearest-rank).
+func quantileMs(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Serve is the sustained-throughput experiment: the BD Insights user
+// mix scaled to 205 users (140 dashboard / 45 report / 20 data
+// scientist, one query each) against a deliberately tight admission
+// queue, so the run exercises queueing, weighted dequeue and load
+// shedding at saturation. Wall-clock numbers are machine-dependent
+// trend data.
+func (h *Harness) Serve(w io.Writer) error {
+	header(w, "Sustained serving throughput (205 users, admission-controlled)")
+	mix := workload.UserMix{Simple: 140, Intermediate: 45, Complex: 20, QueriesPerUser: 1}
+	res, err := h.RunSustained(mix, serve.Config{QueueCapacity: 32})
+	if err != nil {
+		return err
+	}
+	snap := res.Snapshot
+	fmt.Fprintf(w, "users=%d wall=%.2fs qps=%.1f shed_rate=%.1f%% (submitted=%d admitted=%d shed=%d)\n",
+		res.Users, res.Wall.Seconds(), res.QPS, res.ShedRate*100, snap.Submitted, snap.Admitted, snap.Shed)
+	fmt.Fprintf(w, "client latency (queueing + retries + execution): p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		res.P50Ms, res.P95Ms, res.P99Ms)
+	fmt.Fprintf(w, "%-14s %-8s %-12s %-12s %s\n", "class", "queries", "p50(ms)", "p99(ms)", "max(ms)")
+	rule(w, 60)
+	for _, c := range res.perClassO {
+		lats := res.PerClass[c]
+		if len(lats) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %-8d %-12.1f %-12.1f %.1f\n",
+			string(c), len(lats), quantileMs(lats, 0.50), quantileMs(lats, 0.99), quantileMs(lats, 1.0))
+	}
+	fmt.Fprintf(w, "ledger: admitted+shed+timed_out+drained = %d+%d+%d+%d = submitted %d\n",
+		snap.Admitted, snap.Shed, snap.TimedOut, snap.Drained, snap.Submitted)
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"blugpu/internal/monitor"
+	"blugpu/internal/serve"
 	"blugpu/internal/workload"
 )
 
@@ -57,6 +58,13 @@ type ExperimentSnap struct {
 	// across the experiment's group-bys — estimate-accountability
 	// tracking, informational only (never gated).
 	KMVMeanRelErr float64 `json:"kmv_mean_rel_err"`
+	// QPS/P99WallMs/ShedRate come from the sustained-serving experiment:
+	// delivered throughput, tail client latency and shed fraction under a
+	// saturated multi-user mix. Wall-clock and load-dependent, so they are
+	// trend columns only — never gated.
+	QPS       float64 `json:"qps,omitempty"`
+	P99WallMs float64 `json:"p99_wall_ms,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
 }
 
 // CounterSnap is the engine-wide counter state after the suite ran.
@@ -218,6 +226,30 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 	mixed.WallMsP50, mixed.WallMsP95 = wallQuantiles(h.Eng.Monitor().WallHist().Sub(w0))
 	snap.Experiments = append(snap.Experiments, mixed)
 
+	// Sustained serving: a scaled-down user mix through the admission-
+	// controlled serving layer with a tight queue, so the shed path is
+	// exercised. Every column is load- and machine-dependent trend data;
+	// the modeled and transfer columns stay zero because concurrent
+	// interleaving makes cache hit patterns (and so H2D traffic)
+	// nondeterministic — zero base means the gate skips them.
+	start = time.Now()
+	sus, err := h.RunSustained(
+		workload.UserMix{Simple: 28, Intermediate: 9, Complex: 4, QueriesPerUser: 1},
+		serve.Config{QueueCapacity: 8},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("serve_sustained: %w", err)
+	}
+	sustained := ExperimentSnap{
+		Name:      "serve_sustained",
+		Queries:   int(sus.Snapshot.Admitted),
+		WallMs:    float64(time.Since(start).Nanoseconds()) / 1e6,
+		QPS:       sus.QPS,
+		P99WallMs: sus.P99Ms,
+		ShedRate:  sus.ShedRate,
+	}
+	snap.Experiments = append(snap.Experiments, sustained)
+
 	m := h.Eng.Monitor()
 	snap.Counters.KernelExecs, _, _ = monitorTotals(m)
 	h2d, d2h := m.Transfers()
@@ -378,5 +410,10 @@ func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
 		row("transfer_h2d_bytes", baseH2D, float64(c.TransferH2DBytes), true)
 		row("transfer_d2h_bytes", float64(b.TransferD2HBytes), float64(c.TransferD2HBytes), false)
 		row("kmv_mean_rel_err", b.KMVMeanRelErr, c.KMVMeanRelErr, false)
+		if b.QPS != 0 || c.QPS != 0 {
+			row("qps", b.QPS, c.QPS, false)
+			row("p99_wall_ms", b.P99WallMs, c.P99WallMs, false)
+			row("shed_rate", b.ShedRate, c.ShedRate, false)
+		}
 	}
 }

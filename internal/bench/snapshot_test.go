@@ -28,7 +28,7 @@ func quickSnapshot(t *testing.T) *Snapshot {
 
 func TestSnapshotCoversSuite(t *testing.T) {
 	s := quickSnapshot(t)
-	want := []string{"bd_complex", "bd_intermediate", "rolap_gated", "mixed_makespan"}
+	want := []string{"bd_complex", "bd_intermediate", "rolap_gated", "mixed_makespan", "serve_sustained"}
 	if len(s.Experiments) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(s.Experiments), len(want))
 	}
@@ -36,6 +36,17 @@ func TestSnapshotCoversSuite(t *testing.T) {
 		e := s.Experiments[i]
 		if e.Name != name {
 			t.Errorf("experiment %d = %q, want %q", i, e.Name, name)
+		}
+		if name == "serve_sustained" {
+			// Wall-clock trend columns only; modeled stays zero by design
+			// so the deterministic gate never engages.
+			if e.ModeledOnMs != 0 || e.ModeledOffMs != 0 || e.TransferH2DBytes != 0 {
+				t.Errorf("serve_sustained must not carry gated columns: %+v", e)
+			}
+			if e.QPS <= 0 {
+				t.Errorf("serve_sustained: qps = %g, want > 0", e.QPS)
+			}
+			continue
 		}
 		if e.ModeledOnMs <= 0 || e.ModeledOffMs <= 0 {
 			t.Errorf("%s: modeled times must be positive: on=%g off=%g", name, e.ModeledOnMs, e.ModeledOffMs)

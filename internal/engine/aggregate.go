@@ -38,7 +38,7 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		cr = planFusedChain(n)
 		qq.chain = cr
 	}
-	f, err := e.exec(n.Input, qq)
+	f, err := e.execInput(n.Input, qq)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +105,12 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		defer chain.Staged.Release()
 	}
 	e.addCPU(f, chain.Modeled)
+	// Cancellation checked here (not in the GPU error path below): a
+	// canceled query must abort, never be mistaken for a GPU fault that
+	// triggers the Section 2.1.1 CPU fallback.
+	if cerr := qq.err(); cerr != nil {
+		return nil, fmt.Errorf("engine: query canceled: %w", cerr)
+	}
 
 	in := chain.Input
 	demand := groupby.MemoryDemand(in)

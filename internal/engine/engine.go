@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -259,6 +260,26 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // the query's root span in the trace and its rollup row in the monitor;
 // empty picks an automatic "q<N>" name.
 func (e *Engine) QueryNamed(name, sql string) (*Result, error) {
+	return e.QueryNamedCtx(context.Background(), name, sql)
+}
+
+// QueryCtx is Query bounded by a context: execution checks the context
+// between operators and aborts with its error as soon as it is canceled
+// or its deadline passes, releasing every reservation it holds.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	return e.QueryNamedCtx(ctx, "", sql)
+}
+
+// QueryNamedCtx is QueryNamed bounded by a context (see QueryCtx).
+func (e *Engine) QueryNamedCtx(ctx context.Context, name, sql string) (*Result, error) {
+	return e.QueryNamedCtxAttrs(ctx, name, sql)
+}
+
+// QueryNamedCtxAttrs is QueryNamedCtx with caller attributes annotated
+// onto the query's root span when a tracer is attached — the serving
+// layer uses it to attribute admission decisions (class, queue wait,
+// session) in the same trace that holds the query's operator spans.
+func (e *Engine) QueryNamedCtxAttrs(ctx context.Context, name, sql string, attrs ...trace.Attr) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -267,7 +288,8 @@ func (e *Engine) QueryNamed(name, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.executeNamed(name, p, sql)
+	res, _, err := e.executeWith(ctx, name, p, sql, nil, attrs...)
+	return res, err
 }
 
 // Explain parses and plans a statement and renders the logical plan plus
@@ -361,25 +383,21 @@ func (e *Engine) prognoses(n plan.Node) []optimizer.Prognosis {
 
 // Execute runs a lowered plan.
 func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
-	return e.executeNamed("", p, "")
-}
-
-// executeNamed runs a lowered plan under a query root span when a tracer
-// is attached. Consecutive queries lay out back to back on the engine's
-// virtual clock, so one trace file holds a whole session.
-func (e *Engine) executeNamed(name string, p *plan.Plan, sql string) (*Result, error) {
-	res, _, err := e.executeWith(name, p, sql, nil)
+	res, _, err := e.executeWith(context.Background(), "", p, "", nil)
 	return res, err
 }
 
-// executeWith is executeNamed with an optional explain collector
-// threaded through the query context. It additionally returns the
-// query's 1-based sequence number on the tracer (0 when tracing is
-// off), which EXPLAIN ANALYZE uses to carve the query's span subtree
-// out of a shared tracer.
-func (e *Engine) executeWith(name string, p *plan.Plan, sql string, col *explain.Collector) (*Result, uint64, error) {
+// executeWith runs a lowered plan under a query root span when a tracer
+// is attached (consecutive queries lay out back to back on the engine's
+// virtual clock, so one trace file holds a whole session), with an
+// optional explain collector threaded through the query context. It
+// additionally returns the query's 1-based sequence number on the tracer
+// (0 when tracing is off), which EXPLAIN ANALYZE uses to carve the
+// query's span subtree out of a shared tracer. attrs are annotated onto
+// the root span (admission attribution from the serving layer).
+func (e *Engine) executeWith(ctx context.Context, name string, p *plan.Plan, sql string, col *explain.Collector, attrs ...trace.Attr) (*Result, uint64, error) {
 	wallStart := time.Now()
-	q := qctx{col: col}
+	q := qctx{ctx: ctx, col: col}
 	tr := e.tracer.Load()
 	if tr != nil {
 		e.clockMu.Lock()
@@ -388,6 +406,9 @@ func (e *Engine) executeWith(name string, p *plan.Plan, sql string, col *explain
 		q.tc = tr.StartQuery(name, q.base)
 		if sql != "" {
 			q.tc.Annotate(trace.Str("sql", sql))
+		}
+		if len(attrs) > 0 {
+			q.tc.Annotate(attrs...)
 		}
 	}
 	f, err := e.exec(p.Root, q)
@@ -446,6 +467,9 @@ type qctx struct {
 	base  vtime.Time
 	col   *explain.Collector
 	depth int
+	// ctx bounds the query: execution checks it between operators and
+	// aborts as soon as it reports done. nil means unbounded.
+	ctx context.Context
 	// chain, when set, is the fusion chain record for the aggregate
 	// currently being descended into; the filter/derive exec hooks
 	// record entry table and stage shapes on it.
@@ -456,6 +480,16 @@ type qctx struct {
 func (q qctx) deeper() qctx {
 	q.depth++
 	return q
+}
+
+// err reports the query's cancellation state: the context error once the
+// context is canceled or past its deadline, nil otherwise (including for
+// unbounded queries).
+func (q qctx) err() error {
+	if q.ctx == nil {
+		return nil
+	}
+	return q.ctx.Err()
 }
 
 // record hooks one executed operator into the explain collector; a nil

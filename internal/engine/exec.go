@@ -17,6 +17,9 @@ const exprGrain = 512
 // exec dispatches one plan node. The query context q rides along so every
 // operator can hang its span off the query root.
 func (e *Engine) exec(n plan.Node, q qctx) (*frame, error) {
+	if err := q.err(); err != nil {
+		return nil, fmt.Errorf("engine: query canceled: %w", err)
+	}
 	switch node := n.(type) {
 	case *plan.Scan:
 		return e.execScan(node, q)
@@ -39,6 +42,21 @@ func (e *Engine) exec(n plan.Node, q qctx) (*frame, error) {
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", n)
 	}
+}
+
+// execInput runs an operator's input subtree, then re-checks the query's
+// context so cancellation is honored between operators: a query canceled
+// while its input ran stops before this operator starts its own work,
+// with every reservation the input held already released on its unwind.
+func (e *Engine) execInput(n plan.Node, q qctx) (*frame, error) {
+	f, err := e.exec(n, q)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := q.err(); cerr != nil {
+		return nil, fmt.Errorf("engine: query canceled: %w", cerr)
+	}
+	return f, nil
 }
 
 func (e *Engine) execScan(n *plan.Scan, q qctx) (*frame, error) {
@@ -75,7 +93,7 @@ func (e *Engine) execScan(n *plan.Scan, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +123,7 @@ func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
-	left, err := e.exec(n.Left, q.deeper())
+	left, err := e.execInput(n.Left, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +239,7 @@ func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +272,7 @@ func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +312,7 @@ func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execLimit(n *plan.Limit, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}

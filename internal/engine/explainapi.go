@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"blugpu/internal/explain"
@@ -73,6 +74,14 @@ func (e *Engine) ExplainAnalyze(sql string) (*explain.Report, error) {
 // engine installs a temporary one for the duration of the call and
 // detaches it afterwards.
 func (e *Engine) ExplainAnalyzeNamed(name, sql string) (*explain.Report, *Result, error) {
+	return e.ExplainAnalyzeNamedCtx(context.Background(), name, sql)
+}
+
+// ExplainAnalyzeNamedCtx is ExplainAnalyzeNamed under a caller context:
+// cancellation aborts the audited query between operators exactly as it
+// does for QueryCtx. Still single-query-only — the monitor deltas and the
+// temporary tracer are not safe against concurrent queries.
+func (e *Engine) ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (*explain.Report, *Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -93,7 +102,7 @@ func (e *Engine) ExplainAnalyzeNamed(name, sql string) (*explain.Report, *Result
 	host0 := e.registry.Stats()
 	e.registry.ResetWatermark()
 
-	res, seq, err := e.executeWith(name, p, sql, col)
+	res, seq, err := e.executeWith(ctx, name, p, sql, col)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -132,7 +132,7 @@ func sortRecord(stats bsort.Stats) *explain.SortRecord {
 }
 
 func (e *Engine) execSort(n *plan.Sort, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +159,7 @@ func (e *Engine) execSort(n *plan.Sort, q qctx) (*frame, error) {
 }
 
 func (e *Engine) execWindow(n *plan.Window, q qctx) (*frame, error) {
-	f, err := e.exec(n.Input, q.deeper())
+	f, err := e.execInput(n.Input, q.deeper())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/monitor"
+	"blugpu/internal/sched"
+	"blugpu/internal/vtime"
+)
+
+func TestHealthStatus(t *testing.T) {
+	if got := HealthStatus(nil); got != HealthOK {
+		t.Fatalf("nil scheduler: %q, want ok", got)
+	}
+	spec := vtime.TeslaK40()
+	devices := []*gpu.Device{gpu.NewDevice(0, spec), gpu.NewDevice(1, spec)}
+	s, err := sched.New(devices...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HealthStatus(s); got != HealthOK {
+		t.Fatalf("healthy fleet: %q, want ok", got)
+	}
+	for i := 0; i < sched.DefaultFailThreshold; i++ {
+		s.ReportFailure(devices[0])
+	}
+	if got := HealthStatus(s); got != HealthDegraded {
+		t.Fatalf("one breaker open: %q, want degraded", got)
+	}
+	for i := 0; i < sched.DefaultFailThreshold; i++ {
+		s.ReportFailure(devices[1])
+	}
+	if got := HealthStatus(s); got != HealthUnhealthy {
+		t.Fatalf("all breakers open: %q, want unhealthy", got)
+	}
+}
+
+func TestCollectAdmission(t *testing.T) {
+	var wait monitor.Hist
+	wait.Observe(2 * vtime.Millisecond)
+	wait.Observe(8 * vtime.Millisecond)
+	snap := &AdmissionSnapshot{
+		QueueDepth: 3, QueueCapacity: 16, EffectiveCap: 8, Draining: true,
+		Sessions: 5, Inflight: 2,
+		Submitted: 100, Admitted: 80, Shed: 12, TimedOut: 5, Drained: 3,
+		ExecErrors: 2, PlaceRetries: 7,
+		Classes: []ClassAdmissionSnapshot{
+			{
+				Class: "simple", Active: 2, Limit: 4, Queued: 1,
+				Admitted: 60, Shed: 8, TimedOut: 3, Drained: 1,
+				WaitBuckets: wait.Buckets(), WaitSum: wait.Total().Seconds(), WaitCount: wait.Count(),
+			},
+			{Class: "complex", Limit: 1, Admitted: 20, Shed: 4, TimedOut: 2, Drained: 2},
+		},
+	}
+	src := Sources{Monitor: monitor.New(), Admission: func() *AdmissionSnapshot { return snap }}
+	var sb strings.Builder
+	Collect(src).WriteText(&sb)
+	body := sb.String()
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("admission exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`blu_serve_queue_depth 3`,
+		`blu_serve_queue_capacity 8`,
+		`blu_serve_draining 1`,
+		`blu_serve_sessions 5`,
+		`blu_serve_inflight 2`,
+		`blu_serve_submitted_total 100`,
+		`blu_serve_queries_total{outcome="admitted"} 80`,
+		`blu_serve_queries_total{outcome="shed"} 12`,
+		`blu_serve_queries_total{outcome="timed_out"} 5`,
+		`blu_serve_queries_total{outcome="drained"} 3`,
+		`blu_serve_exec_errors_total 2`,
+		`blu_serve_place_retries_total 7`,
+		`blu_serve_class_active{class="simple"} 2`,
+		`blu_serve_class_limit{class="complex"} 1`,
+		`blu_serve_class_queued{class="simple"} 1`,
+		`blu_serve_class_queries_total{class="simple",outcome="admitted"} 60`,
+		`blu_serve_class_queries_total{class="complex",outcome="drained"} 2`,
+		`blu_serve_wait_seconds_count{class="simple"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("admission scrape missing %q", want)
+		}
+	}
+	// The outcome partition must reconcile in the exposition itself.
+	if snap.Admitted+snap.Shed+snap.TimedOut+snap.Drained != snap.Submitted {
+		t.Fatal("test snapshot must partition submitted")
+	}
+
+	// Without an admission source the family is absent entirely, keeping
+	// the existing goldens byte-stable.
+	var bare strings.Builder
+	Collect(Sources{Monitor: monitor.New()}).WriteText(&bare)
+	if strings.Contains(bare.String(), "blu_serve_") {
+		t.Fatal("blu_serve_* must not appear without an admission source")
+	}
+}

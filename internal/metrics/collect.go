@@ -21,6 +21,9 @@ type Sources struct {
 	Tracer     *trace.Tracer
 	GPUEnabled bool
 	Explain    func(sql string) (*explain.Report, error)
+	// Admission, when set, snapshots the serving layer's admission state
+	// per scrape (queue depth, outcome counters, per-class waits).
+	Admission func() *AdmissionSnapshot
 }
 
 // EngineLike is the slice of the engine API the metrics layer needs;
@@ -64,6 +67,11 @@ func Collect(src Sources) *Registry {
 	collectDevices(r, src.Devices)
 	if src.Tracer != nil {
 		collectTracer(r, src.Tracer)
+	}
+	if src.Admission != nil {
+		if snap := src.Admission(); snap != nil {
+			collectAdmission(r, snap)
+		}
 	}
 	enabled := 0.0
 	if src.GPUEnabled {

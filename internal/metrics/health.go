@@ -1,0 +1,35 @@
+package metrics
+
+import "blugpu/internal/sched"
+
+// Fleet health statuses shared by /healthz and the serving layer's load
+// shedder, so load balancers and admission control degrade on the same
+// signal.
+const (
+	HealthOK        = "ok"        // every breaker closed, or no GPU fleet (CPU path serves)
+	HealthDegraded  = "degraded"  // some devices quarantined
+	HealthUnhealthy = "unhealthy" // every device quarantined → HTTP 503
+)
+
+// HealthStatus classifies the scheduler's breaker state. A nil scheduler
+// (CPU-only engine) is HealthOK: the CPU path serves every query.
+func HealthStatus(s *sched.Scheduler) string {
+	if s == nil {
+		return HealthOK
+	}
+	health := s.Health()
+	quarantined := 0
+	for _, h := range health {
+		if h.Quarantined {
+			quarantined++
+		}
+	}
+	switch {
+	case quarantined == len(health) && quarantined > 0:
+		return HealthUnhealthy
+	case quarantined > 0:
+		return HealthDegraded
+	default:
+		return HealthOK
+	}
+}

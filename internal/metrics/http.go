@@ -95,9 +95,8 @@ type healthBody struct {
 // "degraded" with some devices quarantined, and "unhealthy" (HTTP 503)
 // only when every device is quarantined.
 func writeHealth(w http.ResponseWriter, src Sources) {
-	body := healthBody{Status: "ok", GPUEnabled: src.GPUEnabled}
+	body := healthBody{Status: HealthStatus(src.Sched), GPUEnabled: src.GPUEnabled}
 	if src.Sched != nil {
-		quarantined := 0
 		for _, h := range src.Sched.Health() {
 			dh := deviceHealth{
 				Device:              h.Device,
@@ -107,20 +106,13 @@ func writeHealth(w http.ResponseWriter, src Sources) {
 				Recoveries:          h.Recoveries,
 			}
 			if h.Quarantined {
-				quarantined++
 				dh.ReopenAtSeconds = fmt.Sprintf("%.6f", float64(h.ReopenAt))
 			}
 			body.Devices = append(body.Devices, dh)
 		}
-		switch {
-		case quarantined == len(body.Devices) && quarantined > 0:
-			body.Status = "unhealthy"
-		case quarantined > 0:
-			body.Status = "degraded"
-		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if body.Status == "unhealthy" {
+	if body.Status == HealthUnhealthy {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	enc := json.NewEncoder(w)

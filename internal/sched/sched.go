@@ -233,6 +233,12 @@ func (s *Scheduler) reportFailureLocked(i int) {
 func (s *Scheduler) reportSuccessLocked(i int) {
 	h := &s.health[i]
 	h.consecutive = 0
+	// A demonstrated success closes the breaker outright. Normally the
+	// device was already re-admitted half-open by eligibleLocked, but a
+	// success reported before any new placement (e.g. an operation that
+	// outlived the quarantine) must not leave the device counted as
+	// recovered yet still quarantined.
+	h.quarantined = false
 	if h.trips > h.recoveries {
 		h.recoveries++
 		if s.sink != nil {

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/workload"
+)
+
+// queryRequest is the POST /query body. The session can also ride the
+// X-Session header; the body value wins when both are set.
+type queryRequest struct {
+	SQL        string `json:"sql"`
+	Session    string `json:"session,omitempty"`
+	Class      string `json:"class,omitempty"` // simple | intermediate | complex; empty classifies
+	Name       string `json:"name,omitempty"`
+	Explain    bool   `json:"explain,omitempty"`
+	DeadlineMs int    `json:"deadline_ms,omitempty"`
+}
+
+// queryResponse is the POST /query success body.
+type queryResponse struct {
+	Session      string          `json:"session"`
+	Query        string          `json:"query"`
+	Class        string          `json:"class"`
+	Columns      []string        `json:"columns"`
+	Rows         [][]any         `json:"rows"`
+	RowCount     int             `json:"row_count"`
+	ModeledMs    float64         `json:"modeled_ms"`
+	WallMs       float64         `json:"wall_ms"`
+	WaitMs       float64         `json:"wait_ms"`
+	GPUUsed      bool            `json:"gpu_used"`
+	PlaceRetries int             `json:"place_retries"`
+	Explain      json.RawMessage `json:"explain,omitempty"`
+}
+
+// errorBody is every non-200 response.
+type errorBody struct {
+	Error      string `json:"error"`
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// NewMux builds the serving surface:
+//
+//	POST /query        run SQL under admission control (JSON in/out)
+//	GET  /sessions     live session list
+//	POST /drain        stop admitting, finish in-flight (?deadline_ms=N)
+//	GET  /debug/serve  the raw admission snapshot (counter reconciliation)
+//
+// Unmatched paths fall through to admin (the metrics.AdminMux surface)
+// when it is non-nil, so one listener serves both layers.
+func NewMux(s *Server, admin http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+		handleQuery(s, w, req)
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sessions())
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+			return
+		}
+		deadline := time.Duration(0)
+		if ms := req.URL.Query().Get("deadline_ms"); ms != "" {
+			n, err := strconv.Atoi(ms)
+			if err != nil || n < 0 {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad deadline_ms"})
+				return
+			}
+			deadline = time.Duration(n) * time.Millisecond
+		}
+		writeJSON(w, http.StatusOK, s.Drain(deadline))
+	})
+	mux.HandleFunc("/debug/serve", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, s.AdmissionSnapshot())
+	})
+	if admin != nil {
+		mux.Handle("/", admin)
+	}
+	return mux
+}
+
+func handleQuery(s *Server, w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	var qr queryRequest
+	if err := json.Unmarshal(body, &qr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if qr.Session == "" {
+		qr.Session = req.Header.Get("X-Session")
+	}
+	resp, err := s.Do(req.Context(), Request{
+		Session:  qr.Session,
+		SQL:      qr.SQL,
+		Class:    workload.Class(qr.Class),
+		Name:     qr.Name,
+		Explain:  qr.Explain,
+		Deadline: time.Duration(qr.DeadlineMs) * time.Millisecond,
+	})
+	if err != nil {
+		writeQueryError(s, w, err)
+		return
+	}
+	out := queryResponse{
+		Session:      resp.Session,
+		Query:        resp.Query,
+		Class:        string(resp.Class),
+		Columns:      resp.Result.Columns,
+		Rows:         tableRows(resp.Result.Table.Columns()),
+		RowCount:     resp.Result.Table.Rows(),
+		ModeledMs:    resp.Result.Modeled.Milliseconds(),
+		WallMs:       float64(resp.ExecWall) / float64(time.Millisecond),
+		WaitMs:       float64(resp.Wait) / float64(time.Millisecond),
+		GPUUsed:      resp.Result.GPUUsed,
+		PlaceRetries: resp.PlaceRetries,
+	}
+	if resp.Report != nil {
+		if data, err := resp.Report.JSON(); err == nil {
+			out.Explain = data
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeQueryError maps serving errors onto status codes: shed → 429
+// with Retry-After, drain refusals → 503 with Retry-After, deadline →
+// 504, everything else (parse/plan/execution) → 400.
+func writeQueryError(s *Server, w http.ResponseWriter, err error) {
+	var refused *RefusedError
+	switch {
+	case errors.As(err, &refused):
+		retry := int(refused.RetryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		code := http.StatusTooManyRequests
+		if refused.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorBody{Error: err.Error(), Reason: refused.Reason, RetryAfter: retry})
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Reason: "deadline"})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+// tableRows materializes result columns row-major for JSON: NULL → null,
+// integers and floats as numbers, strings as strings.
+func tableRows(cols []columnar.Column) [][]any {
+	if len(cols) == 0 {
+		return [][]any{}
+	}
+	n := cols[0].Len()
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(cols))
+		for j, c := range cols {
+			v := c.Value(i)
+			switch {
+			case v.Null:
+				row[j] = nil
+			case v.Type == columnar.Int64:
+				row[j] = v.I
+			case v.Type == columnar.Float64:
+				row[j] = v.F
+			default:
+				row[j] = v.S
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blugpu/internal/columnar"
+	"blugpu/internal/engine"
+	"blugpu/internal/fault"
+	"blugpu/internal/metrics"
+	"blugpu/internal/optimizer"
+	"blugpu/internal/trace"
+	"blugpu/internal/vtime"
+	"blugpu/internal/workload"
+)
+
+// saturationSF keeps the differential sweep fast while still routing
+// work through every operator path.
+const saturationSF = 0.004
+
+// diffLocal compares two results cell by cell: integers, strings and
+// NULLs exactly, floats with 1e-9 relative tolerance (parallel float
+// aggregation is order-sensitive in the last bits). Mirrors the bench
+// fault-sweep comparator; serve cannot import bench (bench imports
+// serve for the sustained-throughput experiment).
+func diffLocal(want, got *engine.Result) string {
+	wt, gt := want.Table, got.Table
+	if wt.Rows() != gt.Rows() {
+		return fmt.Sprintf("%d rows vs %d", gt.Rows(), wt.Rows())
+	}
+	wc, gc := wt.Columns(), gt.Columns()
+	if len(wc) != len(gc) {
+		return fmt.Sprintf("%d columns vs %d", len(gc), len(wc))
+	}
+	for ci := range wc {
+		if wc[ci].Name() != gc[ci].Name() {
+			return fmt.Sprintf("column %d named %q vs %q", ci, gc[ci].Name(), wc[ci].Name())
+		}
+		for ri := 0; ri < wt.Rows(); ri++ {
+			if !cellsEqualLocal(wc[ci].Value(ri), gc[ci].Value(ri)) {
+				return fmt.Sprintf("row %d column %q: %v vs %v", ri, wc[ci].Name(), gc[ci].Value(ri), wc[ci].Value(ri))
+			}
+		}
+	}
+	return ""
+}
+
+func cellsEqualLocal(a, b columnar.Value) bool {
+	if a.Null || b.Null {
+		return a.Null == b.Null
+	}
+	if a.Type == columnar.Float64 || b.Type == columnar.Float64 {
+		toF := func(v columnar.Value) float64 {
+			if v.Type == columnar.Int64 {
+				return float64(v.I)
+			}
+			return v.F
+		}
+		x, y := toF(a), toF(b)
+		if x == y {
+			return true
+		}
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= 1e-9*math.Max(scale, 1)
+	}
+	return a.Equal(b)
+}
+
+// gatedEngine wraps a real engine so tests can hold queries in flight
+// (the drain phase needs deterministic in-flight + queued work).
+type gatedEngine struct {
+	*engine.Engine
+	mu   sync.Mutex
+	gate chan struct{}
+}
+
+func (g *gatedEngine) setGate(gate chan struct{}) {
+	g.mu.Lock()
+	g.gate = gate
+	g.mu.Unlock()
+}
+
+func (g *gatedEngine) QueryNamedCtxAttrs(ctx context.Context, name, sql string, attrs ...trace.Attr) (*engine.Result, error) {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("gated: query canceled: %w", ctx.Err())
+		}
+	}
+	return g.Engine.QueryNamedCtxAttrs(ctx, name, sql, attrs...)
+}
+
+func newSaturationEngine(t *testing.T, data *workload.Dataset, inj *fault.Injector) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Config{
+		Devices:    2,
+		DeviceSpec: vtime.TeslaK40(),
+		Degree:     4,
+		Faults:     inj,
+		// The sweep runs at a tiny scale factor so 200+ users finish
+		// quickly; drop T1 so queries still take the GPU path (that is
+		// where faults fire and the Section 2.1.1 fallback must stay
+		// bit-identical).
+		Thresholds: optimizer.Thresholds{T1Rows: 1, T2Groups: 0, T3Rows: 1 << 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.RegisterAll(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// parseServeMetrics pulls the admission counters back out of a live
+// /metrics exposition — the second ledger of the double-entry check.
+func parseServeMetrics(t *testing.T, text string) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	for _, line := range strings.Split(text, "\n") {
+		var v uint64
+		switch {
+		case strings.HasPrefix(line, "blu_serve_submitted_total "):
+			fmt.Sscanf(line, "blu_serve_submitted_total %d", &v)
+			out["submitted"] = v
+		case strings.HasPrefix(line, `blu_serve_queries_total{outcome="`):
+			rest := strings.TrimPrefix(line, `blu_serve_queries_total{outcome="`)
+			i := strings.Index(rest, `"`)
+			if i < 0 {
+				continue
+			}
+			fmt.Sscanf(rest[i:], `"} %d`, &v)
+			out[rest[:i]] = v
+		}
+	}
+	return out
+}
+
+// TestSaturationDifferential is the acceptance sweep: a UserMix scaled
+// to 205 users against a saturated server (shedding active) under fault
+// rates 0 / 0.1 / 0.5 / device-dead. Every admitted query's result must
+// be bit-identical to the unloaded single-user reference, and the four
+// outcomes must partition the submission count exactly — double-entry
+// on the server's own counters AND on the /metrics scrape.
+func TestSaturationDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep is long")
+	}
+	data := workload.Generate(saturationSF, 20160626)
+
+	// The unloaded single-user reference: one clean engine, each distinct
+	// statement once.
+	refEng := newSaturationEngine(t, data, nil)
+	mix := workload.UserMix{Simple: 140, Intermediate: 45, Complex: 20, QueriesPerUser: 1}
+	if mix.Users() < 200 {
+		t.Fatalf("mix has %d users; the acceptance floor is 200", mix.Users())
+	}
+	streams := workload.BDInsightsStreams(mix)
+	reference := map[string]*engine.Result{}
+	for _, stream := range streams {
+		for _, q := range stream {
+			if reference[q.SQL] != nil {
+				continue
+			}
+			res, err := refEng.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("reference %s: %v", q.ID, err)
+			}
+			reference[q.SQL] = res
+		}
+	}
+
+	scenarios := []struct {
+		name string
+		inj  func() *fault.Injector
+		kill bool
+	}{
+		{name: "rate-0", inj: func() *fault.Injector { return nil }},
+		{name: "rate-0.1", inj: func() *fault.Injector {
+			return fault.New(fault.Config{Seed: 7, Reserve: 0.1, H2D: 0.1, D2H: 0.1, Kernel: 0.1})
+		}},
+		{name: "rate-0.5", inj: func() *fault.Injector {
+			return fault.New(fault.Config{Seed: 11, Reserve: 0.5, H2D: 0.5, D2H: 0.5, Kernel: 0.5})
+		}},
+		{name: "device-dead", inj: func() *fault.Injector {
+			return fault.New(fault.Config{Seed: 13, Reserve: 0.2, H2D: 0.2, D2H: 0.2, Kernel: 0.2})
+		}, kill: true},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			inj := sc.inj()
+			eng := newSaturationEngine(t, data, inj)
+			gated := &gatedEngine{Engine: eng}
+			s, err := New(gated, Config{
+				// Tight bounds so 205 users genuinely saturate and shed.
+				QueueCapacity: 16,
+				ClassLimits:   map[workload.Class]int{workload.Simple: 4, workload.Intermediate: 2, workload.Complex: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var clientSubmitted, succeeded atomic.Uint64
+			var mismatches atomic.Uint64
+
+			// Load phase: every user retries shed submissions (each retry
+			// is a fresh submission on both ledgers) until admitted.
+			var wg sync.WaitGroup
+			for _, stream := range streams {
+				for _, q := range stream {
+					wg.Add(1)
+					go func(q workload.Query) {
+						defer wg.Done()
+						for attempt := 0; attempt < 2000; attempt++ {
+							clientSubmitted.Add(1)
+							resp, err := s.Do(context.Background(), Request{
+								SQL: q.SQL, Class: q.Class, Name: q.ID,
+							})
+							var refused *RefusedError
+							if errors.As(err, &refused) {
+								time.Sleep(500 * time.Microsecond)
+								continue
+							}
+							if err != nil {
+								t.Errorf("%s failed under load: %v", q.ID, err)
+								return
+							}
+							if msg := diffLocal(reference[q.SQL], resp.Result); msg != "" {
+								mismatches.Add(1)
+								t.Errorf("%s diverged from the unloaded reference: %s", q.ID, msg)
+							}
+							succeeded.Add(1)
+							return
+						}
+						t.Errorf("%s never admitted", q.ID)
+					}(q)
+				}
+			}
+			if sc.kill {
+				// Lose device 0 mid-load: wait for part of the load to land
+				// first so both halves of the run are exercised.
+				go func() {
+					for succeeded.Load() < 60 {
+						time.Sleep(time.Millisecond)
+					}
+					inj.KillDevice(0)
+				}()
+			}
+			wg.Wait()
+			if mismatches.Load() != 0 {
+				t.Fatalf("%d admitted results diverged", mismatches.Load())
+			}
+			loadSnap := s.AdmissionSnapshot()
+			if loadSnap.Shed == 0 {
+				t.Fatal("the load phase must actually shed (server not saturated)")
+			}
+
+			// Deterministic timed_out: expired contexts resolve as
+			// timed_out whether caught queued or mid-execution.
+			for i := 0; i < 3; i++ {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				clientSubmitted.Add(1)
+				_, err := s.Do(ctx, Request{SQL: "SELECT sr_item_sk FROM store_returns LIMIT 1", Class: workload.Simple})
+				cancel()
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("expired submission returned %v", err)
+				}
+			}
+
+			// Drain phase: hold 7 queries in flight (the class limits) and
+			// queue 5 more, then drain — the queued 5 resolve as drained,
+			// the in-flight 7 finish normally once the gate opens.
+			gate := make(chan struct{})
+			gated.setGate(gate)
+			drainResults := make(chan error, 12)
+			inflightPlan := []workload.Class{
+				workload.Simple, workload.Simple, workload.Simple, workload.Simple,
+				workload.Intermediate, workload.Intermediate, workload.Complex,
+			}
+			for _, c := range inflightPlan {
+				clientSubmitted.Add(1)
+				go func(c workload.Class) {
+					_, err := s.Do(context.Background(), Request{SQL: "SELECT sr_item_sk FROM store_returns LIMIT 1", Class: c})
+					drainResults <- err
+				}(c)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for s.AdmissionSnapshot().Inflight != len(inflightPlan) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			for i := 0; i < 5; i++ {
+				clientSubmitted.Add(1)
+				go func() {
+					_, err := s.Do(context.Background(), Request{SQL: "SELECT sr_item_sk FROM store_returns LIMIT 1", Class: workload.Simple})
+					drainResults <- err
+				}()
+			}
+			for s.AdmissionSnapshot().QueueDepth != 5 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				close(gate)
+			}()
+			rep := s.Drain(10 * time.Second)
+			if rep.Flushed != 5 {
+				t.Fatalf("drain flushed %d, want 5", rep.Flushed)
+			}
+			if rep.ForcedCancels != 0 {
+				t.Fatalf("drain force-canceled %d queries, want 0", rep.ForcedCancels)
+			}
+			drainedSeen, finished := 0, 0
+			for i := 0; i < 12; i++ {
+				err := <-drainResults
+				var refused *RefusedError
+				switch {
+				case err == nil:
+					finished++
+				case errors.As(err, &refused) && refused.Reason == "drained":
+					drainedSeen++
+				default:
+					t.Fatalf("drain-phase query: %v", err)
+				}
+			}
+			if drainedSeen != 5 || finished != 7 {
+				t.Fatalf("drained=%d finished=%d, want 5/7", drainedSeen, finished)
+			}
+
+			// Submissions during drain are refused and still counted.
+			clientSubmitted.Add(1)
+			_, err = s.Do(context.Background(), Request{SQL: "SELECT sr_item_sk FROM store_returns LIMIT 1", Class: workload.Simple})
+			var refused *RefusedError
+			if !errors.As(err, &refused) || refused.Reason != "draining" {
+				t.Fatalf("post-drain submission: %v", err)
+			}
+
+			// Double-entry ledger one: the server's own counters.
+			snap := s.AdmissionSnapshot()
+			if snap.Submitted != clientSubmitted.Load() {
+				t.Fatalf("server saw %d submissions, clients sent %d", snap.Submitted, clientSubmitted.Load())
+			}
+			if got := snap.Admitted + snap.Shed + snap.TimedOut + snap.Drained; got != snap.Submitted {
+				t.Fatalf("outcomes do not partition submissions: %d+%d+%d+%d = %d != %d",
+					snap.Admitted, snap.Shed, snap.TimedOut, snap.Drained, got, snap.Submitted)
+			}
+			if snap.Inflight != 0 || snap.QueueDepth != 0 {
+				t.Fatalf("drained server still holds work: %+v", snap)
+			}
+			if snap.TimedOut < 3 {
+				t.Fatalf("timed_out = %d, want >= 3", snap.TimedOut)
+			}
+			if snap.Drained != 5 {
+				t.Fatalf("drained = %d, want 5", snap.Drained)
+			}
+
+			// Double-entry ledger two: the /metrics exposition.
+			var sb strings.Builder
+			metrics.Collect(metrics.Sources{
+				Monitor:   eng.Monitor(),
+				Sched:     eng.Scheduler(),
+				Devices:   eng.Devices(),
+				Admission: s.AdmissionSnapshot,
+			}).WriteText(&sb)
+			scraped := parseServeMetrics(t, sb.String())
+			if scraped["submitted"] != snap.Submitted {
+				t.Fatalf("/metrics submitted %d != %d", scraped["submitted"], snap.Submitted)
+			}
+			if got := scraped["admitted"] + scraped["shed"] + scraped["timed_out"] + scraped["drained"]; got != scraped["submitted"] {
+				t.Fatalf("/metrics outcomes %d do not partition submitted %d", got, scraped["submitted"])
+			}
+			if scraped["admitted"] != snap.Admitted || scraped["drained"] != snap.Drained {
+				t.Fatalf("/metrics outcome mismatch: scrape %v vs snapshot %+v", scraped, snap)
+			}
+
+			if inj != nil && inj.Counts().Total() == 0 && sc.name != "rate-0" {
+				t.Fatalf("scenario %s injected no faults; the sweep proved nothing", sc.name)
+			}
+		})
+	}
+}

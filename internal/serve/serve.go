@@ -1,0 +1,641 @@
+// Package serve is the admission-controlled query-serving layer: a
+// bounded queue in front of the engine with per-user-class concurrency
+// limits and weighted dequeue, per-query deadlines, load shedding tied
+// to queue depth and circuit-breaker health, and graceful drain.
+//
+// The paper drives its hybrid engine with JMeter multi-user BD Insights
+// mixes; this package is the server side of that story — the piece that
+// keeps hundreds of concurrent analysts from trampling the scheduler
+// while every admitted query still returns exactly the result the
+// unloaded engine would.
+//
+// Accounting is double-entry: every submission resolves to exactly one
+// of four outcomes — admitted (ran to a terminal non-deadline state,
+// successful or not), shed (refused at the door), timed_out (deadline
+// or caller cancellation, queued or mid-execution), drained (flushed
+// from the queue at drain start) — so
+//
+//	submitted == admitted + shed + timed_out + drained
+//
+// once the server is idle. The saturation tests and serve-smoke assert
+// this both on the Server's own counters and on the /metrics scrape.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"blugpu/internal/engine"
+	"blugpu/internal/explain"
+	"blugpu/internal/metrics"
+	"blugpu/internal/monitor"
+	"blugpu/internal/sched"
+	"blugpu/internal/trace"
+	"blugpu/internal/vtime"
+	"blugpu/internal/workload"
+)
+
+// Executor is the slice of the engine API the serving layer drives.
+// *engine.Engine satisfies it; tests substitute blocking stubs to pin
+// drain and timeout behavior deterministically. Implementations must
+// honor ctx cancellation — the engine checks it between operators.
+type Executor interface {
+	QueryNamedCtxAttrs(ctx context.Context, name, sql string, attrs ...trace.Attr) (*engine.Result, error)
+	ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (*explain.Report, *engine.Result, error)
+	Scheduler() *sched.Scheduler
+}
+
+// classOrder fixes the iteration order everywhere state is walked, so
+// snapshots and dequeue tie-breaks are deterministic.
+var classOrder = []workload.Class{workload.Simple, workload.Intermediate, workload.Complex}
+
+// Config tunes the admission controller. Zero values take defaults.
+type Config struct {
+	// QueueCapacity bounds the total queued (not yet executing) queries
+	// across all classes. While the fleet is unhealthy (every breaker
+	// open) the effective capacity halves, shedding earlier.
+	QueueCapacity int
+	// ClassLimits caps concurrently executing queries per class.
+	ClassLimits map[workload.Class]int
+	// ClassWeights drive the smooth weighted round-robin dequeue; a
+	// class with weight 4 is picked twice as often as one with 2 when
+	// both have queued work and free slots.
+	ClassWeights map[workload.Class]int
+	// DefaultDeadline bounds each query's end-to-end time (queue wait +
+	// execution) when the request carries no deadline. 0 = unbounded.
+	DefaultDeadline time.Duration
+	// DrainDeadline bounds Drain's wait for in-flight queries before it
+	// force-cancels them.
+	DrainDeadline time.Duration
+	// PlaceRetries bounds the pre-execution backoff retries taken while
+	// the fleet is unhealthy; after them the query runs anyway (the CPU
+	// fallback path serves it).
+	PlaceRetries int
+	// PlaceBackoff is the first retry's wall-clock backoff (doubling).
+	PlaceBackoff time.Duration
+	// RetryAfter is the hint returned with shed responses.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.ClassLimits == nil {
+		c.ClassLimits = map[workload.Class]int{
+			workload.Simple: 8, workload.Intermediate: 4, workload.Complex: 2,
+		}
+	}
+	if c.ClassWeights == nil {
+		c.ClassWeights = map[workload.Class]int{
+			workload.Simple: 4, workload.Intermediate: 2, workload.Complex: 1,
+		}
+	}
+	if c.DrainDeadline <= 0 {
+		c.DrainDeadline = 5 * time.Second
+	}
+	if c.PlaceRetries == 0 {
+		c.PlaceRetries = 2
+	}
+	if c.PlaceBackoff <= 0 {
+		c.PlaceBackoff = 200 * time.Microsecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// Session identifies the client session; empty creates/uses the
+	// anonymous session "".
+	Session string
+	// SQL is the statement to run.
+	SQL string
+	// Class pins the user class; empty classifies heuristically from
+	// the SQL shape.
+	Class workload.Class
+	// Name names the query in traces and the monitor (empty picks
+	// "serve-<n>").
+	Name string
+	// Explain additionally returns the EXPLAIN ANALYZE decision audit.
+	// Explain runs are serialized server-side (the audit's counter
+	// deltas are not concurrency-safe), so they wait on each other.
+	Explain bool
+	// Deadline overrides Config.DefaultDeadline for this query.
+	Deadline time.Duration
+}
+
+// Response is one admitted query's outcome.
+type Response struct {
+	Session      string
+	Query        string // resolved query name
+	Class        workload.Class
+	Result       *engine.Result
+	Report       *explain.Report // non-nil only for Explain requests
+	Wait         time.Duration   // admission-queue wait
+	ExecWall     time.Duration   // wall-clock execution time
+	PlaceRetries int
+}
+
+// RefusedError reports a submission the admission controller turned
+// away: shed on queue depth/breaker state, refused during drain, or
+// flushed by drain while queued.
+type RefusedError struct {
+	Reason     string // queue_full | queue_full_unhealthy | draining | drained
+	Draining   bool
+	RetryAfter time.Duration
+}
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("serve: query refused (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// SessionInfo is one session's public state.
+type SessionInfo struct {
+	ID        string         `json:"id"`
+	Queries   uint64         `json:"queries"`
+	LastClass workload.Class `json:"last_class,omitempty"`
+	Created   time.Time      `json:"created"`
+	LastSeen  time.Time      `json:"last_seen"`
+}
+
+// DrainReport summarizes one Drain call.
+type DrainReport struct {
+	Flushed       int           `json:"flushed"`        // queued queries resolved as drained
+	ForcedCancels int           `json:"forced_cancels"` // in-flight queries canceled at the deadline
+	Waited        time.Duration `json:"waited"`
+}
+
+// ticket is one queued submission. ready is closed exactly once, when
+// the pump admits it or drain flushes it; which happened is recorded
+// under the server mutex before the close.
+type ticket struct {
+	class      workload.Class
+	ready      chan struct{}
+	drainedOut bool
+	enqueued   time.Time
+}
+
+type classCounters struct {
+	admitted, shed, timedOut, drained uint64
+}
+
+// Server is the admission controller. Safe for concurrent use.
+type Server struct {
+	cfg  Config
+	exec Executor
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when active work completes
+	queues   map[workload.Class][]*ticket
+	cw       map[workload.Class]int // smooth-WRR current weights
+	active   map[workload.Class]int
+	cancels  map[*ticket]context.CancelFunc
+	sessions map[string]*SessionInfo
+	draining bool
+	forced   bool // drain deadline passed; cancel on registration
+
+	submitted    uint64
+	admitted     uint64
+	shed         uint64
+	timedOut     uint64
+	drained      uint64
+	execErrors   uint64
+	placeRetries uint64
+	classCounts  map[workload.Class]*classCounters
+	waitHists    map[workload.Class]*monitor.Hist
+	seq          uint64
+
+	explainMu sync.Mutex
+}
+
+// New builds a Server over an executor.
+func New(exec Executor, cfg Config) (*Server, error) {
+	if exec == nil {
+		return nil, errors.New("serve: nil executor")
+	}
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		exec:        exec,
+		queues:      make(map[workload.Class][]*ticket),
+		cw:          make(map[workload.Class]int),
+		active:      make(map[workload.Class]int),
+		cancels:     make(map[*ticket]context.CancelFunc),
+		sessions:    make(map[string]*SessionInfo),
+		classCounts: make(map[workload.Class]*classCounters),
+		waitHists:   make(map[workload.Class]*monitor.Hist),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, c := range classOrder {
+		s.classCounts[c] = &classCounters{}
+		s.waitHists[c] = &monitor.Hist{}
+	}
+	return s, nil
+}
+
+// Classify buckets a statement into a user class by shape: joins and
+// window functions weigh heaviest, then grouping and sheer length. It
+// is a heuristic for requests that do not pin a class; the workload
+// driver always pins the class from the benchmark definition.
+func Classify(sql string) workload.Class {
+	u := strings.ToUpper(sql)
+	score := 2 * strings.Count(u, " JOIN ")
+	score += 2 * strings.Count(u, "OVER (")
+	score += 2 * strings.Count(u, "OVER(")
+	if strings.Contains(u, "GROUP BY") {
+		score++
+	}
+	score += len(sql) / 300
+	switch {
+	case score >= 5:
+		return workload.Complex
+	case score >= 2:
+		return workload.Intermediate
+	default:
+		return workload.Simple
+	}
+}
+
+func validClass(c workload.Class) bool {
+	for _, k := range classOrder {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) limit(c workload.Class) int  { return s.cfg.ClassLimits[c] }
+func (s *Server) weight(c workload.Class) int { return s.cfg.ClassWeights[c] }
+
+func (s *Server) queueDepthLocked() int {
+	n := 0
+	for _, c := range classOrder {
+		n += len(s.queues[c])
+	}
+	return n
+}
+
+func (s *Server) activeTotalLocked() int {
+	n := 0
+	for _, c := range classOrder {
+		n += s.active[c]
+	}
+	return n
+}
+
+// effectiveCapLocked is the live queue bound: the configured capacity,
+// halved (min 1) while every device breaker is open — the same
+// degradation signal /healthz serves to load balancers.
+func (s *Server) effectiveCapLocked() int {
+	cap := s.cfg.QueueCapacity
+	if metrics.HealthStatus(s.exec.Scheduler()) == metrics.HealthUnhealthy {
+		if cap /= 2; cap < 1 {
+			cap = 1
+		}
+	}
+	return cap
+}
+
+func (s *Server) touchSessionLocked(id string, class workload.Class) *SessionInfo {
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = &SessionInfo{ID: id, Created: time.Now()}
+		s.sessions[id] = sess
+	}
+	sess.Queries++
+	sess.LastClass = class
+	sess.LastSeen = time.Now()
+	return sess
+}
+
+// pumpLocked admits queued tickets while any class has both queued work
+// and a free slot, picking classes by smooth weighted round-robin: each
+// eligible class's current weight grows by its configured weight, the
+// maximum wins and pays back the eligible total. Interleaving follows
+// the weight ratios without starving any class that has capacity.
+func (s *Server) pumpLocked() {
+	if s.draining {
+		return
+	}
+	for {
+		total := 0
+		best := workload.Class("")
+		bestW := math.MinInt
+		for _, c := range classOrder {
+			if len(s.queues[c]) == 0 || s.active[c] >= s.limit(c) {
+				continue
+			}
+			total += s.weight(c)
+			s.cw[c] += s.weight(c)
+			if s.cw[c] > bestW {
+				bestW, best = s.cw[c], c
+			}
+		}
+		if best == "" {
+			return
+		}
+		s.cw[best] -= total
+		tk := s.queues[best][0]
+		s.queues[best] = s.queues[best][1:]
+		s.active[best]++
+		close(tk.ready)
+	}
+}
+
+// removeQueuedLocked pulls tk out of its class queue; false means the
+// ticket was already resolved (admitted or drained).
+func (s *Server) removeQueuedLocked(tk *ticket) bool {
+	q := s.queues[tk.class]
+	for i, cand := range q {
+		if cand == tk {
+			s.queues[tk.class] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Do submits one query and blocks until it resolves. Refusals return
+// *RefusedError; deadline and cancellation surface the context error;
+// everything else executed — the response carries the result, or the
+// engine/parse error is returned as-is (still an admitted submission).
+func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, errors.New("serve: empty SQL")
+	}
+	class := req.Class
+	if class == "" {
+		class = Classify(req.SQL)
+	}
+	if !validClass(class) {
+		return nil, fmt.Errorf("serve: unknown class %q", class)
+	}
+
+	s.mu.Lock()
+	s.submitted++
+	s.touchSessionLocked(req.Session, class)
+	if s.draining {
+		s.shed++
+		s.classCounts[class].shed++
+		s.mu.Unlock()
+		return nil, &RefusedError{Reason: "draining", Draining: true, RetryAfter: s.cfg.RetryAfter}
+	}
+	if s.queueDepthLocked() >= s.effectiveCapLocked() {
+		s.shed++
+		s.classCounts[class].shed++
+		reason := "queue_full"
+		if metrics.HealthStatus(s.exec.Scheduler()) == metrics.HealthUnhealthy {
+			reason = "queue_full_unhealthy"
+		}
+		s.mu.Unlock()
+		return nil, &RefusedError{Reason: reason, RetryAfter: s.cfg.RetryAfter}
+	}
+	tk := &ticket{class: class, ready: make(chan struct{}), enqueued: time.Now()}
+	s.queues[class] = append(s.queues[class], tk)
+	s.seq++
+	seq := s.seq
+	s.pumpLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-tk.ready:
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.removeQueuedLocked(tk) {
+			s.timedOut++
+			s.classCounts[class].timedOut++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: abandoned while queued: %w", ctx.Err())
+		}
+		// Resolved concurrently with the cancellation; follow the
+		// resolution — an admitted ticket still owes its slot release.
+		s.mu.Unlock()
+		<-tk.ready
+	}
+	if tk.drainedOut {
+		return nil, &RefusedError{Reason: "drained", Draining: true, RetryAfter: s.cfg.RetryAfter}
+	}
+	return s.run(ctx, req, tk, class, seq)
+}
+
+// run executes an admitted ticket and settles its accounting.
+func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workload.Class, seq uint64) (*Response, error) {
+	wait := time.Since(tk.enqueued)
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	var execCtx context.Context
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		execCtx, cancel = context.WithTimeout(ctx, deadline)
+	} else {
+		execCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	s.mu.Lock()
+	s.cancels[tk] = cancel
+	s.waitHists[class].Observe(vtime.Duration(wait.Seconds()))
+	if s.forced {
+		cancel() // drain deadline already passed; don't start real work
+	}
+	s.mu.Unlock()
+
+	// Breaker-aware placement backoff: while every device is
+	// quarantined, give the fleet a bounded chance to re-close a breaker
+	// (virtual time advances as other queries execute) before running —
+	// the CPU fallback guarantees the query completes either way.
+	retries := 0
+	if sch := s.exec.Scheduler(); sch != nil {
+		backoff := s.cfg.PlaceBackoff
+		for retries < s.cfg.PlaceRetries &&
+			metrics.HealthStatus(sch) == metrics.HealthUnhealthy && execCtx.Err() == nil {
+			time.Sleep(backoff)
+			backoff *= 2
+			retries++
+		}
+	}
+
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("serve-%d", seq)
+	}
+	attrs := []trace.Attr{
+		trace.Str("serve.class", string(class)),
+		trace.Str("serve.session", req.Session),
+		trace.Int("serve.wait_us", wait.Microseconds()),
+		trace.Int("serve.place_retries", int64(retries)),
+	}
+
+	execStart := time.Now()
+	var res *engine.Result
+	var rep *explain.Report
+	var err error
+	if req.Explain {
+		s.explainMu.Lock()
+		rep, res, err = s.exec.ExplainAnalyzeNamedCtx(execCtx, name, req.SQL)
+		s.explainMu.Unlock()
+	} else {
+		res, err = s.exec.QueryNamedCtxAttrs(execCtx, name, req.SQL, attrs...)
+	}
+	execWall := time.Since(execStart)
+
+	s.mu.Lock()
+	delete(s.cancels, tk)
+	s.active[class]--
+	s.placeRetries += uint64(retries)
+	canceled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if canceled {
+		s.timedOut++
+		s.classCounts[class].timedOut++
+	} else {
+		s.admitted++
+		s.classCounts[class].admitted++
+		if err != nil {
+			s.execErrors++
+		}
+	}
+	s.pumpLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if err != nil {
+		if canceled {
+			return nil, fmt.Errorf("serve: query %s exceeded its deadline: %w", name, err)
+		}
+		return nil, err
+	}
+	return &Response{
+		Session:      req.Session,
+		Query:        name,
+		Class:        class,
+		Result:       res,
+		Report:       rep,
+		Wait:         wait,
+		ExecWall:     execWall,
+		PlaceRetries: retries,
+	}, nil
+}
+
+// Drain stops admission, flushes the queue (those submissions resolve
+// as drained), and waits for in-flight queries to finish. In-flight
+// work still running at the deadline is force-canceled (resolving as
+// timed_out; the engine unwinds between operators and releases its
+// reservations). Drain returns once nothing is executing. Idempotent —
+// later calls just wait.
+func (s *Server) Drain(deadline time.Duration) DrainReport {
+	if deadline <= 0 {
+		deadline = s.cfg.DrainDeadline
+	}
+	start := time.Now()
+	var rep DrainReport
+
+	s.mu.Lock()
+	s.draining = true
+	for _, c := range classOrder {
+		for _, tk := range s.queues[c] {
+			tk.drainedOut = true
+			s.drained++
+			s.classCounts[c].drained++
+			close(tk.ready)
+			rep.Flushed++
+		}
+		s.queues[c] = nil
+	}
+	forced := 0 // guarded by s.mu, in the closure and the read below
+	timer := time.AfterFunc(deadline, func() {
+		s.mu.Lock()
+		s.forced = true
+		for _, cancel := range s.cancels {
+			forced++
+			cancel()
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	for s.activeTotalLocked() > 0 {
+		s.cond.Wait()
+	}
+	rep.ForcedCancels = forced
+	s.mu.Unlock()
+	timer.Stop()
+
+	rep.Waited = time.Since(start)
+	return rep
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Sessions lists the live sessions, deterministically ordered by ID.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, *sess)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// AdmissionSnapshot captures the controller state for /metrics and
+// /debug/serve. The outcome counters partition submissions exactly;
+// unresolved (queued or executing) work is the live residue.
+func (s *Server) AdmissionSnapshot() *metrics.AdmissionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &metrics.AdmissionSnapshot{
+		QueueDepth:    s.queueDepthLocked(),
+		QueueCapacity: s.cfg.QueueCapacity,
+		EffectiveCap:  s.effectiveCapLocked(),
+		Draining:      s.draining,
+		Sessions:      len(s.sessions),
+		Inflight:      s.activeTotalLocked(),
+		Submitted:     s.submitted,
+		Admitted:      s.admitted,
+		Shed:          s.shed,
+		TimedOut:      s.timedOut,
+		Drained:       s.drained,
+		ExecErrors:    s.execErrors,
+		PlaceRetries:  s.placeRetries,
+	}
+	for _, c := range classOrder {
+		cc := s.classCounts[c]
+		h := s.waitHists[c]
+		snap.Classes = append(snap.Classes, metrics.ClassAdmissionSnapshot{
+			Class:       string(c),
+			Active:      s.active[c],
+			Limit:       s.limit(c),
+			Queued:      len(s.queues[c]),
+			Admitted:    cc.admitted,
+			Shed:        cc.shed,
+			TimedOut:    cc.timedOut,
+			Drained:     cc.drained,
+			WaitBuckets: h.Buckets(),
+			WaitSum:     h.Total().Seconds(),
+			WaitCount:   h.Count(),
+		})
+	}
+	return snap
+}

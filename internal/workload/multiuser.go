@@ -30,24 +30,46 @@ func DefaultUserMix() UserMix {
 // users are not lock-stepped on identical statements.
 func BDInsightsStreams(mix UserMix) [][]Query {
 	bd := BDInsights()
-	classes := []struct {
-		count int
-		pool  []Query
-	}{
+	return buildStreams([]classUsers{
 		{mix.Simple, Filter(bd, Simple)},
 		{mix.Intermediate, Filter(bd, Intermediate)},
 		{mix.Complex, Filter(bd, Complex)},
-	}
+	}, mix.QueriesPerUser)
+}
+
+type classUsers struct {
+	count int
+	pool  []Query
+}
+
+// buildStreams lays out per-user streams over each class pool. Users of
+// the same class start stride queries apart; when the stride would share
+// a factor with the pool size (making distinct users collide on the same
+// start), it falls back to consecutive offsets, so any two users u < v
+// with v-u < pool size are guaranteed different opening statements. An
+// empty pool yields empty streams rather than panicking, keeping the
+// one-stream-per-user shape for every mix.
+func buildStreams(classes []classUsers, queriesPerUser int) [][]Query {
 	var streams [][]Query
 	for _, c := range classes {
+		if len(c.pool) == 0 {
+			for u := 0; u < c.count; u++ {
+				streams = append(streams, []Query{})
+			}
+			continue
+		}
+		stride := 3
+		if len(c.pool)%stride == 0 {
+			stride = 1
+		}
 		for u := 0; u < c.count; u++ {
-			n := mix.QueriesPerUser
+			n := queriesPerUser
 			if n <= 0 || n > len(c.pool) {
 				n = len(c.pool)
 			}
 			stream := make([]Query, 0, n)
 			for i := 0; i < n; i++ {
-				stream = append(stream, c.pool[(u*3+i)%len(c.pool)])
+				stream = append(stream, c.pool[(u*stride+i)%len(c.pool)])
 			}
 			streams = append(streams, stream)
 		}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"blugpu/internal/columnar"
@@ -249,5 +250,86 @@ func TestMultiUserConcurrentExecution(t *testing.T) {
 	}
 	if res.Res.Makespan <= 0 {
 		t.Error("makespan missing")
+	}
+}
+
+func TestStreamsZeroUserClasses(t *testing.T) {
+	// A mix with empty classes still yields exactly one stream per user,
+	// all of the populated class.
+	streams := BDInsightsStreams(UserMix{Intermediate: 4, QueriesPerUser: 2})
+	if len(streams) != 4 {
+		t.Fatalf("streams = %d, want 4", len(streams))
+	}
+	for i, s := range streams {
+		if len(s) != 2 {
+			t.Fatalf("stream %d has %d queries, want 2", i, len(s))
+		}
+		for _, q := range s {
+			if q.Class != Intermediate {
+				t.Fatalf("stream %d carries %s query %s", i, q.Class, q.ID)
+			}
+		}
+	}
+	if got := BDInsightsStreams(UserMix{}); len(got) != 0 {
+		t.Fatalf("empty mix produced %d streams", len(got))
+	}
+}
+
+func TestStreamsQueriesPerUserClamped(t *testing.T) {
+	pool := Filter(BDInsights(), Complex)
+	// Asking for more queries than the class pool clamps to one full pass
+	// instead of repeating statements within a stream.
+	streams := BDInsightsStreams(UserMix{Complex: 2, QueriesPerUser: len(pool) * 10})
+	for i, s := range streams {
+		if len(s) != len(pool) {
+			t.Fatalf("stream %d = %d queries, want clamp to pool size %d", i, len(s), len(pool))
+		}
+		seen := map[string]bool{}
+		for _, q := range s {
+			if seen[q.ID] {
+				t.Fatalf("stream %d repeats %s after clamping", i, q.ID)
+			}
+			seen[q.ID] = true
+		}
+	}
+}
+
+func TestStreamsNoLockStep(t *testing.T) {
+	// Any two same-class users closer together than the pool size must
+	// open with different statements — including pool sizes divisible by
+	// the offset stride, where the old fixed stride collided.
+	for _, poolLen := range []int{3, 5, 6, 9, 10} {
+		pool := make([]Query, poolLen)
+		for i := range pool {
+			pool[i] = Query{ID: fmt.Sprintf("q%d", i), Class: Simple, SQL: "SELECT 1"}
+		}
+		streams := buildStreams([]classUsers{{count: poolLen, pool: pool}}, 1)
+		starts := map[string]int{}
+		for u, s := range streams {
+			if prev, dup := starts[s[0].ID]; dup {
+				t.Fatalf("pool %d: users %d and %d lock-step on %s", poolLen, prev, u, s[0].ID)
+			}
+			starts[s[0].ID] = u
+		}
+	}
+}
+
+func TestStreamsEmptyPoolSafe(t *testing.T) {
+	// An empty class pool must not panic on the modulo; users of that
+	// class get empty streams so stream count still matches user count.
+	streams := buildStreams([]classUsers{
+		{count: 3, pool: nil},
+		{count: 1, pool: []Query{{ID: "only", Class: Simple, SQL: "SELECT 1"}}},
+	}, 2)
+	if len(streams) != 4 {
+		t.Fatalf("streams = %d, want 4", len(streams))
+	}
+	for i := 0; i < 3; i++ {
+		if len(streams[i]) != 0 {
+			t.Fatalf("empty-pool stream %d has %d queries", i, len(streams[i]))
+		}
+	}
+	if len(streams[3]) != 1 || streams[3][0].ID != "only" {
+		t.Fatalf("populated stream wrong: %+v", streams[3])
 	}
 }
