@@ -9,7 +9,7 @@ PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/monitor ./internal/metrics ./internal/fusion \
                 ./internal/serve
 
-.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke serve-smoke
+.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke serve-smoke qlog-smoke
 
 build:
 	$(GO) build ./...
@@ -67,4 +67,13 @@ fuse-smoke:
 serve-smoke:
 	$(GO) run ./cmd/bluserve -sf 0.02 -queue 4 -serve-smoke
 
-check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke serve-smoke bench-gate
+# Wall-clock observability smoke: post identified queries over HTTP and
+# prove the request-ID join end to end — query log (validated, phases
+# summing to the wall total), /debug/trace/{id} Chrome JSON, EXPLAIN
+# ANALYZE request_id, and the blu_go_*/blu_slo_* metric families. On
+# failure the /metrics scrape, slow traces and query log land in
+# /tmp/blu-qlog-artifacts for CI upload.
+qlog-smoke:
+	$(GO) run ./cmd/qlogcheck -artifacts /tmp/blu-qlog-artifacts
+
+check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke serve-smoke qlog-smoke bench-gate

@@ -6,17 +6,22 @@
 //	GET  /sessions    live session list
 //	POST /drain       stop admitting, finish in-flight work
 //	GET  /debug/serve admission counters (reconciliation snapshot)
-//	/metrics          Prometheus text exposition (deterministic ordering)
+//	GET  /debug/trace/{request-id}  one query's retained wall+vtime trace
+//	GET  /debug/trace/slow          the top-K slowest retained traces
+//	/metrics          Prometheus text exposition (deterministic ordering),
+//	                  including blu_go_* runtime and blu_slo_* burn rates
 //	/metrics.json     the same snapshot as structured JSON
 //	/healthz          scheduler device health + circuit-breaker state
-//	/debug/queries    per-query latency rollups + trace flame summary
+//	/debug/queries    per-query latency rollups + recent requests
 //	/debug/explain    EXPLAIN ANALYZE decision audit for ?q=<sql>
+//	/debug/pprof/     live profiling (only with -pprof)
 //
 // Usage:
 //
 //	bluserve [-addr 127.0.0.1:9090] [-sf 0.02] [-seed N] [-devices 2]
 //	         [-degree 24] [-warmup 1] [-faults 0] [-queue 64]
-//	         [-drain-ms 5000] [-loop] [-smoke] [-serve-smoke]
+//	         [-drain-ms 5000] [-slow-ms 250] [-qlog FILE] [-pprof]
+//	         [-loop] [-smoke] [-serve-smoke]
 //
 // On start it generates the dataset, runs -warmup passes over the BD
 // Insights suite so the first scrape already has data, then serves.
@@ -48,6 +53,7 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
+	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/serve"
 	"blugpu/internal/trace"
@@ -64,6 +70,9 @@ func main() {
 	faults := flag.Float64("faults", 0, "uniform GPU fault-injection rate per site (0 disables)")
 	queue := flag.Int("queue", 0, "admission queue capacity (0 = default)")
 	drainMs := flag.Int("drain-ms", 5000, "graceful-drain deadline on shutdown, in milliseconds")
+	slowMs := flag.Int("slow-ms", 0, "slow-query wall threshold in milliseconds (0 = default 250, negative disables)")
+	qlogPath := flag.String("qlog", "", `structured query log destination: a file path, or "stderr"`)
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin surface")
 	loop := flag.Bool("loop", false, "keep replaying the workload in the background while serving")
 	smoke := flag.Bool("smoke", false, "self-scrape every admin endpoint, validate, and exit (CI smoke test)")
 	serveSmoke := flag.Bool("serve-smoke", false, "drive the full serving lifecycle against this process and exit")
@@ -98,23 +107,44 @@ func main() {
 	}
 	fmt.Printf("bluserve: warmup done (%d passes over %d queries)\n", *warmup, len(suite))
 
-	server, err := serve.New(h.Eng, serve.Config{
+	serveCfg := serve.Config{
 		QueueCapacity: *queue,
 		DrainDeadline: time.Duration(*drainMs) * time.Millisecond,
-	})
+		SlowQuery:     time.Duration(*slowMs) * time.Millisecond,
+	}
+	if *qlogPath != "" {
+		switch *qlogPath {
+		case "stderr", "-":
+			serveCfg.Log = qlog.New(os.Stderr)
+		default:
+			f, err := os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			serveCfg.Log = qlog.New(f)
+		}
+	}
+	server, err := serve.New(h.Eng, serveCfg)
 	if err != nil {
 		fail(err)
 	}
 
 	// The admin surface rides the serve mux; every scrape carries the
-	// admission counters alongside the engine metrics.
+	// admission counters and a live Go runtime sample alongside the
+	// engine metrics.
 	engineSources := metrics.SourcesFromEngine(h.Eng)
 	sources := func() metrics.Sources {
 		src := engineSources()
 		src.Admission = server.AdmissionSnapshot
+		src.Runtime = metrics.SampleRuntime
 		return src
 	}
-	handler := serve.NewMux(server, metrics.AdminMux(sources))
+	admin := metrics.AdminMux(sources)
+	if *pprofFlag {
+		metrics.MountPprof(admin)
+	}
+	handler := serve.NewMux(server, admin)
 
 	bind := *addr
 	if *smoke || *serveSmoke {
@@ -192,6 +222,8 @@ func smokeTest(base string, h *bench.Harness) error {
 		"blu_kmv_relative_error_count",
 		"blu_serve_queue_depth",
 		"blu_serve_submitted_total",
+		"blu_go_goroutines",
+		"blu_go_gc_cycles_total",
 	} {
 		if !contains(body, family) {
 			return fmt.Errorf("/metrics: family %s missing from scrape", family)

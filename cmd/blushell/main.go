@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"blugpu/internal/columnar"
 	"blugpu/internal/engine"
 	"blugpu/internal/metrics"
+	"blugpu/internal/qlog"
 	"blugpu/internal/trace"
 	"blugpu/internal/workload"
 )
@@ -299,14 +301,22 @@ func (sh *shell) cmdTrace(fields []string, line string) bool {
 	return false
 }
 
+// shellSeq numbers interactive statements; the derived shell-<n>
+// request ID is annotated onto the query's trace spans so \trace save
+// exports correlate with the printed footer.
+var shellSeq int
+
 func run(eng *engine.Engine, sql string) {
-	res, err := eng.Query(sql)
+	shellSeq++
+	reqID := fmt.Sprintf("shell-%d", shellSeq)
+	ctx := qlog.WithRequestID(context.Background(), reqID)
+	res, err := eng.QueryNamedCtxAttrs(ctx, reqID, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	printResult(res)
-	fmt.Printf("(%d rows, modeled %v, gpu=%v)\n", res.Table.Rows(), res.Modeled, res.GPUUsed)
+	fmt.Printf("(%d rows, modeled %v, gpu=%v, request=%s)\n", res.Table.Rows(), res.Modeled, res.GPUUsed, reqID)
 	for _, op := range res.Ops {
 		if op.Op == "groupby" || op.Op == "sort" {
 			fmt.Printf("  %s: %s [%v]\n", op.Op, op.Detail, op.Modeled)

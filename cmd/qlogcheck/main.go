@@ -1,0 +1,306 @@
+// Command qlogcheck is the wall-clock observability smoke test
+// (`make qlog-smoke`). It boots the engine behind the serving layer on
+// an ephemeral port, posts identified queries over HTTP, and then
+// proves the request-ID join end to end:
+//
+//   - every posted X-Request-ID has exactly one structured query-log
+//     record, and the log as a whole passes qlog.Validate
+//   - ok records account for their wall clock: the phase breakdown
+//     (queue-wait + admission + parse + plan + exec + serialize) sums
+//     to the total within 5% (with a small absolute floor for
+//     sub-millisecond queries)
+//   - the same ID resolves at GET /debug/trace/{id} to Chrome
+//     trace-event JSON that validates, and appears inside it
+//   - EXPLAIN ANALYZE reports carry the same request_id
+//   - /metrics exposes the blu_go_* runtime family and the blu_slo_*
+//     burn-rate family, and the scrape validates
+//   - /debug/trace/slow serves the retained slow traces
+//
+// With -artifacts DIR the /metrics scrape, the slow-trace JSON and the
+// query log are written into DIR for CI upload when the check fails.
+//
+// Usage:
+//
+//	qlogcheck [-sf 0.002] [-seed 20160626] [-queries 8] [-artifacts DIR]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"blugpu/internal/bench"
+	"blugpu/internal/metrics"
+	"blugpu/internal/qlog"
+	"blugpu/internal/serve"
+	"blugpu/internal/trace"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	nq := flag.Int("queries", 8, "identified queries to post (cycled from the BD Insights suite)")
+	artifacts := flag.String("artifacts", "", "directory to dump /metrics, slow traces and the query log into")
+	flag.Parse()
+
+	c := &checker{artifacts: *artifacts}
+	if err := c.run(*sf, *seed, *nq); err != nil {
+		c.dump()
+		fmt.Fprintln(os.Stderr, "qlogcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("qlogcheck: wall-clock observability ok")
+}
+
+type checker struct {
+	artifacts string
+	logBuf    bytes.Buffer
+	metrics   []byte
+	slowTrace []byte
+	base      string
+}
+
+func (c *checker) run(sf float64, seed uint64, nq int) error {
+	fmt.Printf("qlogcheck: generating dataset (sf=%g, seed=%d)...\n", sf, seed)
+	h, err := bench.NewHarness(bench.Config{SF: sf, Seed: seed, Devices: 2, Degree: 8, Trace: trace.New()})
+	if err != nil {
+		return err
+	}
+	// A 1µs slow threshold forces every query into slow retention so the
+	// slow-trace surface is guaranteed to have content.
+	server, err := serve.New(h.Eng, serve.Config{
+		Log:       qlog.New(&c.logBuf),
+		SlowQuery: time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	engineSources := metrics.SourcesFromEngine(h.Eng)
+	sources := func() metrics.Sources {
+		src := engineSources()
+		src.Admission = server.AdmissionSnapshot
+		src.Runtime = metrics.SampleRuntime
+		return src
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewMux(server, metrics.AdminMux(sources))}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c.base = "http://" + ln.Addr().String()
+
+	// Post identified queries: every other one asks for EXPLAIN ANALYZE.
+	suite := workload.BDInsights()
+	type posted struct {
+		id      string
+		explain bool
+	}
+	var sent []posted
+	for i := 0; i < nq; i++ {
+		q := suite[i%len(suite)]
+		id := fmt.Sprintf("qlogcheck-%03d", i+1)
+		withExplain := i%2 == 0
+		body, _ := json.Marshal(map[string]any{
+			"sql": q.SQL, "name": q.ID, "session": "qlogcheck", "explain": withExplain,
+		})
+		req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s (%s): HTTP %d: %.200s", id, q.ID, resp.StatusCode, respBody)
+		}
+		if got := resp.Header.Get("X-Request-ID"); got != id {
+			return fmt.Errorf("%s: response header echoes %q", id, got)
+		}
+		var out struct {
+			RequestID string          `json:"request_id"`
+			Explain   json.RawMessage `json:"explain"`
+		}
+		if err := json.Unmarshal(respBody, &out); err != nil {
+			return fmt.Errorf("%s: bad response body: %w", id, err)
+		}
+		if out.RequestID != id {
+			return fmt.Errorf("%s: body carries request_id %q", id, out.RequestID)
+		}
+		if withExplain {
+			var rep struct {
+				RequestID string `json:"request_id"`
+			}
+			if err := json.Unmarshal(out.Explain, &rep); err != nil {
+				return fmt.Errorf("%s: bad explain report: %w", id, err)
+			}
+			if rep.RequestID != id {
+				return fmt.Errorf("%s: EXPLAIN report carries request_id %q", id, rep.RequestID)
+			}
+		}
+		sent = append(sent, posted{id: id, explain: withExplain})
+	}
+	fmt.Printf("qlogcheck: %d identified queries ok (explain on %d)\n", len(sent), (nq+1)/2)
+
+	// The query log: structurally valid, one record per posted ID, and
+	// the phase breakdown accounts for the wall clock.
+	if err := qlog.Validate(c.logBuf.Bytes()); err != nil {
+		return fmt.Errorf("query log invalid: %w", err)
+	}
+	recs, err := qlog.Decode(c.logBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	byID := map[string]int{}
+	slowEvents := 0
+	for _, rec := range recs {
+		if rec.Event == qlog.EventSlow {
+			slowEvents++
+			continue
+		}
+		byID[rec.RequestID]++
+		if rec.Outcome != qlog.OutcomeOK {
+			return fmt.Errorf("%s: outcome %s (%s)", rec.RequestID, rec.Outcome, rec.Error)
+		}
+		sum := rec.Phases.SumMs()
+		if diff := math.Abs(rec.TotalMs - sum); diff > math.Max(0.05*rec.TotalMs, 0.25) {
+			return fmt.Errorf("%s: phases sum %.3fms vs total %.3fms (over 5%%): %+v",
+				rec.RequestID, sum, rec.TotalMs, rec.Phases)
+		}
+		if rec.Phases.SerializeMs <= 0 || rec.ResultBytes == 0 {
+			return fmt.Errorf("%s: serialize phase unmeasured (%+v)", rec.RequestID, rec.Phases)
+		}
+	}
+	for _, p := range sent {
+		if byID[p.id] != 1 {
+			return fmt.Errorf("%s: %d query-log records, want exactly 1", p.id, byID[p.id])
+		}
+	}
+	if slowEvents == 0 {
+		return fmt.Errorf("no slow_query events despite a 1µs threshold")
+	}
+	fmt.Printf("qlogcheck: query log ok (%d records, %d slow events, phases reconcile)\n", len(recs), slowEvents)
+
+	// The live tracer: every posted ID resolves to valid Chrome JSON
+	// carrying that ID (the ring is larger than the posted count).
+	for _, p := range sent {
+		body, code, err := httpGet(c.base + "/debug/trace/" + p.id)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("/debug/trace/%s: HTTP %d: %.120s", p.id, code, body)
+		}
+		if err := trace.ValidateChrome(body); err != nil {
+			return fmt.Errorf("/debug/trace/%s: %w", p.id, err)
+		}
+		if !bytes.Contains(body, []byte(`"request_id":"`+p.id+`"`)) {
+			return fmt.Errorf("/debug/trace/%s: export does not carry the ID", p.id)
+		}
+	}
+	body, code, err := httpGet(c.base + "/debug/trace/qlogcheck-never-sent")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusNotFound {
+		return fmt.Errorf("unknown trace ID: HTTP %d, want 404: %.120s", code, body)
+	}
+	c.slowTrace, code, err = httpGet(c.base + "/debug/trace/slow")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/debug/trace/slow: HTTP %d", code)
+	}
+	if err := trace.ValidateChrome(c.slowTrace); err != nil {
+		return fmt.Errorf("/debug/trace/slow: %w", err)
+	}
+	fmt.Printf("qlogcheck: /debug/trace ok (%d IDs joined, slow export %d bytes)\n", len(sent), len(c.slowTrace))
+
+	// The metrics surface: runtime and SLO families present and valid.
+	c.metrics, code, err = httpGet(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/metrics: HTTP %d", code)
+	}
+	if err := metrics.ValidateExposition(c.metrics); err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	for _, family := range []string{
+		"blu_go_goroutines",
+		"blu_go_heap_objects_bytes",
+		"blu_go_gc_cycles_total",
+		"blu_slo_threshold_seconds",
+		"blu_slo_burn_rate",
+		"blu_serve_wall_seconds_bucket",
+		"blu_serve_slow_queries_total",
+	} {
+		if !strings.Contains(string(c.metrics), family) {
+			return fmt.Errorf("/metrics: family %s missing", family)
+		}
+	}
+	fmt.Printf("qlogcheck: /metrics ok (%d bytes, blu_go_* and blu_slo_* present)\n", len(c.metrics))
+	return nil
+}
+
+// dump writes whatever the checker captured into the artifacts
+// directory so a CI failure ships the evidence.
+func (c *checker) dump() {
+	if c.artifacts == "" {
+		return
+	}
+	if err := os.MkdirAll(c.artifacts, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "qlogcheck: artifacts:", err)
+		return
+	}
+	// Fetch anything not yet captured so the dump is as complete as the
+	// failure allows.
+	if c.metrics == nil && c.base != "" {
+		c.metrics, _, _ = httpGet(c.base + "/metrics")
+	}
+	if c.slowTrace == nil && c.base != "" {
+		c.slowTrace, _, _ = httpGet(c.base + "/debug/trace/slow")
+	}
+	for name, data := range map[string][]byte{
+		"metrics.txt":     c.metrics,
+		"trace_slow.json": c.slowTrace,
+		"qlog.jsonl":      c.logBuf.Bytes(),
+	} {
+		if len(data) == 0 {
+			continue
+		}
+		path := filepath.Join(c.artifacts, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qlogcheck: artifacts:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "qlogcheck: wrote %s (%d bytes)\n", path, len(data))
+	}
+}
+
+func httpGet(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}

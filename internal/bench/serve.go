@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -19,17 +20,33 @@ import (
 // clients retrying shed submissions until admitted. All numbers are
 // wall-clock on this machine — trend data, never gated.
 type SustainedResult struct {
-	Users     int
-	Wall      time.Duration
-	QPS       float64 // admitted queries per wall second
-	ShedRate  float64 // shed submissions / total submissions
-	P50Ms     float64 // client-observed latency incl. queueing + retries
-	P95Ms     float64
-	P99Ms     float64
-	PerClass  map[workload.Class][]float64 // per-class client latencies (ms)
-	Snapshot  *metrics.AdmissionSnapshot   // final server ledger
-	DrainRep  serve.DrainReport
-	perClassO []workload.Class // class print order
+	Users    int
+	Wall     time.Duration
+	QPS      float64 // admitted queries per wall second
+	ShedRate float64 // shed submissions / total submissions
+	P50Ms    float64 // client-observed latency incl. queueing + retries
+	P95Ms    float64
+	P99Ms    float64
+	// Phase medians from the server's wall-clock phase breakdown of each
+	// admitted query: time queued, time inside the engine call, and time
+	// serializing the client payload. Machine-dependent, never gated.
+	QueueWaitP50Ms float64
+	ExecWallP50Ms  float64
+	SerializeP50Ms float64
+	PerClass       map[workload.Class][]float64 // per-class client latencies (ms)
+	Snapshot       *metrics.AdmissionSnapshot   // final server ledger
+	DrainRep       serve.DrainReport
+	perClassO      []workload.Class // class print order
+}
+
+// countWriter counts bytes; the sustained bench serializes real JSON
+// through it so the serialize phase measures actual encoding work
+// without buffering every payload.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
 }
 
 // RunSustained drives one stream per user of mix through a serve.Server
@@ -38,6 +55,9 @@ type SustainedResult struct {
 // query is admitted, so the run measures saturated steady-state
 // behaviour: queueing delay, shed rate, and delivered throughput.
 func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*SustainedResult, error) {
+	if scfg.Log == nil {
+		scfg.Log = h.cfg.QueryLog
+	}
 	s, err := serve.New(h.Eng, scfg)
 	if err != nil {
 		return nil, err
@@ -46,6 +66,7 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 
 	var mu sync.Mutex
 	perClass := map[workload.Class][]float64{}
+	var waitMs, execMs, serMs []float64
 	var firstErr error
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -65,8 +86,18 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 						mu.Unlock()
 						return
 					}
-					_, err := s.Do(context.Background(), serve.Request{
+					resp, err := s.Do(context.Background(), serve.Request{
 						Session: session, SQL: q.SQL, Class: q.Class, Name: q.ID,
+						// Encode the same row-major payload the HTTP
+						// handler ships, so the serialize phase measures
+						// real client-facing work.
+						Serialize: func(r *serve.Response) (int, error) {
+							cw := &countWriter{}
+							if err := json.NewEncoder(cw).Encode(serve.TableRows(r.Result.Table.Columns())); err != nil {
+								return 0, err
+							}
+							return cw.n, nil
+						},
 					})
 					var refused *serve.RefusedError
 					if errors.As(err, &refused) {
@@ -83,6 +114,9 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 					}
 					ms := float64(time.Since(qStart).Nanoseconds()) / 1e6
 					perClass[q.Class] = append(perClass[q.Class], ms)
+					waitMs = append(waitMs, resp.Phases.QueueWaitMs)
+					execMs = append(execMs, resp.Phases.ExecMs)
+					serMs = append(serMs, resp.Phases.SerializeMs)
 					mu.Unlock()
 					break
 				}
@@ -120,6 +154,9 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 		all = append(all, lats...)
 	}
 	res.P50Ms, res.P95Ms, res.P99Ms = quantileMs(all, 0.50), quantileMs(all, 0.95), quantileMs(all, 0.99)
+	res.QueueWaitP50Ms = quantileMs(waitMs, 0.50)
+	res.ExecWallP50Ms = quantileMs(execMs, 0.50)
+	res.SerializeP50Ms = quantileMs(serMs, 0.50)
 	return res, nil
 }
 
@@ -152,6 +189,8 @@ func (h *Harness) Serve(w io.Writer) error {
 		res.Users, res.Wall.Seconds(), res.QPS, res.ShedRate*100, snap.Submitted, snap.Admitted, snap.Shed)
 	fmt.Fprintf(w, "client latency (queueing + retries + execution): p50=%.1fms p95=%.1fms p99=%.1fms\n",
 		res.P50Ms, res.P95Ms, res.P99Ms)
+	fmt.Fprintf(w, "server phase medians: queue_wait=%.2fms exec_wall=%.2fms serialize=%.2fms\n",
+		res.QueueWaitP50Ms, res.ExecWallP50Ms, res.SerializeP50Ms)
 	fmt.Fprintf(w, "%-14s %-8s %-12s %-12s %s\n", "class", "queries", "p50(ms)", "p99(ms)", "max(ms)")
 	rule(w, 60)
 	for _, c := range res.perClassO {

@@ -65,6 +65,14 @@ type ExperimentSnap struct {
 	QPS       float64 `json:"qps,omitempty"`
 	P99WallMs float64 `json:"p99_wall_ms,omitempty"`
 	ShedRate  float64 `json:"shed_rate,omitempty"`
+	// QueueWaitMsP50/ExecWallMsP50/SerializeMsP50 are the sustained run's
+	// wall-clock phase medians from the server's per-query breakdown:
+	// time queued, time inside the engine call, and time serializing the
+	// client payload. Machine- and load-dependent trend columns —
+	// informational only, never gated.
+	QueueWaitMsP50 float64 `json:"queue_wait_ms_p50,omitempty"`
+	ExecWallMsP50  float64 `json:"exec_wall_ms_p50,omitempty"`
+	SerializeMsP50 float64 `json:"serialize_ms_p50,omitempty"`
 }
 
 // CounterSnap is the engine-wide counter state after the suite ran.
@@ -241,12 +249,15 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve_sustained: %w", err)
 	}
 	sustained := ExperimentSnap{
-		Name:      "serve_sustained",
-		Queries:   int(sus.Snapshot.Admitted),
-		WallMs:    float64(time.Since(start).Nanoseconds()) / 1e6,
-		QPS:       sus.QPS,
-		P99WallMs: sus.P99Ms,
-		ShedRate:  sus.ShedRate,
+		Name:           "serve_sustained",
+		Queries:        int(sus.Snapshot.Admitted),
+		WallMs:         float64(time.Since(start).Nanoseconds()) / 1e6,
+		QPS:            sus.QPS,
+		P99WallMs:      sus.P99Ms,
+		ShedRate:       sus.ShedRate,
+		QueueWaitMsP50: sus.QueueWaitP50Ms,
+		ExecWallMsP50:  sus.ExecWallP50Ms,
+		SerializeMsP50: sus.SerializeP50Ms,
 	}
 	snap.Experiments = append(snap.Experiments, sustained)
 
@@ -414,6 +425,9 @@ func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
 			row("qps", b.QPS, c.QPS, false)
 			row("p99_wall_ms", b.P99WallMs, c.P99WallMs, false)
 			row("shed_rate", b.ShedRate, c.ShedRate, false)
+			row("queue_wait_ms_p50", b.QueueWaitMsP50, c.QueueWaitMsP50, false)
+			row("exec_wall_ms_p50", b.ExecWallMsP50, c.ExecWallMsP50, false)
+			row("serialize_ms_p50", b.SerializeMsP50, c.SerializeMsP50, false)
 		}
 	}
 }

@@ -118,7 +118,7 @@ func Sort(src KeySource, cfg Config) ([]int32, Stats, error) {
 	// next partial key"), and each worker writes a disjoint range.
 	rekey := func(r Range, depth int) {
 		parallel.For(r.Len(), keygenGrain, cfg.Degree, func(lo, hi, _ int) {
-			for i := r.Lo + lo; i < r.Lo + hi; i++ {
+			for i := r.Lo + lo; i < r.Lo+hi; i++ {
 				p := entries[i].Payload()
 				entries[i] = MakeEntry(src.PartialKey(int32(p), depth), p)
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/evaluator"
@@ -89,6 +90,7 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		(e.thresholds.T3Rows <= 0 || rows <= e.thresholds.T3Rows)
 
 	// Host evaluator chain: LCOG/LCOV/CCAT/HASH(+KMV)[+MEMCPY].
+	hostStart := time.Now()
 	chain, err := evaluator.BuildInput(f.tbl, nil, evaluator.Spec{Keys: n.Keys, Aggs: cols}, evaluator.Deps{
 		Model:    e.model,
 		Degree:   e.cfg.Degree,
@@ -104,6 +106,7 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	if chain.Staged != nil {
 		defer chain.Staged.Release()
 	}
+	q.wallHost(hostStart)
 	e.addCPU(f, chain.Modeled)
 	// Cancellation checked here (not in the GPU error path below): a
 	// canceled query must abort, never be mistaken for a GPU fault that
@@ -140,11 +143,13 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 		// runs exactly as it would without fusion. A fused fault skips
 		// the staged retry — the chain has already spilled, and Section
 		// 2.1.1's discipline routes the query to the CPU.
+		gpuStart := time.Now()
 		gout, info, fexec, gerr := e.runAggregateFused(cr, in, demand, chain.Pinned, chain.Modeled, f, op)
 		fx = fexec
 		if fexec == nil && gerr == nil {
 			gout, info, gerr = e.runAggregateGPU(in, demand, chain.Pinned, f, op)
 		}
+		q.wallGPU(gpuStart)
 		ginfo = info
 		if gerr != nil {
 			// Device full, admission failed, or a GPU operation faulted:
@@ -163,10 +168,12 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	}
 	if out == nil {
 		cpuAt := f.at()
+		cpuStart := time.Now()
 		out, err = groupby.RunCPU(in, e.cfg.Degree, e.model)
 		if err != nil {
 			return nil, err
 		}
+		q.wallHost(cpuStart)
 		e.addCPU(f, out.Stats.Modeled)
 		op.Emit("op", "cpu-groupby", cpuAt, out.Stats.Modeled,
 			trace.Int("groups", int64(out.Groups)))
@@ -182,10 +189,12 @@ func (e *Engine) execAggregate(n *plan.Aggregate, q qctx) (*frame, error) {
 	}
 
 	// Build the output table: decoded key columns + finalized aggregates.
+	buildStart := time.Now()
 	outTbl, err := e.buildAggOutput(chain, in, out, items)
 	if err != nil {
 		return nil, err
 	}
+	q.wallHost(buildStart)
 	finalize := e.model.CPUTime(float64(out.Groups*len(items)), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, finalize)
 	op.End(f.at(), trace.Int("groups", int64(out.Groups)), trace.Str("path", detail))

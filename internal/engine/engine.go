@@ -31,6 +31,7 @@ import (
 	"blugpu/internal/monitor"
 	"blugpu/internal/optimizer"
 	"blugpu/internal/plan"
+	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/sqlparse"
 	"blugpu/internal/trace"
@@ -234,6 +235,23 @@ type OpStat struct {
 	Modeled vtime.Duration
 }
 
+// WallBreakdown attributes one query's real wall-clock time to phases.
+// Unlike Modeled it is machine- and load-dependent — informational,
+// never gated — but it is what the wall-clock speed campaign needs to
+// see: where the real milliseconds go. Parse/Plan cover the SQL
+// front-end (zero for pre-lowered plans); Exec covers the plan's
+// execution, with the GPU-kernel / host-evaluator / gather split
+// measured at the operator call sites (their sum is ≤ Exec; the residue
+// is operator bookkeeping and modeled-time accounting).
+type WallBreakdown struct {
+	Parse      time.Duration
+	Plan       time.Duration
+	Exec       time.Duration
+	ExecGPU    time.Duration
+	ExecHost   time.Duration
+	ExecGather time.Duration
+}
+
 // Result is a completed query.
 type Result struct {
 	// Table holds the result rows.
@@ -249,6 +267,12 @@ type Result struct {
 	Ops []OpStat
 	// GPUUsed reports whether any operator took a device path.
 	GPUUsed bool
+	// Wall is the query's wall-clock phase attribution.
+	Wall WallBreakdown
+	// TraceSeq is the query's 1-based sequence number on the attached
+	// tracer (0 when tracing is off) — the key for carving its span
+	// subtree out of a shared tracer.
+	TraceSeq uint64
 }
 
 // Query parses, plans and executes one SQL statement.
@@ -280,15 +304,23 @@ func (e *Engine) QueryNamedCtx(ctx context.Context, name, sql string) (*Result, 
 // layer uses it to attribute admission decisions (class, queue wait,
 // session) in the same trace that holds the query's operator spans.
 func (e *Engine) QueryNamedCtxAttrs(ctx context.Context, name, sql string, attrs ...trace.Attr) (*Result, error) {
+	parseStart := time.Now()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	parseWall := time.Since(parseStart)
+	planStart := time.Now()
 	p, err := plan.Build(stmt)
 	if err != nil {
 		return nil, err
 	}
+	planWall := time.Since(planStart)
 	res, _, err := e.executeWith(ctx, name, p, sql, nil, attrs...)
+	if res != nil {
+		res.Wall.Parse = parseWall
+		res.Wall.Plan = planWall
+	}
 	return res, err
 }
 
@@ -397,7 +429,8 @@ func (e *Engine) Execute(p *plan.Plan) (*Result, error) {
 // the root span (admission attribution from the serving layer).
 func (e *Engine) executeWith(ctx context.Context, name string, p *plan.Plan, sql string, col *explain.Collector, attrs ...trace.Attr) (*Result, uint64, error) {
 	wallStart := time.Now()
-	q := qctx{ctx: ctx, col: col}
+	q := qctx{ctx: ctx, col: col, wall: &wallAcc{}}
+	requestID := qlog.RequestIDFrom(ctx)
 	tr := e.tracer.Load()
 	if tr != nil {
 		e.clockMu.Lock()
@@ -406,6 +439,9 @@ func (e *Engine) executeWith(ctx context.Context, name string, p *plan.Plan, sql
 		q.tc = tr.StartQuery(name, q.base)
 		if sql != "" {
 			q.tc.Annotate(trace.Str("sql", sql))
+		}
+		if requestID != "" {
+			q.tc.Annotate(trace.Str("request_id", requestID))
 		}
 		if len(attrs) > 0 {
 			q.tc.Annotate(attrs...)
@@ -425,12 +461,19 @@ func (e *Engine) executeWith(ctx context.Context, name string, p *plan.Plan, sql
 		}
 	}
 	res := &Result{
-		Table:   f.tbl,
-		Columns: cols,
-		Modeled: f.modeled,
-		Profile: des.Profile{Name: "query", Phases: mergePhases(f.phases)},
-		Ops:     f.ops,
-		GPUUsed: f.gpuUsed,
+		Table:    f.tbl,
+		Columns:  cols,
+		Modeled:  f.modeled,
+		Profile:  des.Profile{Name: "query", Phases: mergePhases(f.phases)},
+		Ops:      f.ops,
+		GPUUsed:  f.gpuUsed,
+		TraceSeq: q.tc.Query(),
+		Wall: WallBreakdown{
+			Exec:       time.Since(wallStart),
+			ExecGPU:    q.wall.gpuD(),
+			ExecHost:   q.wall.hostD(),
+			ExecGather: q.wall.gatherD(),
+		},
 	}
 	if q.tc.Enabled() {
 		gpuAttr := int64(0)
@@ -467,6 +510,10 @@ type qctx struct {
 	base  vtime.Time
 	col   *explain.Collector
 	depth int
+	// wall accumulates the query's GPU-kernel / host-evaluator / gather
+	// wall-clock split; atomics because sort jobs and the fused-chain
+	// fill overlap run concurrently. nil-safe (no-op) for zero qctx.
+	wall *wallAcc
 	// ctx bounds the query: execution checks it between operators and
 	// aborts as soon as it reports done. nil means unbounded.
 	ctx context.Context
@@ -474,6 +521,36 @@ type qctx struct {
 	// currently being descended into; the filter/derive exec hooks
 	// record entry table and stage shapes on it.
 	chain *chainRec
+}
+
+// wallAcc accumulates per-query wall-clock nanoseconds by work kind.
+type wallAcc struct {
+	gpu, host, gather atomic.Int64
+}
+
+func (w *wallAcc) gpuD() time.Duration    { return time.Duration(w.gpu.Load()) }
+func (w *wallAcc) hostD() time.Duration   { return time.Duration(w.host.Load()) }
+func (w *wallAcc) gatherD() time.Duration { return time.Duration(w.gather.Load()) }
+
+// wallGPU charges wall time since start to the GPU-kernel phase.
+func (q qctx) wallGPU(start time.Time) {
+	if q.wall != nil {
+		q.wall.gpu.Add(int64(time.Since(start)))
+	}
+}
+
+// wallHost charges wall time since start to the host-evaluator phase.
+func (q qctx) wallHost(start time.Time) {
+	if q.wall != nil {
+		q.wall.host.Add(int64(time.Since(start)))
+	}
+}
+
+// wallGather charges wall time since start to the gather phase.
+func (q qctx) wallGather(start time.Time) {
+	if q.wall != nil {
+		q.wall.gather.Add(int64(time.Since(start)))
+	}
 }
 
 // deeper returns the context one plan level down.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"blugpu/internal/columnar"
 	"blugpu/internal/expr"
@@ -99,12 +100,16 @@ func (e *Engine) execFilter(n *plan.Filter, q qctx) (*frame, error) {
 	}
 	start := f.at()
 	sp := f.begin("op", "filter")
+	hostStart := time.Now()
 	sel, err := expr.EvalPredicateDegree(f.tbl, n.Pred, e.cfg.Degree)
 	if err != nil {
 		return nil, err
 	}
+	q.wallHost(hostStart)
+	gatherStart := time.Now()
 	rows := sel.IndicesDegree(e.cfg.Degree)
 	out := columnar.GatherTableDegree(f.tbl.Name()+"_f", f.tbl, rows, e.cfg.Degree)
+	q.wallGather(gatherStart)
 	if cr := q.chain; cr.member(n) {
 		// Fusion chain bookkeeping: f.tbl is still this filter's input
 		// here, so the deepest member captures the chain's entry table.
@@ -152,6 +157,7 @@ func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
 	}
 
 	// Hash join: build on the smaller input, probe the larger.
+	hostStart := time.Now()
 	buildRight := right.Rows() <= left.tbl.Rows()
 	var buildKeys, probeKeys *columnar.Int64Column
 	if buildRight {
@@ -183,8 +189,11 @@ func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
 		}
 	}
 
+	q.wallHost(hostStart)
+
 	// Materialize both sides, restricted to the referenced columns
 	// (late materialization); column names must stay unique.
+	gatherStart := time.Now()
 	wanted := func(name string) bool {
 		if n.Needed == nil {
 			return true
@@ -222,6 +231,7 @@ func (e *Engine) execJoin(n *plan.Join, q qctx) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.wallGather(gatherStart)
 
 	t := e.model.CPUTime(float64(buildKeys.Len()), e.model.CPUHashBuildRate, e.cfg.Degree) +
 		e.model.CPUTime(float64(probeKeys.Len()), e.model.CPUHashProbeRate, e.cfg.Degree) +
@@ -245,6 +255,7 @@ func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
 	}
 	start := f.at()
 	sp := f.begin("op", "derive")
+	hostStart := time.Now()
 	cols := append([]columnar.Column{}, f.tbl.Columns()...)
 	for _, dc := range n.Cols {
 		col, err := evalToColumn(f.tbl, dc.Name, dc.Expr, e.cfg.Degree)
@@ -253,6 +264,7 @@ func (e *Engine) execDerive(n *plan.Derive, q qctx) (*frame, error) {
 		}
 		cols = append(cols, col)
 	}
+	q.wallHost(hostStart)
 	out, err := columnar.NewTable(f.tbl.Name()+"_d", cols...)
 	if err != nil {
 		return nil, err
@@ -278,6 +290,7 @@ func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
 	}
 	start := f.at()
 	sp := f.begin("op", "project")
+	hostStart := time.Now()
 	cols := make([]columnar.Column, len(n.Cols))
 	exprWork := 0
 	for i, dc := range n.Cols {
@@ -301,6 +314,7 @@ func (e *Engine) execProject(n *plan.Project, q qctx) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.wallHost(hostStart)
 	t := e.model.CPUTime(float64(exprWork), e.model.CPUExprRate, e.cfg.Degree)
 	e.addCPU(f, t)
 	sp.End(f.at(), trace.Int("rows", int64(out.Rows())))

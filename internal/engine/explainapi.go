@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"blugpu/internal/explain"
 	"blugpu/internal/plan"
+	"blugpu/internal/qlog"
 	"blugpu/internal/sqlparse"
 	"blugpu/internal/trace"
 )
@@ -82,14 +84,18 @@ func (e *Engine) ExplainAnalyzeNamed(name, sql string) (*explain.Report, *Result
 // does for QueryCtx. Still single-query-only — the monitor deltas and the
 // temporary tracer are not safe against concurrent queries.
 func (e *Engine) ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (*explain.Report, *Result, error) {
+	parseStart := time.Now()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	parseWall := time.Since(parseStart)
+	planStart := time.Now()
 	p, err := plan.Build(stmt)
 	if err != nil {
 		return nil, nil, err
 	}
+	planWall := time.Since(planStart)
 	tr := e.tracer.Load()
 	if tr == nil {
 		tr = trace.New()
@@ -106,6 +112,8 @@ func (e *Engine) ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (
 	if err != nil {
 		return nil, nil, err
 	}
+	res.Wall.Parse = parseWall
+	res.Wall.Plan = planWall
 
 	after := e.monTotals()
 	host1 := e.registry.Stats()
@@ -115,6 +123,7 @@ func (e *Engine) ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (
 	}
 	rep := explain.Build(explain.Input{
 		Query:      name,
+		RequestID:  qlog.RequestIDFrom(ctx),
 		SQL:        sql,
 		Plan:       fmt.Sprintf("%s", p.Root),
 		GPUEnabled: e.GPUEnabled(),

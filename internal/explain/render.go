@@ -14,6 +14,9 @@ import (
 // same query render identically (the golden tests lock this).
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "EXPLAIN ANALYZE %s\n", r.Query)
+	if r.RequestID != "" {
+		fmt.Fprintf(w, "request: %s\n", r.RequestID)
+	}
 	if r.SQL != "" {
 		fmt.Fprintf(w, "sql: %s\n", r.SQL)
 	}

@@ -42,6 +42,7 @@ type HostMemStats struct {
 // Input is everything Build joins into a report.
 type Input struct {
 	Query      string
+	RequestID  string // serving-layer request ID; empty for direct calls
 	SQL        string
 	Plan       string
 	GPUEnabled bool
@@ -80,18 +81,18 @@ type GroupbyReport struct {
 	Plan *PlanReport `json:"plan,omitempty"`
 	// InputRows/EstGroups/DemandBytes are what the runtime Figure-3
 	// decision actually saw; ActualGroups what the operator produced.
-	InputRows    int64   `json:"input_rows"`
-	EstGroups    int64   `json:"est_groups"`
-	ActualGroups int64   `json:"actual_groups"`
-	RelErr       float64 `json:"rel_err"`
-	DemandBytes  int64   `json:"demand_bytes"`
-	Decision     string  `json:"decision"`
-	Reason       string  `json:"reason"`
-	Path         string  `json:"path"`
-	Attempts     int     `json:"attempts"`
-	Retries      int     `json:"retries"`
-	FallbackCause string `json:"fallback_cause,omitempty"`
-	Devices      []int   `json:"devices,omitempty"`
+	InputRows     int64   `json:"input_rows"`
+	EstGroups     int64   `json:"est_groups"`
+	ActualGroups  int64   `json:"actual_groups"`
+	RelErr        float64 `json:"rel_err"`
+	DemandBytes   int64   `json:"demand_bytes"`
+	Decision      string  `json:"decision"`
+	Reason        string  `json:"reason"`
+	Path          string  `json:"path"`
+	Attempts      int     `json:"attempts"`
+	Retries       int     `json:"retries"`
+	FallbackCause string  `json:"fallback_cause,omitempty"`
+	Devices       []int   `json:"devices,omitempty"`
 	// Fused-chain audit: present only when the group-by ran as a fused
 	// device chain (see AggRecord).
 	Fused          bool  `json:"fused,omitempty"`
@@ -127,40 +128,40 @@ type OpReport struct {
 	SelfMs  float64 `json:"self_ms"`
 	// Span-subtree evidence: device work, placement attempts, breaker
 	// exclusions and degradations under this operator.
-	Kernels         int    `json:"kernels"`
-	Transfers       int    `json:"transfers"`
-	TransferBytes   int64  `json:"transfer_bytes"`
-	Placements      int    `json:"placements"`
-	PlaceFailures   int    `json:"place_failures"`
-	QuarantineSkips int    `json:"quarantine_skips"`
-	Retries         int    `json:"retries"`
-	Fallbacks       int    `json:"fallbacks"`
-	Faults          int    `json:"faults"`
-	Attributed      bool   `json:"attributed"`
-	Groupby *GroupbyReport `json:"groupby,omitempty"`
-	Sort    *SortReport    `json:"sort,omitempty"`
+	Kernels         int            `json:"kernels"`
+	Transfers       int            `json:"transfers"`
+	TransferBytes   int64          `json:"transfer_bytes"`
+	Placements      int            `json:"placements"`
+	PlaceFailures   int            `json:"place_failures"`
+	QuarantineSkips int            `json:"quarantine_skips"`
+	Retries         int            `json:"retries"`
+	Fallbacks       int            `json:"fallbacks"`
+	Faults          int            `json:"faults"`
+	Attributed      bool           `json:"attributed"`
+	Groupby         *GroupbyReport `json:"groupby,omitempty"`
+	Sort            *SortReport    `json:"sort,omitempty"`
 }
 
 // TotalsReport is the query-level double-entry ledger: each monitor
 // counter next to its span-tree counterpart. Mismatches lists every
 // disagreement (empty in a reconciled run).
 type TotalsReport struct {
-	Kernels           uint64 `json:"kernels"`
-	KernelSpans       int    `json:"kernel_spans"`
-	Transfers         uint64 `json:"transfers"`
-	TransferSpans     int    `json:"transfer_spans"`
-	TransferBytes     int64  `json:"transfer_bytes"`
-	TransferSpanBytes int64  `json:"transfer_span_bytes"`
-	Retries           uint64 `json:"retries"`
-	RetrySpans        int    `json:"retry_spans"`
-	PlaceRetries      uint64 `json:"place_retries"`
-	Fallbacks         uint64 `json:"fallbacks"`
-	FallbackSpans     int    `json:"fallback_spans"`
-	Faults            uint64 `json:"faults"`
-	FaultAttrs        int    `json:"fault_attrs"`
-	Placements        int    `json:"placements"`
-	PlaceFailures     int    `json:"place_failures"`
-	QuarantineSkips   int    `json:"quarantine_skips"`
+	Kernels           uint64   `json:"kernels"`
+	KernelSpans       int      `json:"kernel_spans"`
+	Transfers         uint64   `json:"transfers"`
+	TransferSpans     int      `json:"transfer_spans"`
+	TransferBytes     int64    `json:"transfer_bytes"`
+	TransferSpanBytes int64    `json:"transfer_span_bytes"`
+	Retries           uint64   `json:"retries"`
+	RetrySpans        int      `json:"retry_spans"`
+	PlaceRetries      uint64   `json:"place_retries"`
+	Fallbacks         uint64   `json:"fallbacks"`
+	FallbackSpans     int      `json:"fallback_spans"`
+	Faults            uint64   `json:"faults"`
+	FaultAttrs        int      `json:"fault_attrs"`
+	Placements        int      `json:"placements"`
+	PlaceFailures     int      `json:"place_failures"`
+	QuarantineSkips   int      `json:"quarantine_skips"`
 	Mismatches        []string `json:"mismatches,omitempty"`
 }
 
@@ -168,24 +169,27 @@ type TotalsReport struct {
 type MemoryReport struct {
 	// DeviceHighWaterBytes is the largest single device reservation the
 	// query held (max demand among successful placements).
-	DeviceHighWaterBytes int64 `json:"device_high_water_bytes"`
-	HostWatermarkBytes   int64 `json:"host_watermark_bytes"`
-	HostFreeSpans        int   `json:"host_free_spans"`
-	HostMaxFreeSpans     int   `json:"host_max_free_spans"`
+	DeviceHighWaterBytes int64  `json:"device_high_water_bytes"`
+	HostWatermarkBytes   int64  `json:"host_watermark_bytes"`
+	HostFreeSpans        int    `json:"host_free_spans"`
+	HostMaxFreeSpans     int    `json:"host_max_free_spans"`
 	HostAllocs           uint64 `json:"host_allocs"`
 	HostAllocFails       uint64 `json:"host_alloc_fails"`
 }
 
 // Report is one query's complete decision audit.
 type Report struct {
-	Schema     int    `json:"schema"`
-	Query      string `json:"query"`
-	SQL        string `json:"sql,omitempty"`
-	Plan       string `json:"plan"`
-	GPUEnabled bool   `json:"gpu_enabled"`
-	Thresholds string `json:"thresholds"`
+	Schema int    `json:"schema"`
+	Query  string `json:"query"`
+	// RequestID joins the report against the query log and the live
+	// trace ring; omitted for queries run outside the serving layer.
+	RequestID  string  `json:"request_id,omitempty"`
+	SQL        string  `json:"sql,omitempty"`
+	Plan       string  `json:"plan"`
+	GPUEnabled bool    `json:"gpu_enabled"`
+	Thresholds string  `json:"thresholds"`
 	ModeledMs  float64 `json:"modeled_ms"`
-	Rows       int    `json:"rows"`
+	Rows       int     `json:"rows"`
 	// Ops is in display order: the plan root first, its input below it.
 	Ops    []OpReport   `json:"ops"`
 	Totals TotalsReport `json:"totals"`
@@ -208,12 +212,12 @@ func quantMs(d vtime.Duration) float64 {
 
 // spanStats is what one span subtree contributes to an operator.
 type spanStats struct {
-	kernels, transfers           int
-	transferBytes                int64
-	placements, placeFails       int
-	quarantineSkips              int
-	retries, fallbacks, faults   int
-	jobSpans                     int
+	kernels, transfers         int
+	transferBytes              int64
+	placements, placeFails     int
+	quarantineSkips            int
+	retries, fallbacks, faults int
+	jobSpans                   int
 }
 
 // Build joins the engine's operator records, the query's span subtree
@@ -222,6 +226,7 @@ func Build(in Input) *Report {
 	r := &Report{
 		Schema:     ReportSchema,
 		Query:      in.Query,
+		RequestID:  in.RequestID,
 		SQL:        in.SQL,
 		Plan:       in.Plan,
 		GPUEnabled: in.GPUEnabled,

@@ -29,8 +29,26 @@ type AdmissionSnapshot struct {
 	Drained      uint64 `json:"drained"`
 	ExecErrors   uint64 `json:"exec_errors"` // subset of Admitted that failed in the engine
 	PlaceRetries uint64 `json:"place_retries"`
+	SlowQueries  uint64 `json:"slow_queries"` // resolved over the slow-query threshold
 
 	Classes []ClassAdmissionSnapshot `json:"classes"`
+
+	// Recent lists the last resolved submissions, newest first — the
+	// request-ID + queue-wait join surface /debug/serve and
+	// /debug/queries render.
+	Recent []RecentRequest `json:"recent,omitempty"`
+}
+
+// RecentRequest is one resolved submission in the recent-request ring.
+type RecentRequest struct {
+	RequestID string  `json:"request_id"`
+	Query     string  `json:"query,omitempty"` // resolved name; empty for refused submissions
+	Session   string  `json:"session,omitempty"`
+	Class     string  `json:"class"`
+	Outcome   string  `json:"outcome"`
+	WaitMs    float64 `json:"queue_wait_ms"`
+	TotalMs   float64 `json:"total_ms"`
+	Slow      bool    `json:"slow,omitempty"`
 }
 
 // ClassAdmissionSnapshot is one user class's admission state.
@@ -48,6 +66,15 @@ type ClassAdmissionSnapshot struct {
 	WaitBuckets []monitor.HistBucket `json:"-"`
 	WaitSum     float64              `json:"wait_sum_seconds"`
 	WaitCount   uint64               `json:"wait_count"`
+
+	// End-to-end wall-latency distribution (submit→resolve) and the
+	// class's SLO parameters; the blu_slo_* burn-rate gauges derive
+	// from these. Objective 0 means no SLO is configured.
+	WallBuckets  []monitor.HistBucket `json:"-"`
+	WallSum      float64              `json:"wall_sum_seconds"`
+	WallCount    uint64               `json:"wall_count"`
+	SLOThreshold float64              `json:"slo_threshold_seconds,omitempty"`
+	SLOObjective float64              `json:"slo_objective,omitempty"`
 }
 
 // collectAdmission emits the blu_serve_* family from one snapshot.
@@ -70,12 +97,14 @@ func collectAdmission(r *Registry, a *AdmissionSnapshot) {
 	outcomes.With(L("outcome", "drained")).AddUint(a.Drained)
 	r.Counter("blu_serve_exec_errors_total", "Admitted queries that failed in parse/plan/execution (still counted as admitted).").With().AddUint(a.ExecErrors)
 	r.Counter("blu_serve_place_retries_total", "Pre-execution placement backoff retries taken while the fleet was unhealthy.").With().AddUint(a.PlaceRetries)
+	r.Counter("blu_serve_slow_queries_total", "Submissions that resolved over the slow-query wall-clock threshold.").With().AddUint(a.SlowQueries)
 
 	active := r.Gauge("blu_serve_class_active", "Admitted queries executing, by user class.")
 	limit := r.Gauge("blu_serve_class_limit", "Per-class concurrency limit.")
 	queued := r.Gauge("blu_serve_class_queued", "Queries waiting in the admission queue, by user class.")
 	classOutcomes := r.Counter("blu_serve_class_queries_total", "Submitted queries by user class and terminal outcome.")
 	wait := r.Histogram("blu_serve_wait_seconds", "Admission-queue wait before execution, by user class.")
+	wall := r.Histogram("blu_serve_wall_seconds", "End-to-end wall-clock latency (submit to resolve), by user class.")
 	for _, c := range a.Classes {
 		lbl := L("class", c.Class)
 		active.With(lbl).Set(float64(c.Active))
@@ -88,5 +117,9 @@ func collectAdmission(r *Registry, a *AdmissionSnapshot) {
 		if c.WaitCount > 0 {
 			histFromBuckets(wait.With(lbl), c.WaitBuckets, c.WaitSum, c.WaitCount)
 		}
+		if c.WallCount > 0 {
+			histFromBuckets(wall.With(lbl), c.WallBuckets, c.WallSum, c.WallCount)
+		}
 	}
+	collectSLO(r, a)
 }

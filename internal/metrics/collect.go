@@ -24,6 +24,11 @@ type Sources struct {
 	// Admission, when set, snapshots the serving layer's admission state
 	// per scrape (queue depth, outcome counters, per-class waits).
 	Admission func() *AdmissionSnapshot
+	// Runtime, when set, samples Go runtime telemetry per scrape
+	// (goroutines, heap, GC pauses, scheduling latency) into the
+	// blu_go_* family. Wire SampleRuntime for live processes; tests
+	// inject fixed stats for golden-locked exposition.
+	Runtime func() *RuntimeStats
 }
 
 // EngineLike is the slice of the engine API the metrics layer needs;
@@ -71,6 +76,11 @@ func Collect(src Sources) *Registry {
 	if src.Admission != nil {
 		if snap := src.Admission(); snap != nil {
 			collectAdmission(r, snap)
+		}
+	}
+	if src.Runtime != nil {
+		if rt := src.Runtime(); rt != nil {
+			collectRuntime(r, rt)
 		}
 	}
 	enabled := 0.0

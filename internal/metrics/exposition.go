@@ -224,8 +224,8 @@ var (
 func ValidateExposition(data []byte) error {
 	types := map[string]Type{}
 	seen := map[string]bool{}
-	histInf := map[string]bool{}     // histogram family+labels with a +Inf bucket
-	histSeries := map[string]bool{}  // histogram family+labels seen at all
+	histInf := map[string]bool{}    // histogram family+labels with a +Inf bucket
+	histSeries := map[string]bool{} // histogram family+labels seen at all
 	samples := 0
 	for ln, line := range strings.Split(string(data), "\n") {
 		lineNo := ln + 1
@@ -293,7 +293,7 @@ func ValidateExposition(data []byte) error {
 	}
 	for k := range histSeries {
 		if !histInf[k] {
-			return fmt.Errorf("metrics: histogram series %s missing le=\"+Inf\" bucket", strings.ReplaceAll(k, "|", "{") + "}")
+			return fmt.Errorf("metrics: histogram series %s missing le=\"+Inf\" bucket", strings.ReplaceAll(k, "|", "{")+"}")
 		}
 	}
 	return nil

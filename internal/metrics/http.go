@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // AdminMux builds the admin HTTP surface over a scrape-time source
@@ -141,6 +142,37 @@ func writeDebugQueries(w http.ResponseWriter, src Sources) {
 			src.Tracer.Queries(), len(src.Tracer.Spans()))
 		src.Tracer.WriteFlame(w)
 	}
+	if src.Admission != nil {
+		if snap := src.Admission(); snap != nil && len(snap.Recent) > 0 {
+			fmt.Fprintf(w, "\nrecent requests (newest first):\n")
+			fmt.Fprintf(w, "%-14s %-16s %-12s %-10s %12s %12s\n",
+				"request", "query", "class", "outcome", "queue_ms", "total_ms")
+			for _, rr := range snap.Recent {
+				name := rr.Query
+				if name == "" {
+					name = "-"
+				}
+				slow := ""
+				if rr.Slow {
+					slow = "  SLOW"
+				}
+				fmt.Fprintf(w, "%-14s %-16s %-12s %-10s %12.3f %12.3f%s\n",
+					rr.RequestID, name, rr.Class, rr.Outcome, rr.WaitMs, rr.TotalMs, slow)
+			}
+		}
+	}
+}
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. Not mounted by default — profiling endpoints expose
+// stacks and timing side-channels, so serving binaries gate this
+// behind a flag.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Serve starts the admin surface on addr (host:port; port 0 picks a

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+
+	"blugpu/internal/monitor"
+)
+
+func TestConvertRuntimeHist(t *testing.T) {
+	h := &rtm.Float64Histogram{
+		Counts:  []uint64{2, 0, 3},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.002, math.Inf(1)},
+	}
+	got := convertRuntimeHist(h)
+	if got.Count != 5 {
+		t.Fatalf("count = %d, want 5", got.Count)
+	}
+	// The -Inf..0.001 bucket exports with the finite bound; the empty
+	// middle bucket is skipped; the 0.002..+Inf bucket folds into Count
+	// only (the exposition synthesizes +Inf from the count).
+	if len(got.Buckets) != 1 || got.Buckets[0].UpperBound != 0.001 || got.Buckets[0].CumCount != 2 {
+		t.Fatalf("buckets = %+v", got.Buckets)
+	}
+	// Midpoint sum: unbounded edges contribute their finite bound:
+	// 2*0.001 + 3*0.002 = 0.008.
+	if math.Abs(got.Sum-0.008) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.008", got.Sum)
+	}
+	if convertRuntimeHist(nil).Count != 0 {
+		t.Fatal("nil histogram must convert to zero")
+	}
+}
+
+// TestSampleRuntimeLive reads the real runtime surface: the sample must
+// carry live values for the metrics every supported toolchain exports.
+func TestSampleRuntimeLive(t *testing.T) {
+	runtime.GC() // guarantee at least one completed cycle and pause
+	rt := SampleRuntime()
+	if rt.Goroutines == 0 {
+		t.Fatal("goroutine count cannot be zero in a running process")
+	}
+	if rt.HeapBytes == 0 || rt.TotalBytes == 0 {
+		t.Fatalf("memory classes unset: heap=%d total=%d", rt.HeapBytes, rt.TotalBytes)
+	}
+	if rt.GCCycles == 0 {
+		t.Fatal("gc cycles unset after an explicit runtime.GC()")
+	}
+	if rt.GCPause.Count == 0 {
+		t.Fatal("gc pause histogram empty after an explicit runtime.GC()")
+	}
+}
+
+// TestCollectRuntimeGolden locks the blu_go_* exposition — from a
+// synthetic sample, since the real runtime is nondeterministic.
+func TestCollectRuntimeGolden(t *testing.T) {
+	rt := &RuntimeStats{
+		Goroutines: 12,
+		HeapBytes:  1 << 20,
+		TotalBytes: 1 << 22,
+		GCCycles:   3,
+		GCPause: RuntimeHist{
+			Buckets: []Bucket{{UpperBound: 64e-6, CumCount: 2}, {UpperBound: 128e-6, CumCount: 3}},
+			Sum:     3.2e-4, Count: 4,
+		},
+		SchedLatency: RuntimeHist{
+			Buckets: []Bucket{{UpperBound: 1e-6, CumCount: 90}, {UpperBound: 1e-3, CumCount: 99}},
+			Sum:     0.0105, Count: 100,
+		},
+	}
+	var text bytes.Buffer
+	r := Collect(Sources{Monitor: monitor.New(), Runtime: func() *RuntimeStats { return rt }})
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(text.Bytes()); err != nil {
+		t.Fatalf("runtime exposition invalid: %v\n%s", err, text.String())
+	}
+	golden(t, "runtime_golden.txt", text.Bytes())
+	for _, want := range []string{
+		"blu_go_goroutines 12",
+		"blu_go_heap_objects_bytes 1048576",
+		"blu_go_memory_total_bytes 4194304",
+		"blu_go_gc_cycles_total 3",
+		`blu_go_gc_pause_seconds_bucket{le="+Inf"} 4`,
+		"blu_go_sched_latency_seconds_count 100",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("runtime scrape missing %q", want)
+		}
+	}
+
+	// Without a runtime source the family is absent, keeping the
+	// pre-existing goldens byte-stable.
+	var bare bytes.Buffer
+	Collect(Sources{Monitor: monitor.New()}).WriteText(&bare)
+	if strings.Contains(bare.String(), "blu_go_") {
+		t.Fatal("blu_go_* must not appear without a runtime source")
+	}
+}
+
+// TestCollectRuntimeLiveScrape wires the real sampler the way bluserve
+// does and validates the resulting exposition end to end.
+func TestCollectRuntimeLiveScrape(t *testing.T) {
+	runtime.GC()
+	var text bytes.Buffer
+	r := Collect(Sources{Monitor: monitor.New(), Runtime: SampleRuntime})
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(text.Bytes()); err != nil {
+		t.Fatalf("live runtime scrape invalid: %v\n%s", err, text.String())
+	}
+	for _, want := range []string{"blu_go_goroutines ", "blu_go_gc_pause_seconds_count "} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("live scrape missing %q:\n%s", want, text.String())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import "blugpu/internal/monitor"
+
+// collectSLO emits the blu_slo_* family: per-class wall-latency SLO
+// parameters and the error-budget burn rate derived from the observed
+// wall-latency distribution.
+//
+// A class's "SLO errors" are the submissions that resolved slower than
+// its threshold. The error rate over the budget the objective leaves
+// (1 - objective) is the burn rate: 1.0 means latency is consuming the
+// budget exactly as fast as the objective allows; above 1.0 the SLO is
+// burning down; sustained values well above 1.0 page.
+//
+// Breaches are counted at histogram-bucket granularity — the boundary
+// used is the first bucket bound at or above the threshold, so the
+// count is conservative (a breach inside that bucket but under the
+// bound is missed). The log-scale buckets keep that error within one
+// power of two.
+func collectSLO(r *Registry, a *AdmissionSnapshot) {
+	for _, c := range a.Classes {
+		if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+			continue
+		}
+		lbl := L("class", c.Class)
+		r.Gauge("blu_slo_threshold_seconds", "Per-class wall-latency SLO threshold.").With(lbl).Set(c.SLOThreshold)
+		r.Gauge("blu_slo_objective", "Per-class SLO objective: the target fraction of submissions resolving within the threshold.").With(lbl).Set(c.SLOObjective)
+		n := c.WallCount
+		r.Counter("blu_slo_requests_total", "Submissions measured against the class SLO.").With(lbl).AddUint(n)
+		over := sloBreaches(c.WallBuckets, n, c.SLOThreshold)
+		r.Counter("blu_slo_breaches_total", "Submissions that resolved slower than the class SLO threshold (bucket-granular).").With(lbl).AddUint(over)
+		rate := 0.0
+		if n > 0 {
+			rate = float64(over) / float64(n)
+		}
+		r.Gauge("blu_slo_error_rate", "Observed fraction of submissions breaching the class SLO threshold.").With(lbl).Set(rate)
+		r.Gauge("blu_slo_burn_rate", "Error-budget burn rate: error rate over the budget (1 - objective); above 1.0 the SLO is burning down.").With(lbl).Set(rate / (1 - c.SLOObjective))
+	}
+}
+
+// sloBreaches counts observations above thresholdSeconds from a
+// cumulative bucket snapshot: total minus the cumulative count at the
+// first bucket bound at or above the threshold. With every bound below
+// the threshold nothing breaches.
+func sloBreaches(buckets []monitor.HistBucket, total uint64, thresholdSeconds float64) uint64 {
+	for _, b := range buckets {
+		if b.UpperBound.Seconds() >= thresholdSeconds {
+			return total - b.CumCount
+		}
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blugpu/internal/monitor"
+	"blugpu/internal/vtime"
+)
+
+func TestSLOBreaches(t *testing.T) {
+	buckets := []monitor.HistBucket{
+		{UpperBound: 10 * vtime.Millisecond, CumCount: 5},
+		{UpperBound: 100 * vtime.Millisecond, CumCount: 8},
+	}
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+		want      uint64
+	}{
+		// Threshold between the bounds: the 100ms bound is the boundary,
+		// so 10-8 = 2 observations breach.
+		{"between-bounds", 0.05, 2},
+		// Threshold at/below the first bound: everything over 10ms counts.
+		{"first-bound", 0.005, 5},
+		{"exact-bound", 0.01, 5},
+		// Threshold above every bound: bucket granularity cannot see a
+		// breach (conservative zero).
+		{"above-all", 1.0, 0},
+	} {
+		if got := sloBreaches(buckets, 10, tc.threshold); got != tc.want {
+			t.Fatalf("%s: breaches = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if got := sloBreaches(nil, 10, 0.05); got != 0 {
+		t.Fatalf("empty buckets: breaches = %d, want 0", got)
+	}
+}
+
+// sloTestSnapshot: two classes with SLO parameters and wall-latency
+// distributions, one class without an objective (no blu_slo_* series).
+func sloTestSnapshot() *AdmissionSnapshot {
+	return &AdmissionSnapshot{
+		Submitted: 130, Admitted: 130,
+		Classes: []ClassAdmissionSnapshot{
+			{
+				// 100 requests, 2 over the 50ms threshold → error rate
+				// 0.02, burn rate 0.02/(1-0.99) = 2.0.
+				Class: "simple", Limit: 4, Admitted: 100,
+				WallBuckets: []monitor.HistBucket{
+					{UpperBound: 16 * vtime.Millisecond, CumCount: 90},
+					{UpperBound: 64 * vtime.Millisecond, CumCount: 98},
+					{UpperBound: 256 * vtime.Millisecond, CumCount: 100},
+				},
+				WallSum: 1.5, WallCount: 100,
+				SLOThreshold: 0.064, SLOObjective: 0.99,
+			},
+			{
+				// 30 requests, all within threshold → burn rate 0.
+				Class: "complex", Limit: 1, Admitted: 30,
+				WallBuckets: []monitor.HistBucket{
+					{UpperBound: 512 * vtime.Millisecond, CumCount: 30},
+				},
+				WallSum: 6.0, WallCount: 30,
+				SLOThreshold: 1.0, SLOObjective: 0.90,
+			},
+			{
+				// No objective → measured but not SLO-tracked.
+				Class: "intermediate", Limit: 2,
+				WallBuckets: []monitor.HistBucket{{UpperBound: 32 * vtime.Millisecond, CumCount: 4}},
+				WallSum:     0.05, WallCount: 4,
+			},
+		},
+	}
+}
+
+// TestCollectSLOGolden locks the blu_slo_* and blu_serve_wall_seconds
+// exposition behind a golden file.
+func TestCollectSLOGolden(t *testing.T) {
+	snap := sloTestSnapshot()
+	var text bytes.Buffer
+	r := Collect(Sources{Monitor: monitor.New(), Admission: func() *AdmissionSnapshot { return snap }})
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(text.Bytes()); err != nil {
+		t.Fatalf("SLO exposition invalid: %v\n%s", err, text.String())
+	}
+	golden(t, "slo_golden.txt", text.Bytes())
+	body := text.String()
+	for _, want := range []string{
+		`blu_slo_threshold_seconds{class="simple"} 0.064`,
+		`blu_slo_objective{class="simple"} 0.99`,
+		`blu_slo_requests_total{class="simple"} 100`,
+		`blu_slo_breaches_total{class="simple"} 2`,
+		`blu_slo_error_rate{class="simple"} 0.02`,
+		// 0.02/(1-0.99) in float64: ≈2, rendered exactly as computed.
+		`blu_slo_burn_rate{class="simple"} 1.9999999999999982`,
+		`blu_slo_burn_rate{class="complex"} 0`,
+		`blu_serve_wall_seconds_count{class="simple"} 100`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("SLO scrape missing %q in:\n%s", want, body)
+		}
+	}
+	// The class without an objective must not get SLO series.
+	if strings.Contains(body, `blu_slo_objective{class="intermediate"}`) {
+		t.Fatal("intermediate has no objective and must not be SLO-tracked")
+	}
+	// Wall histograms still export for it (measurement without targets).
+	if !strings.Contains(body, `blu_serve_wall_seconds_count{class="intermediate"} 4`) {
+		t.Fatal("wall histogram must export even without an objective")
+	}
+}

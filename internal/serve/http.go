@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,9 +9,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"blugpu/internal/columnar"
+	"blugpu/internal/trace"
 	"blugpu/internal/workload"
 )
 
@@ -29,6 +32,7 @@ type queryRequest struct {
 type queryResponse struct {
 	Session      string          `json:"session"`
 	Query        string          `json:"query"`
+	RequestID    string          `json:"request_id"`
 	Class        string          `json:"class"`
 	Columns      []string        `json:"columns"`
 	Rows         [][]any         `json:"rows"`
@@ -84,10 +88,46 @@ func NewMux(s *Server, admin http.Handler) *http.ServeMux {
 	mux.HandleFunc("/debug/serve", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, s.AdmissionSnapshot())
 	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
+		handleTrace(s, w, req)
+	})
 	if admin != nil {
 		mux.Handle("/", admin)
 	}
 	return mux
+}
+
+// handleTrace serves the live trace ring as Chrome trace-event JSON:
+//
+//	GET /debug/trace/slow           top-K slowest retained traces
+//	GET /debug/trace/<request-id>   one query's retained trace
+//
+// Evicted or unknown request IDs return 404 — the ring is a bounded
+// sample, not an archive.
+func handleTrace(s *Server, w http.ResponseWriter, req *http.Request) {
+	ring := s.TraceRing()
+	if ring == nil {
+		http.Error(w, "no trace ring attached", http.StatusNotFound)
+		return
+	}
+	key := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+	var entries []trace.RingEntry
+	if key == "slow" {
+		entries = ring.Slow()
+		if len(entries) == 0 {
+			http.Error(w, "no slow traces retained", http.StatusNotFound)
+			return
+		}
+	} else {
+		e, ok := ring.Get(key)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no retained trace for request %q (evicted or never traced)", key), http.StatusNotFound)
+			return
+		}
+		entries = []trace.RingEntry{e}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trace.ExportChromeEntries(w, entries)
 }
 
 func handleQuery(s *Server, w http.ResponseWriter, req *http.Request) {
@@ -108,37 +148,62 @@ func handleQuery(s *Server, w http.ResponseWriter, req *http.Request) {
 	if qr.Session == "" {
 		qr.Session = req.Header.Get("X-Session")
 	}
+	// The client's X-Request-ID is honored as the correlation key; an
+	// absent header gets a server-generated ID. Either way the ID is
+	// echoed back on the response (success and refusal alike).
+	reqID := req.Header.Get("X-Request-ID")
+
+	// Serializing inside the hook lets the server time real JSON
+	// encoding as the query's serialize phase; the handler then just
+	// copies the buffer out.
+	var buf bytes.Buffer
+	serialize := func(resp *Response) (int, error) {
+		out := queryResponse{
+			Session:      resp.Session,
+			Query:        resp.Query,
+			RequestID:    resp.RequestID,
+			Class:        string(resp.Class),
+			Columns:      resp.Result.Columns,
+			Rows:         TableRows(resp.Result.Table.Columns()),
+			RowCount:     resp.Result.Table.Rows(),
+			ModeledMs:    resp.Result.Modeled.Milliseconds(),
+			WallMs:       float64(resp.ExecWall) / float64(time.Millisecond),
+			WaitMs:       float64(resp.Wait) / float64(time.Millisecond),
+			GPUUsed:      resp.Result.GPUUsed,
+			PlaceRetries: resp.PlaceRetries,
+		}
+		if resp.Report != nil {
+			if data, err := resp.Report.JSON(); err == nil {
+				out.Explain = data
+			}
+		}
+		if err := json.NewEncoder(&buf).Encode(out); err != nil {
+			return 0, err
+		}
+		return buf.Len(), nil
+	}
+
 	resp, err := s.Do(req.Context(), Request{
-		Session:  qr.Session,
-		SQL:      qr.SQL,
-		Class:    workload.Class(qr.Class),
-		Name:     qr.Name,
-		Explain:  qr.Explain,
-		Deadline: time.Duration(qr.DeadlineMs) * time.Millisecond,
+		Session:   qr.Session,
+		SQL:       qr.SQL,
+		Class:     workload.Class(qr.Class),
+		Name:      qr.Name,
+		Explain:   qr.Explain,
+		Deadline:  time.Duration(qr.DeadlineMs) * time.Millisecond,
+		RequestID: reqID,
+		Serialize: serialize,
 	})
 	if err != nil {
+		if reqID != "" {
+			w.Header().Set("X-Request-ID", reqID)
+		}
 		writeQueryError(s, w, err)
 		return
 	}
-	out := queryResponse{
-		Session:      resp.Session,
-		Query:        resp.Query,
-		Class:        string(resp.Class),
-		Columns:      resp.Result.Columns,
-		Rows:         tableRows(resp.Result.Table.Columns()),
-		RowCount:     resp.Result.Table.Rows(),
-		ModeledMs:    resp.Result.Modeled.Milliseconds(),
-		WallMs:       float64(resp.ExecWall) / float64(time.Millisecond),
-		WaitMs:       float64(resp.Wait) / float64(time.Millisecond),
-		GPUUsed:      resp.Result.GPUUsed,
-		PlaceRetries: resp.PlaceRetries,
-	}
-	if resp.Report != nil {
-		if data, err := resp.Report.JSON(); err == nil {
-			out.Explain = data
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
+	w.Header().Set("X-Request-ID", resp.RequestID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
 // writeQueryError maps serving errors onto status codes: shed → 429
@@ -148,7 +213,10 @@ func writeQueryError(s *Server, w http.ResponseWriter, err error) {
 	var refused *RefusedError
 	switch {
 	case errors.As(err, &refused):
-		retry := int(refused.RetryAfter / time.Second)
+		// RetryAfter is derived at shed time from the queue depth and
+		// the recent dequeue rate (see retryAfterHint); round up so the
+		// header never promises an earlier retry than the hint.
+		retry := int((refused.RetryAfter + time.Second - 1) / time.Second)
 		if retry < 1 {
 			retry = 1
 		}
@@ -165,9 +233,11 @@ func writeQueryError(s *Server, w http.ResponseWriter, err error) {
 	}
 }
 
-// tableRows materializes result columns row-major for JSON: NULL → null,
-// integers and floats as numbers, strings as strings.
-func tableRows(cols []columnar.Column) [][]any {
+// TableRows materializes result columns row-major for JSON: NULL → null,
+// integers and floats as numbers, strings as strings. Exported so other
+// serialize hooks (the sustained bench) encode the same client payload
+// the HTTP handler does.
+func TableRows(cols []columnar.Column) [][]any {
 	if len(cols) == 0 {
 		return [][]any{}
 	}

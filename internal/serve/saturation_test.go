@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +18,7 @@ import (
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
 	"blugpu/internal/optimizer"
+	"blugpu/internal/qlog"
 	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 	"blugpu/internal/workload"
@@ -204,11 +207,20 @@ func TestSaturationDifferential(t *testing.T) {
 			inj := sc.inj()
 			eng := newSaturationEngine(t, data, inj)
 			gated := &gatedEngine{Engine: eng}
-			s, err := New(gated, Config{
+			cfg := Config{
 				// Tight bounds so 205 users genuinely saturate and shed.
 				QueueCapacity: 16,
 				ClassLimits:   map[workload.Class]int{workload.Simple: 4, workload.Intermediate: 2, workload.Complex: 1},
-			})
+			}
+			// The rate-0 scenario also carries the observability plane: a
+			// query log (the third ledger checked below) and a live tracer
+			// so the request-ID join proof runs under real saturation.
+			var logBuf bytes.Buffer
+			if sc.name == "rate-0" {
+				eng.SetTracer(trace.New())
+				cfg.Log = qlog.New(&logBuf)
+			}
+			s, err := New(gated, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -266,6 +278,57 @@ func TestSaturationDifferential(t *testing.T) {
 			loadSnap := s.AdmissionSnapshot()
 			if loadSnap.Shed == 0 {
 				t.Fatal("the load phase must actually shed (server not saturated)")
+			}
+
+			// Request-ID join proof: one identified EXPLAIN query issued
+			// right after the load phase must surface the same ID in the
+			// query-log record (with phases accounting for the total), in
+			// the live trace ring, and in the EXPLAIN ANALYZE report.
+			if sc.name == "rate-0" {
+				const joinID = "saturation-join-1"
+				var outBuf bytes.Buffer
+				clientSubmitted.Add(1)
+				resp, err := s.Do(context.Background(), Request{
+					SQL: "SELECT sr_item_sk FROM store_returns LIMIT 1", Class: workload.Simple,
+					Name: "saturation-join", Explain: true, RequestID: joinID,
+					Serialize: func(r *Response) (int, error) {
+						if err := json.NewEncoder(&outBuf).Encode(r.Result.Columns); err != nil {
+							return 0, err
+						}
+						return outBuf.Len(), nil
+					},
+				})
+				if err != nil {
+					t.Fatalf("join query: %v", err)
+				}
+				if resp.RequestID != joinID {
+					t.Fatalf("response carries %q, want %q", resp.RequestID, joinID)
+				}
+				if resp.Report == nil || resp.Report.RequestID != joinID {
+					t.Fatalf("EXPLAIN report does not carry the request ID: %+v", resp.Report)
+				}
+				entry, ok := s.TraceRing().Get(joinID)
+				if !ok || len(entry.Spans) == 0 {
+					t.Fatalf("trace ring has no spans for %s", joinID)
+				}
+				recs, err := qlog.Decode(logBuf.Bytes())
+				if err != nil {
+					t.Fatalf("query log invalid after load: %v", err)
+				}
+				found := false
+				for _, rec := range recs {
+					if rec.RequestID != joinID || rec.Event != qlog.EventQuery {
+						continue
+					}
+					found = true
+					if rec.Outcome != qlog.OutcomeOK || rec.ResultBytes == 0 {
+						t.Fatalf("join record %+v", rec)
+					}
+					phasesCloseToTotal(t, rec)
+				}
+				if !found {
+					t.Fatalf("no query-log record for %s", joinID)
+				}
 			}
 
 			// Deterministic timed_out: expired contexts resolve as
@@ -383,6 +446,34 @@ func TestSaturationDifferential(t *testing.T) {
 			}
 			if scraped["admitted"] != snap.Admitted || scraped["drained"] != snap.Drained {
 				t.Fatalf("/metrics outcome mismatch: scrape %v vs snapshot %+v", scraped, snap)
+			}
+
+			// Double-entry ledger three (rate-0 only): the query log. One
+			// query record per submission, outcome counts matching the
+			// server's own counters exactly.
+			if sc.name == "rate-0" {
+				recs, err := qlog.Decode(logBuf.Bytes())
+				if err != nil {
+					t.Fatalf("final query log invalid: %v", err)
+				}
+				counts := map[string]uint64{}
+				var total uint64
+				for _, rec := range recs {
+					if rec.Event != qlog.EventQuery {
+						continue
+					}
+					counts[rec.Outcome]++
+					total++
+				}
+				if total != snap.Submitted {
+					t.Fatalf("query log holds %d records for %d submissions", total, snap.Submitted)
+				}
+				if counts[qlog.OutcomeOK] != snap.Admitted ||
+					counts[qlog.OutcomeShed] != snap.Shed ||
+					counts[qlog.OutcomeTimedOut] != snap.TimedOut ||
+					counts[qlog.OutcomeDrained] != snap.Drained {
+					t.Fatalf("query-log outcomes %v do not match the snapshot %+v", counts, snap)
+				}
 			}
 
 			if inj != nil && inj.Counts().Total() == 0 && sc.name != "rate-0" {

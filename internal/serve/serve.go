@@ -34,6 +34,7 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/metrics"
 	"blugpu/internal/monitor"
+	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
@@ -78,8 +79,31 @@ type Config struct {
 	PlaceRetries int
 	// PlaceBackoff is the first retry's wall-clock backoff (doubling).
 	PlaceBackoff time.Duration
-	// RetryAfter is the hint returned with shed responses.
+	// RetryAfter is the fallback hint returned with shed responses when
+	// the server has no recent dequeue-rate signal to derive one from.
 	RetryAfter time.Duration
+	// SlowQuery is the end-to-end wall-clock threshold above which a
+	// query is forced into the slow-trace set and logged as a
+	// slow_query event. 0 takes the 250ms default; negative disables.
+	SlowQuery time.Duration
+	// SLOs sets per-class wall-latency objectives for the blu_slo_*
+	// burn-rate gauges; nil takes loose defaults.
+	SLOs map[workload.Class]SLO
+	// Log receives one structured record per resolved submission (all
+	// five outcomes); nil disables query logging.
+	Log *qlog.Logger
+	// TraceRingSize bounds the live trace ring of recent query traces
+	// (default 64).
+	TraceRingSize int
+	// SlowTraceKeep bounds the retained top-K slow-trace set
+	// (default 16).
+	SlowTraceKeep int
+	// Clock overrides the wall clock for queue-wait stamps and the
+	// Retry-After rate window; tests pin it. nil takes time.Now. The
+	// server reads it from concurrent request goroutines, so injected
+	// clocks must be safe for concurrent use. Execution-phase timings
+	// always use the real clock.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +132,21 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.SLOs == nil {
+		c.SLOs = defaultSLOs()
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
+	}
+	if c.SlowTraceKeep <= 0 {
+		c.SlowTraceKeep = 16
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
@@ -130,18 +169,31 @@ type Request struct {
 	Explain bool
 	// Deadline overrides Config.DefaultDeadline for this query.
 	Deadline time.Duration
+	// RequestID correlates this submission across the query log, the
+	// live trace ring, the trace spans, and the EXPLAIN ANALYZE report.
+	// Empty generates a stable "blu-<n>" ID from the submission
+	// counter. The HTTP layer feeds X-Request-ID through here.
+	RequestID string
+	// Serialize, when set, renders the response for the client and
+	// returns the encoded byte count; the server times the call so the
+	// query log's serialize phase covers real encoding work, not an
+	// estimate. Only invoked on success.
+	Serialize func(*Response) (int, error)
 }
 
 // Response is one admitted query's outcome.
 type Response struct {
 	Session      string
 	Query        string // resolved query name
+	RequestID    string // honored or generated request ID
 	Class        workload.Class
 	Result       *engine.Result
 	Report       *explain.Report // non-nil only for Explain requests
 	Wait         time.Duration   // admission-queue wait
 	ExecWall     time.Duration   // wall-clock execution time
 	PlaceRetries int
+	Phases       qlog.Phases // wall-clock phase breakdown (post-serialize)
+	Slow         bool        // over Config.SlowQuery end-to-end
 }
 
 // RefusedError reports a submission the admission controller turned
@@ -209,9 +261,16 @@ type Server struct {
 	drained      uint64
 	execErrors   uint64
 	placeRetries uint64
+	slowQueries  uint64
 	classCounts  map[workload.Class]*classCounters
 	waitHists    map[workload.Class]*monitor.Hist
+	wallHists    map[workload.Class]*monitor.Hist // end-to-end wall latency (SLO input)
+	dequeues     map[workload.Class][]time.Time   // recent admit stamps (Retry-After input)
+	recent       []metrics.RecentRequest          // resolved submissions, oldest first
 	seq          uint64
+
+	clock func() time.Time
+	ring  *trace.Ring // live sampled trace retention
 
 	explainMu sync.Mutex
 }
@@ -231,11 +290,16 @@ func New(exec Executor, cfg Config) (*Server, error) {
 		sessions:    make(map[string]*SessionInfo),
 		classCounts: make(map[workload.Class]*classCounters),
 		waitHists:   make(map[workload.Class]*monitor.Hist),
+		wallHists:   make(map[workload.Class]*monitor.Hist),
+		dequeues:    make(map[workload.Class][]time.Time),
 	}
+	s.clock = s.cfg.Clock
+	s.ring = trace.NewRing(s.cfg.TraceRingSize, s.cfg.SlowTraceKeep)
 	s.cond = sync.NewCond(&s.mu)
 	for _, c := range classOrder {
 		s.classCounts[c] = &classCounters{}
 		s.waitHists[c] = &monitor.Hist{}
+		s.wallHists[c] = &monitor.Hist{}
 	}
 	return s, nil
 }
@@ -346,6 +410,7 @@ func (s *Server) pumpLocked() {
 		tk := s.queues[best][0]
 		s.queues[best] = s.queues[best][1:]
 		s.active[best]++
+		s.noteDequeueLocked(best)
 		close(tk.ready)
 	}
 }
@@ -382,14 +447,24 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		return nil, fmt.Errorf("serve: unknown class %q", class)
 	}
 
+	submitStart := s.clock()
 	s.mu.Lock()
 	s.submitted++
+	reqID := req.RequestID
+	if reqID == "" {
+		reqID = fmt.Sprintf("blu-%06d", s.submitted)
+	}
 	s.touchSessionLocked(req.Session, class)
 	if s.draining {
 		s.shed++
 		s.classCounts[class].shed++
+		retry := s.retryAfterLocked()
+		s.pushRecentLocked(metrics.RecentRequest{
+			RequestID: reqID, Session: req.Session, Class: string(class), Outcome: "shed",
+		})
 		s.mu.Unlock()
-		return nil, &RefusedError{Reason: "draining", Draining: true, RetryAfter: s.cfg.RetryAfter}
+		s.logRefused(reqID, req, class, qlog.OutcomeShed, "draining", 0, s.clock().Sub(submitStart))
+		return nil, &RefusedError{Reason: "draining", Draining: true, RetryAfter: retry}
 	}
 	if s.queueDepthLocked() >= s.effectiveCapLocked() {
 		s.shed++
@@ -398,10 +473,15 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		if metrics.HealthStatus(s.exec.Scheduler()) == metrics.HealthUnhealthy {
 			reason = "queue_full_unhealthy"
 		}
+		retry := s.retryAfterLocked()
+		s.pushRecentLocked(metrics.RecentRequest{
+			RequestID: reqID, Session: req.Session, Class: string(class), Outcome: "shed",
+		})
 		s.mu.Unlock()
-		return nil, &RefusedError{Reason: reason, RetryAfter: s.cfg.RetryAfter}
+		s.logRefused(reqID, req, class, qlog.OutcomeShed, reason, 0, s.clock().Sub(submitStart))
+		return nil, &RefusedError{Reason: reason, RetryAfter: retry}
 	}
-	tk := &ticket{class: class, ready: make(chan struct{}), enqueued: time.Now()}
+	tk := &ticket{class: class, ready: make(chan struct{}), enqueued: s.clock()}
 	s.queues[class] = append(s.queues[class], tk)
 	s.seq++
 	seq := s.seq
@@ -415,7 +495,14 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		if s.removeQueuedLocked(tk) {
 			s.timedOut++
 			s.classCounts[class].timedOut++
+			wait := s.clock().Sub(tk.enqueued)
+			s.pushRecentLocked(metrics.RecentRequest{
+				RequestID: reqID, Session: req.Session, Class: string(class),
+				Outcome: "timed_out", WaitMs: qlog.Ms(wait), TotalMs: qlog.Ms(s.clock().Sub(submitStart)),
+			})
 			s.mu.Unlock()
+			s.logRefused(reqID, req, class, qlog.OutcomeTimedOut, "abandoned_queued",
+				wait, s.clock().Sub(submitStart))
 			return nil, fmt.Errorf("serve: abandoned while queued: %w", ctx.Err())
 		}
 		// Resolved concurrently with the cancellation; follow the
@@ -424,18 +511,35 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		<-tk.ready
 	}
 	if tk.drainedOut {
-		return nil, &RefusedError{Reason: "drained", Draining: true, RetryAfter: s.cfg.RetryAfter}
+		wait := s.clock().Sub(tk.enqueued)
+		s.mu.Lock()
+		retry := s.retryAfterLocked()
+		s.pushRecentLocked(metrics.RecentRequest{
+			RequestID: reqID, Session: req.Session, Class: string(class),
+			Outcome: "drained", WaitMs: qlog.Ms(wait), TotalMs: qlog.Ms(s.clock().Sub(submitStart)),
+		})
+		s.mu.Unlock()
+		s.logRefused(reqID, req, class, qlog.OutcomeDrained, "drained",
+			wait, s.clock().Sub(submitStart))
+		return nil, &RefusedError{Reason: "drained", Draining: true, RetryAfter: retry}
 	}
-	return s.run(ctx, req, tk, class, seq)
+	return s.run(ctx, req, tk, class, seq, reqID, submitStart)
 }
 
-// run executes an admitted ticket and settles its accounting.
-func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workload.Class, seq uint64) (*Response, error) {
-	wait := time.Since(tk.enqueued)
+// run executes an admitted ticket, settles its accounting, and emits
+// the request's observability record: wall-clock phases to the query
+// log, the span subtree to the live trace ring, and the end-to-end
+// wall latency to the per-class SLO histogram.
+func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workload.Class, seq uint64, reqID string, submitStart time.Time) (*Response, error) {
+	wait := s.clock().Sub(tk.enqueued)
 	deadline := req.Deadline
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
+	// The request ID rides the context into the engine: it lands on the
+	// query's root trace span and the EXPLAIN ANALYZE report, so the
+	// log, the trace ring, and the audit all join on one key.
+	ctx = qlog.WithRequestID(ctx, reqID)
 	var execCtx context.Context
 	var cancel context.CancelFunc
 	if deadline > 0 {
@@ -457,6 +561,7 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 	// quarantined, give the fleet a bounded chance to re-close a breaker
 	// (virtual time advances as other queries execute) before running —
 	// the CPU fallback guarantees the query completes either way.
+	admStart := time.Now()
 	retries := 0
 	if sch := s.exec.Scheduler(); sch != nil {
 		backoff := s.cfg.PlaceBackoff
@@ -467,6 +572,7 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 			retries++
 		}
 	}
+	admission := time.Since(admStart)
 
 	name := req.Name
 	if name == "" {
@@ -511,22 +617,132 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
-	if err != nil {
-		if canceled {
-			return nil, fmt.Errorf("serve: query %s exceeded its deadline: %w", name, err)
-		}
-		return nil, err
-	}
-	return &Response{
+	resp := &Response{
 		Session:      req.Session,
 		Query:        name,
+		RequestID:    reqID,
 		Class:        class,
 		Result:       res,
 		Report:       rep,
 		Wait:         wait,
 		ExecWall:     execWall,
 		PlaceRetries: retries,
-	}, nil
+	}
+
+	// Serialize inside the request's accounting window so the query
+	// log's serialize phase covers the real encoding cost. The slot was
+	// already released above — encoding is client work, not engine work.
+	var serialize time.Duration
+	resultBytes := 0
+	var serErr error
+	if err == nil && req.Serialize != nil {
+		serStart := time.Now()
+		resultBytes, serErr = req.Serialize(resp)
+		serialize = time.Since(serStart)
+	}
+
+	// Phase attribution: exec_ms is the engine call minus its measured
+	// parse/plan front-end, so queue_wait + admission + parse + plan +
+	// exec + serialize sums to within a few percent of total_ms.
+	var ph qlog.Phases
+	ph.QueueWaitMs = qlog.Ms(wait)
+	ph.AdmissionMs = qlog.Ms(admission)
+	execResidual := execWall
+	if res != nil {
+		ph.ParseMs = qlog.Ms(res.Wall.Parse)
+		ph.PlanMs = qlog.Ms(res.Wall.Plan)
+		execResidual = execWall - res.Wall.Parse - res.Wall.Plan
+		ph.ExecGPUMs = qlog.Ms(res.Wall.ExecGPU)
+		ph.ExecHostMs = qlog.Ms(res.Wall.ExecHost)
+		ph.ExecGatherMs = qlog.Ms(res.Wall.ExecGather)
+	}
+	if execResidual < 0 {
+		execResidual = 0
+	}
+	ph.ExecMs = qlog.Ms(execResidual)
+	ph.SerializeMs = qlog.Ms(serialize)
+	total := s.clock().Sub(submitStart)
+	slow := s.cfg.SlowQuery > 0 && total >= s.cfg.SlowQuery
+	resp.Phases = ph
+	resp.Slow = slow
+
+	outcome := qlog.OutcomeOK
+	errMsg := ""
+	switch {
+	case canceled:
+		outcome = qlog.OutcomeTimedOut
+		errMsg = err.Error()
+	case err != nil:
+		outcome = qlog.OutcomeError
+		errMsg = err.Error()
+	case serErr != nil:
+		outcome = qlog.OutcomeError
+		errMsg = serErr.Error()
+	}
+
+	spans := s.captureTrace(reqID, name, req.Session, class, res, total, slow)
+
+	s.mu.Lock()
+	s.wallHists[class].Observe(vtime.Duration(total.Seconds()))
+	if slow {
+		s.slowQueries++
+	}
+	if serErr != nil && err == nil {
+		s.execErrors++
+	}
+	s.pushRecentLocked(metrics.RecentRequest{
+		RequestID: reqID, Query: name, Session: req.Session, Class: string(class),
+		Outcome: outcome, WaitMs: qlog.Ms(wait), TotalMs: qlog.Ms(total), Slow: slow,
+	})
+	s.mu.Unlock()
+
+	if s.cfg.Log != nil {
+		devices, transferBytes, fallback := spanDigest(spans)
+		rec := qlog.Record{
+			Event:         qlog.EventQuery,
+			RequestID:     reqID,
+			Session:       req.Session,
+			Query:         name,
+			Class:         string(class),
+			SQL:           req.SQL,
+			Outcome:       outcome,
+			Error:         errMsg,
+			ResultBytes:   resultBytes,
+			Devices:       devices,
+			PlaceRetries:  retries,
+			FallbackCause: fallback,
+			TransferBytes: transferBytes,
+			Phases:        ph,
+			TotalMs:       qlog.Ms(total),
+		}
+		if res != nil {
+			if res.Table != nil {
+				rec.Rows = res.Table.Rows()
+			}
+			rec.GPUUsed = res.GPUUsed
+			rec.ModeledMs = res.Modeled.Milliseconds()
+		}
+		if slow {
+			rec.Slow = true
+			rec.SlowThresholdMs = qlog.Ms(s.cfg.SlowQuery)
+		}
+		s.cfg.Log.Log(rec)
+		if slow {
+			rec.Event = qlog.EventSlow
+			s.cfg.Log.Log(rec)
+		}
+	}
+
+	if err != nil {
+		if canceled {
+			return nil, fmt.Errorf("serve: query %s exceeded its deadline: %w", name, err)
+		}
+		return nil, err
+	}
+	if serErr != nil {
+		return nil, fmt.Errorf("serve: serialize %s: %w", name, serErr)
+	}
+	return resp, nil
 }
 
 // Drain stops admission, flushes the queue (those submissions resolve
@@ -619,23 +835,35 @@ func (s *Server) AdmissionSnapshot() *metrics.AdmissionSnapshot {
 		Drained:       s.drained,
 		ExecErrors:    s.execErrors,
 		PlaceRetries:  s.placeRetries,
+		SlowQueries:   s.slowQueries,
 	}
 	for _, c := range classOrder {
 		cc := s.classCounts[c]
 		h := s.waitHists[c]
+		wh := s.wallHists[c]
+		slo := s.cfg.SLOs[c]
 		snap.Classes = append(snap.Classes, metrics.ClassAdmissionSnapshot{
-			Class:       string(c),
-			Active:      s.active[c],
-			Limit:       s.limit(c),
-			Queued:      len(s.queues[c]),
-			Admitted:    cc.admitted,
-			Shed:        cc.shed,
-			TimedOut:    cc.timedOut,
-			Drained:     cc.drained,
-			WaitBuckets: h.Buckets(),
-			WaitSum:     h.Total().Seconds(),
-			WaitCount:   h.Count(),
+			Class:        string(c),
+			Active:       s.active[c],
+			Limit:        s.limit(c),
+			Queued:       len(s.queues[c]),
+			Admitted:     cc.admitted,
+			Shed:         cc.shed,
+			TimedOut:     cc.timedOut,
+			Drained:      cc.drained,
+			WaitBuckets:  h.Buckets(),
+			WaitSum:      h.Total().Seconds(),
+			WaitCount:    h.Count(),
+			WallBuckets:  wh.Buckets(),
+			WallSum:      wh.Total().Seconds(),
+			WallCount:    wh.Count(),
+			SLOThreshold: slo.Threshold.Seconds(),
+			SLOObjective: slo.Objective,
 		})
+	}
+	// Newest first, matching the trace ring's ordering.
+	for i := len(s.recent) - 1; i >= 0; i-- {
+		snap.Recent = append(snap.Recent, s.recent[i])
 	}
 	return snap
 }

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RingEntry is one retained query trace: the query's complete span
+// subtree snapshotted at completion, keyed by its request ID.
+type RingEntry struct {
+	RequestID string
+	Query     string // resolved query name
+	Session   string
+	Class     string
+	Seq       uint64 // tracer query sequence the spans belong to
+	Wall      time.Duration
+	At        time.Time // completion time
+	Slow      bool      // over the server's slow-query threshold
+	Spans     []Span
+}
+
+// Ring is the always-on sampled live tracer: a bounded ring buffer of
+// recent query traces plus a separate bounded top-K set of slow ones,
+// which slow-query retention forces into regardless of recency. Safe
+// for concurrent use (queries add while scrapes read).
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	slowCap int
+	recent  []RingEntry // ring; next points at the oldest slot
+	next    int
+	slow    []RingEntry // kept sorted by Wall descending
+	added   uint64
+}
+
+// NewRing builds a Ring retaining up to capacity recent traces and
+// slowCap slow ones (defaults 64 and 16).
+func NewRing(capacity, slowCap int) *Ring {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if slowCap <= 0 {
+		slowCap = 16
+	}
+	return &Ring{cap: capacity, slowCap: slowCap}
+}
+
+// Add retains one completed query trace. Slow entries additionally
+// enter the top-K slow set, evicting its fastest member when full.
+func (r *Ring) Add(e RingEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.added++
+	if len(r.recent) < r.cap {
+		r.recent = append(r.recent, e)
+	} else {
+		r.recent[r.next] = e
+		r.next = (r.next + 1) % r.cap
+	}
+	if !e.Slow {
+		return
+	}
+	i := sort.Search(len(r.slow), func(i int) bool { return r.slow[i].Wall < e.Wall })
+	r.slow = append(r.slow, RingEntry{})
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = e
+	if len(r.slow) > r.slowCap {
+		r.slow = r.slow[:r.slowCap]
+	}
+}
+
+// Get returns the retained trace for a request ID. The slow set is
+// searched first (forced retention outlives the recency ring), then the
+// ring newest-first.
+func (r *Ring) Get(requestID string) (RingEntry, bool) {
+	if r == nil {
+		return RingEntry{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.slow {
+		if e.RequestID == requestID {
+			return e, true
+		}
+	}
+	n := len(r.recent)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		e := r.recent[((r.next-1-i)%n+n)%n]
+		if e.RequestID == requestID {
+			return e, true
+		}
+	}
+	return RingEntry{}, false
+}
+
+// Recent returns the retained traces, newest first.
+func (r *Ring) Recent() []RingEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.recent)
+	out := make([]RingEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.recent[((r.next-1-i)%n+n)%n])
+	}
+	return out
+}
+
+// Slow returns the retained slow traces, slowest first.
+func (r *Ring) Slow() []RingEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RingEntry(nil), r.slow...)
+}
+
+// Stats returns lifetime adds and the current retention counts.
+func (r *Ring) Stats() (added uint64, retained, slow int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added, len(r.recent), len(r.slow)
+}
+
+// ExportChrome writes the retained traces for entries as one Chrome
+// trace-event JSON array. Each span contributes two complete events:
+// its modeled virtual-time interval (cat as recorded, tid = depth) and,
+// when wall bounds were captured, its wall-clock interval (cat prefixed
+// "wall-", tid = depth+100 so the wall track groups below the modeled
+// one inside the same query's pid). Wall timestamps are relative to the
+// earliest wall start across the exported entries, so ts stays
+// non-negative and the file is self-contained.
+func ExportChromeEntries(w io.Writer, entries []RingEntry) error {
+	var base time.Time
+	for _, e := range entries {
+		for _, s := range e.Spans {
+			if s.WallStart.IsZero() {
+				continue
+			}
+			if base.IsZero() || s.WallStart.Before(base) {
+				base = s.WallStart
+			}
+		}
+	}
+	first := true
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	writeEvent := func(name, cat string, tsUs, durUs float64, pid uint64, tid int, attrs []Attr, reqID string) error {
+		if durUs < 0 {
+			durUs = 0
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := fmt.Fprintf(w, `%s{"name":%s,"cat":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d`,
+			sep, jsonString(name), jsonString(cat), tsUs, durUs, pid, tid); err != nil {
+			return err
+		}
+		io.WriteString(w, `,"args":{`)
+		fmt.Fprintf(w, `%s:%s`, jsonString("request_id"), jsonString(reqID))
+		for j, a := range attrs {
+			io.WriteString(w, ",")
+			key := a.Key
+			// The injected request_id claims its key first; suffix any
+			// colliding span attr like a repeated attr key.
+			if key == "request_id" || duplicateKeyBefore(attrs, j) {
+				key = fmt.Sprintf("%s#%d", a.Key, j)
+			}
+			io.WriteString(w, jsonString(key))
+			io.WriteString(w, ":")
+			if a.IsInt {
+				fmt.Fprintf(w, "%d", a.Int)
+			} else {
+				io.WriteString(w, jsonString(a.Str))
+			}
+		}
+		_, err := io.WriteString(w, "}}")
+		return err
+	}
+	for _, e := range entries {
+		for _, s := range e.Spans {
+			dur := s.End.Sub(s.Start)
+			if err := writeEvent(s.Name, s.Cat, float64(s.Start)*1e6, dur.Seconds()*1e6,
+				s.Query, s.Depth, s.Attrs, e.RequestID); err != nil {
+				return err
+			}
+			if s.WallStart.IsZero() {
+				continue
+			}
+			wallTs := float64(s.WallStart.Sub(base)) / float64(time.Microsecond)
+			wallDur := float64(s.WallEnd.Sub(s.WallStart)) / float64(time.Microsecond)
+			if err := writeEvent(s.Name, "wall-"+s.Cat, wallTs, wallDur,
+				s.Query, s.Depth+100, s.Attrs, e.RequestID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
