@@ -7,9 +7,9 @@ PARALLEL_PKGS = ./internal/parallel ./internal/columnar ./internal/expr \
                 ./internal/evaluator ./internal/bsort ./internal/engine \
                 ./internal/sched ./internal/fault ./internal/trace \
                 ./internal/monitor ./internal/metrics ./internal/fusion \
-                ./internal/serve
+                ./internal/serve ./internal/prof ./internal/hostmem
 
-.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate fuse-smoke serve-smoke qlog-smoke
+.PHONY: build vet test race bench check trace-smoke metrics-smoke explain-smoke bench-gate wall-gate fuse-smoke serve-smoke qlog-smoke prof-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ explain-smoke:
 bench-gate:
 	$(GO) run ./cmd/benchdiff -out /tmp/blu-bench-current.json
 
+# Wall-clock regression gate: the suite runs three times, the modeled
+# columns must not drift across repeats, and the median wall_ms_p50 per
+# experiment may grow at most 4x (threshold 3.0) over the BENCH_4.json
+# baseline, above a 10ms noise floor. Wall clock is machine-dependent —
+# CI runs this as a non-blocking advisory step; the modeled bench-gate
+# stays the blocking one.
+wall-gate:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_4.json -wall-repeats 3 \
+		-wall-threshold 3.0 -wall-floor-ms 10 -out /tmp/blu-bench-wall.json
+
 # Data-path fusion smoke: run the BD + ROLAP suites through a fused and
 # an unfused engine over the same dataset, diff every result table
 # byte-for-byte, and assert the fused run moved fewer H2D bytes.
@@ -76,4 +86,13 @@ serve-smoke:
 qlog-smoke:
 	$(GO) run ./cmd/qlogcheck -artifacts /tmp/blu-qlog-artifacts
 
-check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke serve-smoke qlog-smoke bench-gate
+# Resource-attribution smoke: post identified queries with the prof
+# accountant and profile captor attached, then prove the blu_prof_*
+# ledger on /metrics reconciles against the query log per class and
+# phase, and that /debug/prof/capture + /debug/prof/hotspots serve. On
+# failure the scrape, digest, capture and query log land in
+# /tmp/blu-prof-artifacts for CI upload.
+prof-smoke:
+	$(GO) run ./cmd/profcheck -artifacts /tmp/blu-prof-artifacts
+
+check: vet test race trace-smoke metrics-smoke explain-smoke fuse-smoke serve-smoke qlog-smoke prof-smoke bench-gate

@@ -7,6 +7,7 @@
 //
 //	benchdiff [-sf 0.02] [-seed N] [-devices 2] [-degree 24]
 //	          [-baseline BENCH_0.json] [-out FILE] [-threshold 0.05]
+//	          [-wall-threshold 0] [-wall-floor-ms 25] [-wall-repeats 1]
 //	          [-inflate 1.0]
 //
 // Exit status: 0 when every gated metric is within threshold, 1 when a
@@ -15,6 +16,15 @@
 // GPU, keeping the gate meaningful and CI-fast at once. -inflate
 // multiplies the fresh snapshot's modeled columns and exists to prove
 // the gate trips (`benchdiff -inflate 1.2` must fail a 5% threshold).
+//
+// -wall-threshold graduates wall_ms_p50 from informational to gated:
+// the per-query wall-clock median may exceed the baseline's by at most
+// that fraction (3.0 allows 4x — generous on purpose, wall clock is
+// machine-dependent). Experiments whose baseline median sits below
+// -wall-floor-ms are exempt as noise. -wall-repeats N runs the suite N
+// times, asserts the modeled columns did not drift across runs, and
+// compares the median of the wall columns — one noisy run cannot trip
+// the gate.
 package main
 
 import (
@@ -34,6 +44,9 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_0.json", "baseline snapshot to compare against")
 	out := flag.String("out", "", "where to write the fresh snapshot (default: next free BENCH_<n>.json)")
 	threshold := flag.Float64("threshold", 0.05, "allowed fractional growth of modeled time before the gate fails")
+	wallThreshold := flag.Float64("wall-threshold", 0, "allowed fractional growth of wall_ms_p50 (0 leaves it informational)")
+	wallFloorMs := flag.Float64("wall-floor-ms", 25, "baseline wall_ms_p50 below this floor never gates (noise)")
+	wallRepeats := flag.Int("wall-repeats", 1, "run the suite N times and compare median wall columns")
 	inflate := flag.Float64("inflate", 1.0, "multiply the fresh snapshot's modeled columns (gate self-test)")
 	flag.Parse()
 
@@ -57,9 +70,24 @@ func main() {
 		fail(2, fmt.Errorf("baseline %s: %v", *baseline, statErr))
 	}
 
-	fmt.Printf("benchdiff: running suite (sf=%g seed=%d devices=%d degree=%d)...\n", *sf, *seed, *devices, *degree)
+	if *wallRepeats < 1 {
+		fail(2, fmt.Errorf("-wall-repeats must be >= 1, got %d", *wallRepeats))
+	}
+	fmt.Printf("benchdiff: running suite (sf=%g seed=%d devices=%d degree=%d repeats=%d)...\n",
+		*sf, *seed, *devices, *degree, *wallRepeats)
 	start := time.Now()
-	cur, err := bench.TakeSnapshot(bench.Config{SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree})
+	runs := make([]*bench.Snapshot, 0, *wallRepeats)
+	for i := 0; i < *wallRepeats; i++ {
+		s, err := bench.TakeSnapshot(bench.Config{SF: *sf, Seed: *seed, Devices: *devices, Degree: *degree})
+		if err != nil {
+			fail(2, err)
+		}
+		runs = append(runs, s)
+	}
+	// MergeRepeats both medians the wall columns and proves the modeled
+	// columns are repeat-stable — drift there is an operational error,
+	// not a regression, because it breaks the gate's premise.
+	cur, err := bench.MergeRepeats(runs)
 	if err != nil {
 		fail(2, err)
 	}
@@ -69,11 +97,12 @@ func main() {
 		for i := range cur.Experiments {
 			cur.Experiments[i].ModeledOnMs *= *inflate
 			cur.Experiments[i].ModeledOffMs *= *inflate
-			// H2D bytes gate lower-is-better, but the self-test direction is
-			// the same: inflating must trip it.
+			// H2D bytes and the wall median gate in the same direction:
+			// inflating must trip them too.
 			cur.Experiments[i].TransferH2DBytes = int64(float64(cur.Experiments[i].TransferH2DBytes) * *inflate)
+			cur.Experiments[i].WallMsP50 *= *inflate
 		}
-		fmt.Printf("benchdiff: modeled and transfer columns inflated by %.2fx (gate self-test)\n", *inflate)
+		fmt.Printf("benchdiff: modeled, transfer, and wall-p50 columns inflated by %.2fx (gate self-test)\n", *inflate)
 	}
 
 	path := *out
@@ -94,12 +123,21 @@ func main() {
 		fail(2, err)
 	}
 
-	regs, err := bench.Compare(base, cur, *threshold)
+	opts := bench.GateOptions{
+		Threshold:     *threshold,
+		WallThreshold: *wallThreshold,
+		WallFloorMs:   *wallFloorMs,
+	}
+	regs, err := bench.CompareGated(base, cur, opts)
 	if err != nil {
 		fail(2, err)
 	}
-	fmt.Printf("\ncomparison against %s (gate: modeled time within %+.0f%%):\n", *baseline, *threshold*100)
-	bench.WriteDiff(os.Stdout, base, cur, regs)
+	gateDesc := fmt.Sprintf("modeled time within %+.0f%%", *threshold*100)
+	if *wallThreshold > 0 {
+		gateDesc += fmt.Sprintf(", wall p50 within %+.0f%% above %.0fms", *wallThreshold*100, *wallFloorMs)
+	}
+	fmt.Printf("\ncomparison against %s (gate: %s):\n", *baseline, gateDesc)
+	bench.WriteDiffOpts(os.Stdout, base, cur, regs, opts)
 	if len(regs) > 0 {
 		fmt.Printf("\nbenchdiff: %d regression(s):\n", len(regs))
 		for _, r := range regs {

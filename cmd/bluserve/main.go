@@ -8,8 +8,13 @@
 //	GET  /debug/serve admission counters (reconciliation snapshot)
 //	GET  /debug/trace/{request-id}  one query's retained wall+vtime trace
 //	GET  /debug/trace/slow          the top-K slowest retained traces
+//	GET  /debug/prof/hotspots       top-N CPU hotspot digest over the
+//	                                bounded profile-capture ring
+//	GET  /debug/prof/capture        on-demand bounded CPU capture
 //	/metrics          Prometheus text exposition (deterministic ordering),
-//	                  including blu_go_* runtime and blu_slo_* burn rates
+//	                  including blu_go_* runtime, blu_slo_* burn rates,
+//	                  blu_prof_* per-class resource attribution and
+//	                  blu_device_* utilization
 //	/metrics.json     the same snapshot as structured JSON
 //	/healthz          scheduler device health + circuit-breaker state
 //	/debug/queries    per-query latency rollups + recent requests
@@ -53,6 +58,7 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
+	"blugpu/internal/prof"
 	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/serve"
@@ -107,10 +113,20 @@ func main() {
 	}
 	fmt.Printf("bluserve: warmup done (%d passes over %d queries)\n", *warmup, len(suite))
 
+	// Always-on resource attribution: every admitted query's phases are
+	// billed per class into the accountant, and the captor keeps a
+	// bounded ring of periodic CPU-profile windows for the
+	// /debug/prof/* surfaces.
+	acct := prof.NewAccountant()
+	captor := prof.NewCaptor(acct, prof.Options{})
+	captor.Start()
+	defer captor.Stop()
+
 	serveCfg := serve.Config{
 		QueueCapacity: *queue,
 		DrainDeadline: time.Duration(*drainMs) * time.Millisecond,
 		SlowQuery:     time.Duration(*slowMs) * time.Millisecond,
+		Prof:          acct,
 	}
 	if *qlogPath != "" {
 		switch *qlogPath {
@@ -138,6 +154,8 @@ func main() {
 		src := engineSources()
 		src.Admission = server.AdmissionSnapshot
 		src.Runtime = metrics.SampleRuntime
+		src.Prof = acct
+		src.Captor = captor
 		return src
 	}
 	admin := metrics.AdminMux(sources)
@@ -202,6 +220,20 @@ func main() {
 // while healthy AND 503 once every breaker is tripped (recovering to
 // 200 afterwards), /debug/queries must show the warmed-up queries.
 func smokeTest(base string, h *bench.Harness) error {
+	// One query through the serving path first: the blu_prof_* wall
+	// ledger only carries series for classes that actually ran, and the
+	// warmup passes go straight to the engine, not through admission.
+	qbody := strings.NewReader(`{"sql":"SELECT ss_store_sk, SUM(ss_net_paid) AS total FROM store_sales GROUP BY ss_store_sk","session":"smoke"}`)
+	resp, err := http.Post(base+"/query", "application/json", qbody)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/query: HTTP %d", resp.StatusCode)
+	}
+
 	body, code, err := get(base + "/metrics")
 	if err != nil {
 		return err
@@ -224,12 +256,35 @@ func smokeTest(base string, h *bench.Harness) error {
 		"blu_serve_submitted_total",
 		"blu_go_goroutines",
 		"blu_go_gc_cycles_total",
+		"blu_prof_wall_seconds_total",
+		"blu_prof_captures_total",
+		"blu_device_busy_ratio",
+		"blu_device_reserved_bytes",
 	} {
 		if !contains(body, family) {
 			return fmt.Errorf("/metrics: family %s missing from scrape", family)
 		}
 	}
 	fmt.Printf("bluserve: /metrics ok (%d bytes, valid exposition)\n", len(body))
+
+	// The profile surfaces: the hotspot digest always answers over the
+	// ring; an on-demand capture may race the periodic captor for the
+	// process profiler, in which case it reports the conflict (409).
+	body, code, err = get(base + "/debug/prof/hotspots")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !contains(body, "prof hotspots:") {
+		return fmt.Errorf("/debug/prof/hotspots: HTTP %d: %.120s", code, body)
+	}
+	body, code, err = get(base + "/debug/prof/capture?window=50ms")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK && code != http.StatusConflict {
+		return fmt.Errorf("/debug/prof/capture: HTTP %d: %.120s", code, body)
+	}
+	fmt.Printf("bluserve: /debug/prof ok (capture HTTP %d)\n", code)
 
 	body, code, err = get(base + "/healthz")
 	if err != nil {

@@ -1,0 +1,338 @@
+// Command profcheck is the resource-attribution smoke test
+// (`make prof-smoke`). It boots the engine behind the serving layer on
+// an ephemeral port with the prof accountant and profile captor
+// attached, posts identified queries over HTTP, and proves the
+// attribution join end to end:
+//
+//   - /metrics exposes the blu_prof_* families and the per-device
+//     utilization families (blu_device_busy_ratio,
+//     blu_device_busy_seconds_total, blu_device_reserved_bytes), and
+//     the scrape validates
+//   - the blu_prof_wall_seconds_total ledger reconciles against the
+//     query log: for every (class, phase) cell, the scraped wall sum
+//     equals the qlog phase sums over the same request IDs within the
+//     log's microsecond rounding (0.5µs per record per phase)
+//   - the CPU and allocation accounts are sane (non-negative; CPU
+//     attribution is statistical, so presence — not magnitude — is
+//     asserted)
+//   - GET /debug/prof/capture runs a bounded on-demand CPU capture and
+//     GET /debug/prof/hotspots serves the top-N digest over the ring
+//
+// With -artifacts DIR the /metrics scrape, the hotspot digest, the
+// capture response and the query log are written into DIR for CI
+// upload when the check fails.
+//
+// Usage:
+//
+//	profcheck [-sf 0.002] [-seed 20160626] [-queries 9] [-artifacts DIR]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"blugpu/internal/bench"
+	"blugpu/internal/metrics"
+	"blugpu/internal/prof"
+	"blugpu/internal/qlog"
+	"blugpu/internal/serve"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	nq := flag.Int("queries", 9, "identified queries to post (cycled from the BD Insights suite)")
+	artifacts := flag.String("artifacts", "", "directory to dump /metrics, hotspots, capture and the query log into")
+	flag.Parse()
+
+	c := &checker{artifacts: *artifacts}
+	if err := c.run(*sf, *seed, *nq); err != nil {
+		c.dump()
+		fmt.Fprintln(os.Stderr, "profcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("profcheck: resource attribution ok")
+}
+
+type checker struct {
+	artifacts string
+	logBuf    bytes.Buffer
+	metrics   []byte
+	hotspots  []byte
+	capture   []byte
+	base      string
+}
+
+func (c *checker) run(sf float64, seed uint64, nq int) error {
+	fmt.Printf("profcheck: generating dataset (sf=%g, seed=%d)...\n", sf, seed)
+	h, err := bench.NewHarness(bench.Config{SF: sf, Seed: seed, Devices: 2, Degree: 8})
+	if err != nil {
+		return err
+	}
+	acct := prof.NewAccountant()
+	captor := prof.NewCaptor(acct, prof.Options{Keep: 4, TopN: 10})
+	server, err := serve.New(h.Eng, serve.Config{
+		Log:       qlog.New(&c.logBuf),
+		Prof:      acct,
+		SlowQuery: -1,
+	})
+	if err != nil {
+		return err
+	}
+	engineSources := metrics.SourcesFromEngine(h.Eng)
+	sources := func() metrics.Sources {
+		src := engineSources()
+		src.Admission = server.AdmissionSnapshot
+		src.Prof = acct
+		src.Captor = captor
+		return src
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewMux(server, metrics.AdminMux(sources))}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c.base = "http://" + ln.Addr().String()
+
+	// Post identified queries across the BD Insights mix so several
+	// workload classes fill accountant cells.
+	suite := workload.BDInsights()
+	var ids []string
+	for i := 0; i < nq; i++ {
+		q := suite[i%len(suite)]
+		id := fmt.Sprintf("profcheck-%03d", i+1)
+		body, _ := json.Marshal(map[string]any{
+			"sql": q.SQL, "name": q.ID, "session": "profcheck",
+		})
+		req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s (%s): HTTP %d: %.200s", id, q.ID, resp.StatusCode, respBody)
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("profcheck: %d identified queries ok\n", len(ids))
+
+	// Ledger A: the query log's per-(class, phase) wall sums over the
+	// posted IDs.
+	if err := qlog.Validate(c.logBuf.Bytes()); err != nil {
+		return fmt.Errorf("query log invalid: %w", err)
+	}
+	recs, err := qlog.Decode(c.logBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	type cell struct{ class, phase string }
+	logMs := map[cell]float64{}
+	logCount := map[string]int{}
+	posted := map[string]bool{}
+	for _, id := range ids {
+		posted[id] = true
+	}
+	for _, rec := range recs {
+		if rec.Event != qlog.EventQuery || !posted[rec.RequestID] {
+			continue
+		}
+		if rec.Outcome != qlog.OutcomeOK {
+			return fmt.Errorf("%s: outcome %s (%s)", rec.RequestID, rec.Outcome, rec.Error)
+		}
+		logCount[rec.Class]++
+		logMs[cell{rec.Class, "queue_wait"}] += rec.Phases.QueueWaitMs
+		logMs[cell{rec.Class, "admission"}] += rec.Phases.AdmissionMs
+		logMs[cell{rec.Class, "parse"}] += rec.Phases.ParseMs
+		logMs[cell{rec.Class, "plan"}] += rec.Phases.PlanMs
+		logMs[cell{rec.Class, "exec"}] += rec.Phases.ExecMs
+		logMs[cell{rec.Class, "serialize"}] += rec.Phases.SerializeMs
+	}
+	total := 0
+	for _, n := range logCount {
+		total += n
+	}
+	if total != len(ids) {
+		return fmt.Errorf("query log has %d ok records for posted IDs, want %d", total, len(ids))
+	}
+
+	// Ledger B: the scraped blu_prof_* families.
+	var code int
+	c.metrics, code, err = httpGet(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/metrics: HTTP %d", code)
+	}
+	if err := metrics.ValidateExposition(c.metrics); err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	for _, family := range []string{
+		"blu_prof_wall_seconds_total",
+		"blu_prof_cpu_seconds_total",
+		"blu_prof_alloc_bytes_total",
+		"blu_prof_phases_total",
+		"blu_prof_captures_total",
+		"blu_device_busy_ratio",
+		"blu_device_busy_seconds_total",
+		"blu_device_reserved_bytes",
+	} {
+		if !strings.Contains(string(c.metrics), family) {
+			return fmt.Errorf("/metrics: family %s missing", family)
+		}
+	}
+
+	profWall, err := scrapeClassPhase(c.metrics, "blu_prof_wall_seconds_total")
+	if err != nil {
+		return err
+	}
+	profCPU, err := scrapeClassPhase(c.metrics, "blu_prof_cpu_seconds_total")
+	if err != nil {
+		return err
+	}
+	phases := []string{"queue_wait", "admission", "parse", "plan", "exec", "serialize"}
+	cells := 0
+	for class, n := range logCount {
+		// The accountant and the log were fed the same measured
+		// durations; the only slack is qlog's microsecond rounding —
+		// 0.5µs per record per phase.
+		tol := 0.0005 * float64(n)
+		for _, phase := range phases {
+			k := [2]string{class, phase}
+			got, ok := profWall[k]
+			if !ok {
+				return fmt.Errorf("blu_prof_wall_seconds_total missing cell class=%s phase=%s", class, phase)
+			}
+			gotMs := got * 1000
+			if d := math.Abs(gotMs - logMs[cell{class, phase}]); d > tol {
+				return fmt.Errorf("%s/%s: prof %.6fms vs qlog %.6fms (|Δ|=%.6f > %.6f)",
+					class, phase, gotMs, logMs[cell{class, phase}], d, tol)
+			}
+			// CPU attribution is statistical (profiler sampling) — the
+			// account must exist and be non-negative, nothing more.
+			if cpu, ok := profCPU[k]; ok && cpu < 0 {
+				return fmt.Errorf("%s/%s: negative CPU account %g", class, phase, cpu)
+			}
+			cells++
+		}
+	}
+	fmt.Printf("profcheck: /metrics reconciles with qlog (%d class/phase cells, %d records)\n", cells, total)
+
+	// The capture surface: an on-demand bounded capture, then the
+	// digest over the ring.
+	c.capture, code, err = httpGet(c.base + "/debug/prof/capture?window=100ms")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/debug/prof/capture: HTTP %d: %.200s", code, c.capture)
+	}
+	var capResp struct {
+		Captures uint64 `json:"captures"`
+		CPUBytes int    `json:"cpu_bytes"`
+	}
+	if err := json.Unmarshal(c.capture, &capResp); err != nil {
+		return fmt.Errorf("/debug/prof/capture: bad JSON: %w", err)
+	}
+	if capResp.Captures < 1 || capResp.CPUBytes == 0 {
+		return fmt.Errorf("/debug/prof/capture: empty capture: %s", c.capture)
+	}
+	c.hotspots, code, err = httpGet(c.base + "/debug/prof/hotspots")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("/debug/prof/hotspots: HTTP %d", code)
+	}
+	if !bytes.HasPrefix(c.hotspots, []byte("prof hotspots:")) {
+		return fmt.Errorf("/debug/prof/hotspots: unexpected body: %.120s", c.hotspots)
+	}
+	fmt.Printf("profcheck: /debug/prof ok (capture %d bytes CPU, digest %d bytes)\n", capResp.CPUBytes, len(c.hotspots))
+	return nil
+}
+
+// scrapeClassPhase extracts a {class,phase}-labeled family from the
+// exposition text into a map keyed by [class, phase].
+func scrapeClassPhase(exposition []byte, family string) (map[[2]string]float64, error) {
+	re := regexp.MustCompile(`^` + family + `\{class="([^"]+)",phase="([^"]+)"\} (\S+)$`)
+	out := map[[2]string]float64{}
+	for _, line := range strings.Split(string(exposition), "\n") {
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q: %w", family, m[3], err)
+		}
+		out[[2]string{m[1], m[2]}] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no class/phase series in scrape", family)
+	}
+	return out, nil
+}
+
+// dump writes whatever the checker captured into the artifacts
+// directory so a CI failure ships the evidence.
+func (c *checker) dump() {
+	if c.artifacts == "" {
+		return
+	}
+	if err := os.MkdirAll(c.artifacts, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "profcheck: artifacts:", err)
+		return
+	}
+	if c.metrics == nil && c.base != "" {
+		c.metrics, _, _ = httpGet(c.base + "/metrics")
+	}
+	if c.hotspots == nil && c.base != "" {
+		c.hotspots, _, _ = httpGet(c.base + "/debug/prof/hotspots")
+	}
+	for name, data := range map[string][]byte{
+		"metrics.txt":  c.metrics,
+		"hotspots.txt": c.hotspots,
+		"capture.json": c.capture,
+		"qlog.jsonl":   c.logBuf.Bytes(),
+	} {
+		if len(data) == 0 {
+			continue
+		}
+		path := filepath.Join(c.artifacts, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "profcheck: artifacts:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "profcheck: wrote %s (%d bytes)\n", path, len(data))
+	}
+}
+
+func httpGet(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}

@@ -37,8 +37,10 @@ type ExperimentSnap struct {
 	ModeledOffMs float64 `json:"modeled_off_ms"`
 	WallMs       float64 `json:"wall_ms"`
 	// WallMsP50/WallMsP95 are per-query wall-clock latency quantiles from
-	// the monitor's wall histogram (bucket resolution), machine-dependent
-	// and informational only — never gated.
+	// the monitor's wall histogram (bucket resolution). Machine-dependent:
+	// p95 is informational only, while p50 gates when CompareGated runs
+	// with a WallThreshold — generous fraction, noise floor, and a median
+	// over repeated runs (MergeRepeats) keep the gate honest.
 	WallMsP50 float64 `json:"wall_ms_p50,omitempty"`
 	WallMsP95 float64 `json:"wall_ms_p95,omitempty"`
 	// KernelExecs and TransferBytes are the GPU activity the experiment
@@ -308,6 +310,31 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s/%s: %.3f -> %.3f (%+.1f%%)", r.Experiment, r.Metric, r.Base, r.Current, r.Frac*100)
 }
 
+// GateOptions tunes CompareGated.
+type GateOptions struct {
+	// Threshold is the allowed fractional growth of the deterministic
+	// modeled columns (0.05 allows 5%).
+	Threshold float64
+	// WallThreshold, when positive, graduates wall_ms_p50 from
+	// informational to gated: the current median may exceed the
+	// baseline's by at most this fraction. Wall clock is machine- and
+	// load-dependent, so callers pick generous thresholds (3.0 = 4x)
+	// and median the column over repeated runs before comparing.
+	WallThreshold float64
+	// WallFloorMs exempts experiments whose baseline wall_ms_p50 sits
+	// below the floor: sub-floor medians are dominated by scheduler
+	// noise and histogram bucket resolution, not by code under test.
+	// Defaults to 25ms when WallThreshold is set.
+	WallFloorMs float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.WallThreshold > 0 && o.WallFloorMs <= 0 {
+		o.WallFloorMs = 25
+	}
+	return o
+}
+
 // Compare diffs cur against base and returns the modeled-time
 // regressions exceeding threshold (e.g. 0.05 allows 5% growth). Only the
 // deterministic modeled columns gate; wall-clock and counters are
@@ -316,6 +343,16 @@ func (r Regression) String() string {
 // comparable and return an error. An experiment present in base but
 // missing from cur is itself a regression.
 func Compare(base, cur *Snapshot, threshold float64) ([]Regression, error) {
+	return CompareGated(base, cur, GateOptions{Threshold: threshold})
+}
+
+// CompareGated is Compare with the full gate surface: the deterministic
+// modeled columns always gate at opt.Threshold, and when
+// opt.WallThreshold is set the wall_ms_p50 column gates too (above the
+// floor).
+func CompareGated(base, cur *Snapshot, opt GateOptions) ([]Regression, error) {
+	opt = opt.withDefaults()
+	threshold := opt.Threshold
 	if base.Schema != cur.Schema {
 		return nil, fmt.Errorf("bench: snapshot schema mismatch: base %d, current %d", base.Schema, cur.Schema)
 	}
@@ -364,6 +401,19 @@ func Compare(base, cur *Snapshot, threshold float64) ([]Regression, error) {
 			baseH2D = float64(b.TransferBytes)
 		}
 		check("transfer_h2d_bytes", baseH2D, float64(c.TransferH2DBytes))
+		// wall_ms_p50 gates only on request (WallThreshold > 0) and only
+		// above the noise floor: wall clock is real elapsed time on
+		// whatever machine took the snapshots, so the fractional
+		// threshold is generous and sub-floor medians — dominated by
+		// scheduler jitter and histogram bucket width — never gate.
+		if opt.WallThreshold > 0 && b.WallMsP50 >= opt.WallFloorMs {
+			if frac := c.WallMsP50/b.WallMsP50 - 1; frac > opt.WallThreshold {
+				regs = append(regs, Regression{
+					Experiment: b.Name, Metric: "wall_ms_p50",
+					Base: b.WallMsP50, Current: c.WallMsP50, Frac: frac,
+				})
+			}
+		}
 	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Experiment != regs[j].Experiment {
@@ -374,9 +424,77 @@ func Compare(base, cur *Snapshot, threshold float64) ([]Regression, error) {
 	return regs, nil
 }
 
+// MergeRepeats folds repeated snapshots of the same configuration into
+// one. The deterministic modeled columns must agree across every repeat
+// — any drift beyond the rounding quantum is an error, because it would
+// mean the "deterministic" columns are not — and the wall-clock columns
+// (wall_ms, wall_ms_p50, wall_ms_p95) are replaced by their
+// per-experiment median, so a single noisy run cannot trip the wall
+// gate.
+func MergeRepeats(snaps []*Snapshot) (*Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("bench: MergeRepeats needs at least one snapshot")
+	}
+	for i, s := range snaps[1:] {
+		// A zero-threshold comparison in both directions proves the
+		// modeled columns did not drift across repeats (the one-quantum
+		// absolute slack still applies).
+		for _, pair := range [2][2]*Snapshot{{snaps[0], s}, {s, snaps[0]}} {
+			regs, err := Compare(pair[0], pair[1], 0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: repeat %d: %w", i+2, err)
+			}
+			if len(regs) > 0 {
+				return nil, fmt.Errorf("bench: modeled columns drifted across repeats (run %d): %s", i+2, regs[0])
+			}
+		}
+	}
+	out := *snaps[0]
+	out.Experiments = append([]ExperimentSnap(nil), snaps[0].Experiments...)
+	for ei := range out.Experiments {
+		var wall, p50, p95 []float64
+		for _, s := range snaps {
+			if ei < len(s.Experiments) {
+				e := s.Experiments[ei]
+				wall = append(wall, e.WallMs)
+				p50 = append(p50, e.WallMsP50)
+				p95 = append(p95, e.WallMsP95)
+			}
+		}
+		out.Experiments[ei].WallMs = median(wall)
+		out.Experiments[ei].WallMsP50 = median(p50)
+		out.Experiments[ei].WallMsP95 = median(p95)
+	}
+	return &out, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
 // WriteDiff renders a human-readable comparison table of every
 // experiment in both snapshots, marking the gated modeled columns.
+// wall_ms_p50 renders as informational; use WriteDiffOpts to mark it
+// gated.
 func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
+	WriteDiffOpts(w, base, cur, regs, GateOptions{})
+}
+
+// WriteDiffOpts is WriteDiff with the gate configuration that produced
+// regs, so the table's gate column matches what CompareGated enforced:
+// with a WallThreshold set, wall_ms_p50 rows at or above the floor show
+// ok/FAIL instead of blank.
+func WriteDiffOpts(w io.Writer, base, cur *Snapshot, regs []Regression, opt GateOptions) {
+	opt = opt.withDefaults()
 	bad := make(map[string]bool, len(regs))
 	for _, r := range regs {
 		bad[r.Experiment+"/"+r.Metric] = true
@@ -410,7 +528,8 @@ func WriteDiff(w io.Writer, base, cur *Snapshot, regs []Regression) {
 		row("modeled_on_ms", b.ModeledOnMs, c.ModeledOnMs, true)
 		row("modeled_off_ms", b.ModeledOffMs, c.ModeledOffMs, true)
 		row("wall_ms", b.WallMs, c.WallMs, false)
-		row("wall_ms_p50", b.WallMsP50, c.WallMsP50, false)
+		row("wall_ms_p50", b.WallMsP50, c.WallMsP50,
+			opt.WallThreshold > 0 && b.WallMsP50 >= opt.WallFloorMs)
 		row("wall_ms_p95", b.WallMsP95, c.WallMsP95, false)
 		row("kernel_execs", float64(b.KernelExecs), float64(c.KernelExecs), false)
 		row("transfer_bytes", float64(b.TransferBytes), float64(c.TransferBytes), false)

@@ -178,6 +178,133 @@ func TestCompareGatesTransferH2D(t *testing.T) {
 	}
 }
 
+// TestWallGateGraduation exercises the wall_ms_p50 gate through
+// CompareGated: off by default, floor-exempt when the baseline median is
+// noise-small, tripping past the threshold above the floor, and passing
+// on improvement.
+func TestWallGateGraduation(t *testing.T) {
+	base := quickSnapshot(t)
+	clone := func() *Snapshot {
+		cur := *base
+		cur.Experiments = append([]ExperimentSnap(nil), base.Experiments...)
+		return &cur
+	}
+	// Give the baseline a wall median well above the default 25ms floor
+	// so the gate is armed for the first experiment.
+	baseWall := clone()
+	baseWall.Experiments[0].WallMsP50 = 100
+
+	// 5x growth with the wall gate off (plain Compare) never trips.
+	cur := clone()
+	cur.Experiments[0].WallMsP50 = 500
+	regs, err := Compare(baseWall, cur, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("wall growth with gate off must pass: %v", regs)
+	}
+
+	// The same growth under a 3.0 (allow 4x) wall threshold trips on
+	// exactly the wall metric.
+	opts := GateOptions{Threshold: 0.05, WallThreshold: 3.0}
+	regs, err = CompareGated(baseWall, cur, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "wall_ms_p50" || regs[0].Experiment != base.Experiments[0].Name {
+		t.Fatalf("5x wall growth must trip a 3.0 gate once, got %v", regs)
+	}
+	if regs[0].Frac < 3.9 || regs[0].Frac > 4.1 {
+		t.Fatalf("frac = %g, want ~4.0", regs[0].Frac)
+	}
+
+	// The gated row must render ok/FAIL in the opts-aware diff table,
+	// and stay blank (informational) in the plain one.
+	var gatedTab, plainTab strings.Builder
+	WriteDiffOpts(&gatedTab, baseWall, cur, regs, opts)
+	WriteDiff(&plainTab, baseWall, cur, nil)
+	if !strings.Contains(gatedTab.String(), "FAIL") {
+		t.Fatalf("opts-aware diff must mark the failed wall gate:\n%s", gatedTab.String())
+	}
+	if strings.Contains(plainTab.String(), "FAIL") {
+		t.Fatalf("plain diff must leave wall_ms_p50 informational:\n%s", plainTab.String())
+	}
+
+	// 3x growth passes the allow-4x gate.
+	cur = clone()
+	cur.Experiments[0].WallMsP50 = 300
+	if regs, err = CompareGated(baseWall, cur, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("3x growth must pass an allow-4x gate: %v", regs)
+	}
+
+	// Improvement passes.
+	cur = clone()
+	cur.Experiments[0].WallMsP50 = 10
+	if regs, err = CompareGated(baseWall, cur, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("wall improvement must pass: %v", regs)
+	}
+
+	// A baseline median below the floor never gates, however large the
+	// growth — sub-floor medians are bucket noise.
+	subFloor := clone()
+	subFloor.Experiments[0].WallMsP50 = 5
+	cur = clone()
+	cur.Experiments[0].WallMsP50 = 500
+	if regs, err = CompareGated(subFloor, cur, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor baseline must never gate: %v", regs)
+	}
+}
+
+// TestMergeRepeats proves the repeat fold: wall columns become the
+// per-experiment median, the modeled columns must be repeat-stable, and
+// any modeled drift is an error rather than a silent average.
+func TestMergeRepeats(t *testing.T) {
+	base := quickSnapshot(t)
+	repeat := func(wallP50 float64) *Snapshot {
+		s := *base
+		s.Experiments = append([]ExperimentSnap(nil), base.Experiments...)
+		s.Experiments[0].WallMsP50 = wallP50
+		return &s
+	}
+
+	merged, err := MergeRepeats([]*Snapshot{repeat(10), repeat(90), repeat(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Experiments[0].WallMsP50; got != 30 {
+		t.Fatalf("median of {10,90,30} = %g, want 30", got)
+	}
+	// The merged snapshot keeps the deterministic columns untouched.
+	if merged.Experiments[0].ModeledOnMs != base.Experiments[0].ModeledOnMs {
+		t.Fatal("merge must not touch modeled columns")
+	}
+
+	// Drift in a modeled column across repeats is an error in either
+	// direction.
+	drifted := repeat(10)
+	drifted.Experiments[0].ModeledOnMs *= 1.01
+	if _, err := MergeRepeats([]*Snapshot{repeat(10), drifted}); err == nil {
+		t.Fatal("modeled drift up across repeats must error")
+	}
+	if _, err := MergeRepeats([]*Snapshot{drifted, repeat(10)}); err == nil {
+		t.Fatal("modeled drift down across repeats must error")
+	}
+
+	if _, err := MergeRepeats(nil); err == nil {
+		t.Fatal("empty repeat set must error")
+	}
+}
+
 func TestCompareMissingExperiment(t *testing.T) {
 	base := quickSnapshot(t)
 	cur := *base

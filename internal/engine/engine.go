@@ -31,6 +31,7 @@ import (
 	"blugpu/internal/monitor"
 	"blugpu/internal/optimizer"
 	"blugpu/internal/plan"
+	"blugpu/internal/prof"
 	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/sqlparse"
@@ -97,6 +98,10 @@ type Engine struct {
 	// queries out sequentially on the trace timeline.
 	clockMu sync.Mutex
 	clock   vtime.Time
+	// explainMu serializes ExplainAnalyze epochs: the hostmem watermark
+	// reset, monitor counter deltas and temporary tracer are shared
+	// engine state that concurrent audits would corrupt.
+	explainMu sync.Mutex
 }
 
 // New builds an engine. The pinned segment is "registered" here, once,
@@ -304,22 +309,38 @@ func (e *Engine) QueryNamedCtx(ctx context.Context, name, sql string) (*Result, 
 // layer uses it to attribute admission decisions (class, queue wait,
 // session) in the same trace that holds the query's operator spans.
 func (e *Engine) QueryNamedCtxAttrs(ctx context.Context, name, sql string, attrs ...trace.Attr) (*Result, error) {
-	parseStart := time.Now()
-	stmt, err := sqlparse.Parse(sql)
+	// Each phase runs under prof.Phase so CPU-profile samples carry
+	// class/phase/request labels and the request's resource account (when
+	// one is bound to ctx) charges exactly the durations the query log
+	// will record — the two surfaces reconcile by construction.
+	var stmt *sqlparse.SelectStmt
+	parseWall, err := prof.Phase(ctx, "parse", func(ctx context.Context) error {
+		var perr error
+		stmt, perr = sqlparse.Parse(sql)
+		return perr
+	})
 	if err != nil {
 		return nil, err
 	}
-	parseWall := time.Since(parseStart)
-	planStart := time.Now()
-	p, err := plan.Build(stmt)
+	var p *plan.Plan
+	planWall, err := prof.Phase(ctx, "plan", func(ctx context.Context) error {
+		var perr error
+		p, perr = plan.Build(stmt)
+		return perr
+	})
 	if err != nil {
 		return nil, err
 	}
-	planWall := time.Since(planStart)
-	res, _, err := e.executeWith(ctx, name, p, sql, nil, attrs...)
+	var res *Result
+	execWall, err := prof.Phase(ctx, "exec", func(ctx context.Context) error {
+		var xerr error
+		res, _, xerr = e.executeWith(ctx, name, p, sql, nil, attrs...)
+		return xerr
+	})
 	if res != nil {
 		res.Wall.Parse = parseWall
 		res.Wall.Plan = planWall
+		res.Wall.Exec = execWall
 	}
 	return res, err
 }

@@ -3,10 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"blugpu/internal/explain"
+	"blugpu/internal/gpu"
 	"blugpu/internal/plan"
+	"blugpu/internal/prof"
 	"blugpu/internal/qlog"
 	"blugpu/internal/sqlparse"
 	"blugpu/internal/trace"
@@ -81,66 +82,112 @@ func (e *Engine) ExplainAnalyzeNamed(name, sql string) (*explain.Report, *Result
 
 // ExplainAnalyzeNamedCtx is ExplainAnalyzeNamed under a caller context:
 // cancellation aborts the audited query between operators exactly as it
-// does for QueryCtx. Still single-query-only — the monitor deltas and the
-// temporary tracer are not safe against concurrent queries.
+// does for QueryCtx. The audited epoch — monitor deltas, the hostmem
+// watermark reset, the temporary tracer — is serialized on an
+// engine-level mutex, so concurrent ExplainAnalyze calls queue rather
+// than corrupt each other's per-query deltas. Plain queries running
+// concurrently still pollute the deltas; for an exact audit run it
+// alone.
 func (e *Engine) ExplainAnalyzeNamedCtx(ctx context.Context, name, sql string) (*explain.Report, *Result, error) {
-	parseStart := time.Now()
-	stmt, err := sqlparse.Parse(sql)
+	var stmt *sqlparse.SelectStmt
+	parseWall, err := prof.Phase(ctx, "parse", func(ctx context.Context) error {
+		var perr error
+		stmt, perr = sqlparse.Parse(sql)
+		return perr
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	parseWall := time.Since(parseStart)
-	planStart := time.Now()
-	p, err := plan.Build(stmt)
+	var p *plan.Plan
+	planWall, err := prof.Phase(ctx, "plan", func(ctx context.Context) error {
+		var perr error
+		p, perr = plan.Build(stmt)
+		return perr
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	planWall := time.Since(planStart)
-	tr := e.tracer.Load()
-	if tr == nil {
-		tr = trace.New()
-		e.tracer.Store(tr)
-		defer e.tracer.Store(nil)
-	}
-	col := explain.NewCollector(e.prognoses(p.Root))
-	before := e.monTotals()
-	orphans0 := tr.Orphans()
-	host0 := e.registry.Stats()
-	e.registry.ResetWatermark()
 
-	res, seq, err := e.executeWith(ctx, name, p, sql, col)
+	e.explainMu.Lock()
+	defer e.explainMu.Unlock()
+
+	// The exec phase covers everything the serving layer bills to exec
+	// for an explain request: the audited execution plus the report
+	// build. Its duration lands in res.Wall.Exec so the query log and
+	// the prof accountant agree.
+	var (
+		rep *explain.Report
+		res *Result
+	)
+	execWall, err := prof.Phase(ctx, "exec", func(ctx context.Context) error {
+		tr := e.tracer.Load()
+		if tr == nil {
+			tr = trace.New()
+			e.tracer.Store(tr)
+			defer e.tracer.Store(nil)
+		}
+		col := explain.NewCollector(e.prognoses(p.Root))
+		before := e.monTotals()
+		orphans0 := tr.Orphans()
+		host0 := e.registry.Stats()
+		e.registry.ResetWatermark()
+		busy0 := make([]gpu.Utilization, len(e.devices))
+		for i, d := range e.devices {
+			busy0[i] = d.Util()
+		}
+
+		var seq uint64
+		var xerr error
+		res, seq, xerr = e.executeWith(ctx, name, p, sql, col)
+		if xerr != nil {
+			return xerr
+		}
+
+		after := e.monTotals()
+		host1 := e.registry.Stats()
+		busy := make([]explain.DeviceBusy, len(e.devices))
+		for i, d := range e.devices {
+			u := d.Util()
+			busy[i] = explain.DeviceBusy{
+				Device: d.ID(),
+				Kernel: u.Kernel - busy0[i].Kernel,
+				H2D:    u.H2D - busy0[i].H2D,
+				D2H:    u.D2H - busy0[i].D2H,
+			}
+		}
+		if name == "" {
+			// Mirror the tracer's automatic root-span naming.
+			name = fmt.Sprintf("q%d", seq)
+		}
+		rep = explain.Build(explain.Input{
+			Query:      name,
+			RequestID:  qlog.RequestIDFrom(ctx),
+			SQL:        sql,
+			Plan:       fmt.Sprintf("%s", p.Root),
+			GPUEnabled: e.GPUEnabled(),
+			Thresholds: e.thresholds,
+			Modeled:    res.Modeled,
+			Rows:       res.Table.Rows(),
+			Ops:        col.Ops(),
+			Spans:      tr.QuerySpans(seq),
+			Monitor:    after.sub(before),
+			Host: explain.HostMemStats{
+				WatermarkBytes: host1.Watermark,
+				FreeSpans:      host1.FreeSpans,
+				MaxFreeSpans:   host1.MaxFreeSpans,
+				Allocs:         host1.Allocs - host0.Allocs,
+				Fails:          host1.Fails - host0.Fails,
+			},
+			Busy:    busy,
+			Orphans: tr.Orphans() - orphans0,
+		})
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
 	res.Wall.Parse = parseWall
 	res.Wall.Plan = planWall
-
-	after := e.monTotals()
-	host1 := e.registry.Stats()
-	if name == "" {
-		// Mirror the tracer's automatic root-span naming.
-		name = fmt.Sprintf("q%d", seq)
-	}
-	rep := explain.Build(explain.Input{
-		Query:      name,
-		RequestID:  qlog.RequestIDFrom(ctx),
-		SQL:        sql,
-		Plan:       fmt.Sprintf("%s", p.Root),
-		GPUEnabled: e.GPUEnabled(),
-		Thresholds: e.thresholds,
-		Modeled:    res.Modeled,
-		Rows:       res.Table.Rows(),
-		Ops:        col.Ops(),
-		Spans:      tr.QuerySpans(seq),
-		Monitor:    after.sub(before),
-		Host: explain.HostMemStats{
-			WatermarkBytes: host1.Watermark,
-			FreeSpans:      host1.FreeSpans,
-			MaxFreeSpans:   host1.MaxFreeSpans,
-			Allocs:         host1.Allocs - host0.Allocs,
-			Fails:          host1.Fails - host0.Fails,
-		},
-		Orphans: tr.Orphans() - orphans0,
-	})
+	res.Wall.Exec = execWall
 	return rep, res, nil
 }

@@ -97,6 +97,14 @@ func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  pinned host: peak %d B, allocs %d (%d failed), free spans %d (max %d)\n",
 		m.HostWatermarkBytes, m.HostAllocs, m.HostAllocFails, m.HostFreeSpans, m.HostMaxFreeSpans)
 
+	if len(r.Resources) > 0 {
+		fmt.Fprintf(w, "\nresources:\n")
+		for _, d := range r.Resources {
+			fmt.Fprintf(w, "  gpu%d: busy %.3f ms (kernel %.3f, h2d %.3f, d2h %.3f)\n",
+				d.Device, d.BusyMs, d.KernelMs, d.H2DMs, d.D2HMs)
+		}
+	}
+
 	t := r.Totals
 	fmt.Fprintf(w, "\nreconciliation (monitor = span tree):\n")
 	fmt.Fprintf(w, "  kernels:        %d = %d\n", t.Kernels, t.KernelSpans)

@@ -59,7 +59,20 @@ type Input struct {
 	// accounting; Orphans the tracer's orphaned-device-event delta.
 	Monitor Totals
 	Host    HostMemStats
+	// Busy is the per-device busy-time delta across the query, split by
+	// activity kind. Modeled virtual time, so the rendered resources
+	// section stays deterministic.
+	Busy    []DeviceBusy
 	Orphans uint64
+}
+
+// DeviceBusy is one device's modeled busy-time delta over the audited
+// query.
+type DeviceBusy struct {
+	Device int
+	Kernel vtime.Duration
+	H2D    vtime.Duration
+	D2H    vtime.Duration
 }
 
 // PlanReport is the plan-time half of a group-by audit.
@@ -177,6 +190,17 @@ type MemoryReport struct {
 	HostAllocFails       uint64 `json:"host_alloc_fails"`
 }
 
+// DeviceResourceReport is one device's row of the resources section:
+// the modeled busy time this query put on it, split by kind. All values
+// are quantized milliseconds of virtual time.
+type DeviceResourceReport struct {
+	Device   int     `json:"device"`
+	BusyMs   float64 `json:"busy_ms"`
+	KernelMs float64 `json:"kernel_ms"`
+	H2DMs    float64 `json:"h2d_ms"`
+	D2HMs    float64 `json:"d2h_ms"`
+}
+
 // Report is one query's complete decision audit.
 type Report struct {
 	Schema int    `json:"schema"`
@@ -194,6 +218,11 @@ type Report struct {
 	Ops    []OpReport   `json:"ops"`
 	Totals TotalsReport `json:"totals"`
 	Memory MemoryReport `json:"memory"`
+	// Resources is the per-device utilization delta over the query
+	// (modeled busy time by kind), one row per engine device. Absent in
+	// reports built without device snapshots (schema stays 1 — the field
+	// is optional).
+	Resources []DeviceResourceReport `json:"resources,omitempty"`
 	// Unattributed counts operators that did work without a span plus
 	// device-work spans claimed by no operator; Orphans is the tracer's
 	// orphaned-event count for the query. Both are 0 in a clean run.
@@ -234,6 +263,15 @@ func Build(in Input) *Report {
 		ModeledMs:  quantMs(in.Modeled),
 		Rows:       in.Rows,
 		Orphans:    in.Orphans,
+	}
+	for _, b := range in.Busy {
+		r.Resources = append(r.Resources, DeviceResourceReport{
+			Device:   b.Device,
+			BusyMs:   quantMs(b.Kernel + b.H2D + b.D2H),
+			KernelMs: quantMs(b.Kernel),
+			H2DMs:    quantMs(b.H2D),
+			D2HMs:    quantMs(b.D2H),
+		})
 	}
 
 	// Index the span subtree: id -> span, parent -> children, both in

@@ -100,9 +100,19 @@ type Device struct {
 
 	mu          sync.Mutex
 	memUsed     int64 // bytes allocated or reserved
+	memPeak     int64 // lifetime high-water mark of memUsed
 	outstanding int   // kernel calls admitted but not finished
 	kernels     uint64
 	transfers   uint64
+
+	// Per-kind busy time in modeled (virtual) seconds, accumulated
+	// sink-independently so utilization accounting works even on devices
+	// without a monitor attached. Kernel time can overlap across
+	// concurrent launches, so busy totals are device-work time, not
+	// elapsed time — the ratio against the virtual clock may exceed 1.
+	busyKernel vtime.Duration
+	busyH2D    vtime.Duration
+	busyD2H    vtime.Duration
 
 	// sharedSplit is the byte count of the SMX pool configured as shared
 	// memory (the rest is L1). The group-by kernels set 48 KiB.
@@ -189,9 +199,49 @@ func (d *Device) Counters() Counters {
 	return Counters{Kernels: d.kernels, Transfers: d.transfers, MemUsed: d.memUsed}
 }
 
+// Utilization is a snapshot of the device's cumulative busy time split
+// by activity kind, plus its reservation occupancy. Busy time is
+// modeled virtual time, so snapshots are deterministic for a given
+// workload.
+type Utilization struct {
+	Kernel vtime.Duration
+	H2D    vtime.Duration
+	D2H    vtime.Duration
+	// ReservedBytes is current reservation occupancy (= UsedMemory).
+	ReservedBytes int64
+	// ReservedPeakBytes is the lifetime high-water mark of occupancy.
+	ReservedPeakBytes int64
+}
+
+// Busy returns total device-busy time across all kinds.
+func (u Utilization) Busy() vtime.Duration { return u.Kernel + u.H2D + u.D2H }
+
+// Util returns the device's utilization snapshot.
+func (d *Device) Util() Utilization {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Utilization{
+		Kernel:            d.busyKernel,
+		H2D:               d.busyH2D,
+		D2H:               d.busyD2H,
+		ReservedBytes:     d.memUsed,
+		ReservedPeakBytes: d.memPeak,
+	}
+}
+
 func (d *Device) emit(e Event) {
+	e.Device = d.id
+	d.mu.Lock()
+	switch e.Kind {
+	case EventKernel:
+		d.busyKernel += e.Modeled
+	case EventTransferH2D:
+		d.busyH2D += e.Modeled
+	case EventTransferD2H:
+		d.busyD2H += e.Modeled
+	}
+	d.mu.Unlock()
 	if d.sink != nil {
-		e.Device = d.id
 		d.sink.RecordGPUEvent(e)
 	}
 }

@@ -54,6 +54,9 @@ func (d *Device) ReserveSpan(n int64, sp trace.SpanID) (*Reservation, error) {
 		return nil, ErrOutOfMemory
 	}
 	d.memUsed += n
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
 	d.mu.Unlock()
 	d.emit(Event{Kind: EventReserve, Bytes: n, Span: sp})
 	r := &Reservation{dev: d, total: n}

@@ -1,0 +1,69 @@
+package gpu
+
+import (
+	"testing"
+
+	"blugpu/internal/vtime"
+)
+
+// TestDeviceUtilization proves busy time accumulates per kind without a
+// sink attached, and that reservation occupancy tracks its peak.
+func TestDeviceUtilization(t *testing.T) {
+	d := NewDevice(0, vtime.Default().GPU)
+
+	if u := d.Util(); u.Busy() != 0 || u.ReservedBytes != 0 || u.ReservedPeakBytes != 0 {
+		t.Fatalf("fresh device utilization not zero: %+v", u)
+	}
+
+	res, err := d.Reserve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := res.AllocWords(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := make([]uint64, 1024)
+	h2d, err := d.CopyToDevice(buf, src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2h, err := d.CopyFromDevice(src, buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kr := d.RunKernel("util_test", nil, func(g *Grid) (vtime.Duration, error) {
+		return 3 * vtime.Millisecond, nil
+	})
+	if kr.Err != nil {
+		t.Fatal(kr.Err)
+	}
+
+	u := d.Util()
+	if u.Kernel != kr.Modeled {
+		t.Fatalf("kernel busy = %v, want %v", u.Kernel, kr.Modeled)
+	}
+	if u.H2D != h2d {
+		t.Fatalf("h2d busy = %v, want %v", u.H2D, h2d)
+	}
+	if u.D2H != d2h {
+		t.Fatalf("d2h busy = %v, want %v", u.D2H, d2h)
+	}
+	if got, want := u.Busy(), kr.Modeled+h2d+d2h; got != want {
+		t.Fatalf("total busy = %v, want %v", got, want)
+	}
+	if u.ReservedBytes != 1<<20 || u.ReservedPeakBytes != 1<<20 {
+		t.Fatalf("occupancy = %d peak %d, want 1MiB both", u.ReservedBytes, u.ReservedPeakBytes)
+	}
+
+	res.Release()
+	u = d.Util()
+	if u.ReservedBytes != 0 {
+		t.Fatalf("occupancy after release = %d, want 0", u.ReservedBytes)
+	}
+	if u.ReservedPeakBytes != 1<<20 {
+		t.Fatalf("peak after release = %d, want 1MiB (peak is lifetime)", u.ReservedPeakBytes)
+	}
+}

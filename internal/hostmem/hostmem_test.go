@@ -240,6 +240,62 @@ func TestConcurrentAllocRelease(t *testing.T) {
 	}
 }
 
+// TestConcurrentWatermarkReset races ResetWatermark against live
+// alloc/release traffic — the shape of concurrent EXPLAIN ANALYZE
+// epochs sharing one registry. Invariants that must hold on every
+// snapshot regardless of interleaving: the watermark never exceeds the
+// lifetime peak, never goes negative, and a reset always rearms at the
+// in-use level at or below the value it returned. Run under -race this
+// is the data-race proof for the per-epoch reset.
+func TestConcurrentWatermarkReset(t *testing.T) {
+	r, _ := NewRegistry(1 << 22)
+	var allocs sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		allocs.Add(1)
+		go func() {
+			defer allocs.Done()
+			for i := 0; i < 300; i++ {
+				b, err := r.Alloc(4096)
+				if err != nil {
+					continue
+				}
+				b.Release()
+			}
+		}()
+	}
+	resetterDone := make(chan struct{})
+	go func() {
+		defer close(resetterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			old := r.ResetWatermark()
+			if old < 0 {
+				t.Error("ResetWatermark returned negative")
+				return
+			}
+			st := r.Stats()
+			if st.Watermark < 0 || st.Watermark > st.PeakInUse {
+				t.Errorf("snapshot broken: watermark=%d peak=%d", st.Watermark, st.PeakInUse)
+				return
+			}
+		}
+	}()
+	allocs.Wait()
+	close(stop)
+	<-resetterDone
+	if r.InUse() != 0 {
+		t.Errorf("InUse after all releases = %d, want 0", r.InUse())
+	}
+	if r.Watermark() > r.Stats().PeakInUse {
+		t.Errorf("final watermark %d exceeds peak %d", r.Watermark(), r.Stats().PeakInUse)
+	}
+}
+
 func TestAllocNeverExceedsSegment(t *testing.T) {
 	// Property: any sequence of aligned allocations either fits or fails,
 	// and accounting stays consistent.

@@ -6,8 +6,10 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/gpu"
 	"blugpu/internal/monitor"
+	"blugpu/internal/prof"
 	"blugpu/internal/sched"
 	"blugpu/internal/trace"
+	"blugpu/internal/vtime"
 )
 
 // Sources names the live objects one scrape snapshots. Monitor is
@@ -29,6 +31,12 @@ type Sources struct {
 	// blu_go_* family. Wire SampleRuntime for live processes; tests
 	// inject fixed stats for golden-locked exposition.
 	Runtime func() *RuntimeStats
+	// Prof, when set, exposes per-(class, phase) resource attribution
+	// as the blu_prof_* family.
+	Prof *prof.Accountant
+	// Captor, when set, exposes the periodic profile captor's
+	// bookkeeping (windows, skips, ring depth, aggregate samples).
+	Captor *prof.Captor
 }
 
 // EngineLike is the slice of the engine API the metrics layer needs;
@@ -44,7 +52,12 @@ type EngineLike interface {
 }
 
 // SourcesFromEngine adapts an engine into the scrape-time source
-// function AdminMux and Collect consume.
+// function AdminMux and Collect consume. Go runtime telemetry is wired
+// by default: every consumer of an engine-backed scrape (the shell's
+// \metrics, blubench -metrics-out, the admin mux) gets the blu_go_*
+// family without extra plumbing. The blu_slo_* family still needs an
+// Admission source — it is a property of the serving layer, which a
+// bare engine does not have.
 func SourcesFromEngine(e EngineLike) func() Sources {
 	return func() Sources {
 		return Sources{
@@ -54,6 +67,7 @@ func SourcesFromEngine(e EngineLike) func() Sources {
 			Tracer:     e.Tracer(),
 			GPUEnabled: e.GPUEnabled(),
 			Explain:    e.ExplainAnalyze,
+			Runtime:    SampleRuntime,
 		}
 	}
 }
@@ -66,10 +80,12 @@ func Collect(src Sources) *Registry {
 	if src.Monitor != nil {
 		collectMonitor(r, src.Monitor)
 	}
+	var now vtime.Time
 	if src.Sched != nil {
 		collectSched(r, src.Sched)
+		now = src.Sched.Now()
 	}
-	collectDevices(r, src.Devices)
+	collectDevices(r, src.Devices, now)
 	if src.Tracer != nil {
 		collectTracer(r, src.Tracer)
 	}
@@ -82,6 +98,9 @@ func Collect(src Sources) *Registry {
 		if rt := src.Runtime(); rt != nil {
 			collectRuntime(r, rt)
 		}
+	}
+	if src.Prof != nil || src.Captor != nil {
+		collectProf(r, src.Prof, src.Captor)
 	}
 	enabled := 0.0
 	if src.GPUEnabled {
@@ -227,9 +246,16 @@ func collectSched(r *Registry, s *sched.Scheduler) {
 	for _, snap := range s.Snapshot() {
 		outstanding.With(L("device", strconv.Itoa(snap.Device))).Set(float64(snap.Outstanding))
 	}
+
+	if delays := s.QueueDelays(); len(delays) > 0 {
+		qd := r.Histogram("blu_device_queue_delay_seconds", "Wall-clock time blocking placements spent queued for device memory, by the device that eventually granted them (immediate grants observe ~0).")
+		for _, d := range delays {
+			histFromBuckets(qd.With(L("device", strconv.Itoa(d.Device))), d.Buckets, d.SumSeconds, d.Count)
+		}
+	}
 }
 
-func collectDevices(r *Registry, devices []*gpu.Device) {
+func collectDevices(r *Registry, devices []*gpu.Device, now vtime.Time) {
 	if len(devices) == 0 {
 		return
 	}
@@ -237,6 +263,10 @@ func collectDevices(r *Registry, devices []*gpu.Device) {
 	total := r.Gauge("blu_device_memory_total_bytes", "Device-memory capacity, by device.")
 	kernels := r.Counter("blu_device_kernels_total", "Kernel launches by device.")
 	transfers := r.Counter("blu_device_transfers_total", "PCIe transfers by device.")
+	busy := r.Counter("blu_device_busy_seconds_total", "Modeled device busy time by device and event kind (kernel, h2d, d2h).")
+	ratio := r.Gauge("blu_device_busy_ratio", "Modeled busy time over the virtual clock; concurrent kernels on one device can push this above 1.")
+	reserved := r.Gauge("blu_device_reserved_bytes", "Current reservation occupancy (reserved plus allocated device memory), by device.")
+	reservedPeak := r.Gauge("blu_device_reserved_peak_bytes", "High-water reservation occupancy over the device's lifetime, by device.")
 	for _, d := range devices {
 		lbl := L("device", strconv.Itoa(d.ID()))
 		c := d.Counters()
@@ -244,6 +274,18 @@ func collectDevices(r *Registry, devices []*gpu.Device) {
 		total.With(lbl).Set(float64(d.TotalMemory()))
 		kernels.With(lbl).AddUint(c.Kernels)
 		transfers.With(lbl).AddUint(c.Transfers)
+
+		u := d.Util()
+		busy.With(lbl, L("kind", "kernel")).Add(u.Kernel.Seconds())
+		busy.With(lbl, L("kind", "h2d")).Add(u.H2D.Seconds())
+		busy.With(lbl, L("kind", "d2h")).Add(u.D2H.Seconds())
+		if now > 0 {
+			ratio.With(lbl).Set(u.Busy().Seconds() / float64(now))
+		} else {
+			ratio.With(lbl).Set(0)
+		}
+		reserved.With(lbl).Set(float64(u.ReservedBytes))
+		reservedPeak.With(lbl).Set(float64(u.ReservedPeakBytes))
 	}
 }
 

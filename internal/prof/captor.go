@@ -1,0 +1,332 @@
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Captor.
+type Options struct {
+	// Window is the length of each CPU-profile capture (default 1s).
+	Window time.Duration
+	// Gap is the idle time between capture windows (default = Window,
+	// a 50% duty cycle — long enough that an operator's explicit
+	// /debug/pprof/profile request can usually grab the profiler).
+	Gap time.Duration
+	// Keep bounds the capture ring (default 8).
+	Keep int
+	// TopN is the hotspot digest's function count (default 20).
+	TopN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = time.Second
+	}
+	if o.Gap <= 0 {
+		o.Gap = o.Window
+	}
+	if o.Keep <= 0 {
+		o.Keep = 8
+	}
+	if o.TopN <= 0 {
+		o.TopN = 20
+	}
+	return o
+}
+
+// Capture is one profiling window kept in the ring: the raw gzipped
+// pprof CPU profile, a heap snapshot taken at the window's end, and the
+// decoded CPU summary.
+type Capture struct {
+	Seq      uint64
+	CPU      []byte
+	Heap     []byte
+	Samples  int
+	CPUNanos int64
+}
+
+// CaptorStats summarizes captor activity.
+type CaptorStats struct {
+	// Captures is the number of completed profile windows.
+	Captures uint64
+	// Skips counts windows that could not start because the process
+	// CPU profiler was already running (e.g. an operator-driven
+	// /debug/pprof/profile request).
+	Skips uint64
+	// RingLen is the number of captures currently retained.
+	RingLen int
+	// CPUNanos is the total profiled CPU time over all captures
+	// (including ones evicted from the ring).
+	CPUNanos int64
+	// Samples is the total sample count over all captures.
+	Samples uint64
+}
+
+// Captor periodically captures CPU profiles and heap snapshots, folds
+// labeled CPU samples back into an Accountant, and keeps a bounded ring
+// of raw profiles plus a cumulative hotspot aggregate for the digest.
+// Safe for concurrent use; the process-global CPU profiler is
+// serialized internally.
+type Captor struct {
+	acct *Accountant
+	opt  Options
+
+	// profMu serializes use of the process-global CPU profiler between
+	// the background loop and on-demand CaptureNow calls.
+	profMu sync.Mutex
+
+	mu       sync.Mutex
+	ring     []Capture
+	seq      uint64
+	captures uint64
+	skips    uint64
+	samples  uint64
+	totalNs  int64
+	byLabel  map[LabelKey]int64
+	byFunc   map[string]int64
+	running  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCaptor returns a stopped captor feeding acct (which may be nil —
+// the ring and digest still work, only the per-class CPU account is
+// skipped).
+func NewCaptor(acct *Accountant, opt Options) *Captor {
+	return &Captor{
+		acct:    acct,
+		opt:     opt.withDefaults(),
+		byLabel: map[LabelKey]int64{},
+		byFunc:  map[string]int64{},
+	}
+}
+
+// Start launches the periodic capture loop. Idempotent.
+func (c *Captor) Start() {
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = true
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.CaptureNow(c.opt.Window) // skip/error already accounted
+			select {
+			case <-stop:
+				return
+			case <-time.After(c.opt.Gap):
+			}
+		}
+	}()
+}
+
+// Stop halts the capture loop, waiting for an in-flight window (at most
+// ~Window) to finish. Idempotent.
+func (c *Captor) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// CaptureNow runs one synchronous capture window of the given length
+// (clamped to [10ms, 10s]; <=0 means the configured window) and returns
+// the capture. It fails without waiting when the CPU profiler is
+// already busy.
+func (c *Captor) CaptureNow(window time.Duration) (Capture, error) {
+	if window <= 0 {
+		window = c.opt.Window
+	}
+	if window < 10*time.Millisecond {
+		window = 10 * time.Millisecond
+	}
+	if window > 10*time.Second {
+		window = 10 * time.Second
+	}
+
+	c.profMu.Lock()
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+		c.profMu.Unlock()
+		c.mu.Lock()
+		c.skips++
+		c.mu.Unlock()
+		return Capture{}, fmt.Errorf("prof: cpu profiler busy: %w", err)
+	}
+	time.Sleep(window)
+	pprof.StopCPUProfile()
+	c.profMu.Unlock()
+
+	var heapBuf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&heapBuf); err != nil {
+		heapBuf.Reset() // keep the CPU capture; heap snapshot is best-effort
+	}
+
+	parsed, err := ParseCPUProfile(cpuBuf.Bytes())
+	if err != nil {
+		c.mu.Lock()
+		c.skips++
+		c.mu.Unlock()
+		return Capture{}, err
+	}
+
+	for k, ns := range parsed.ByLabel {
+		c.acct.AddCPU(k.Class, k.Phase, float64(ns)/1e9)
+	}
+
+	cap := Capture{
+		CPU:      cpuBuf.Bytes(),
+		Heap:     heapBuf.Bytes(),
+		Samples:  parsed.Samples,
+		CPUNanos: parsed.TotalNanos,
+	}
+	c.mu.Lock()
+	c.seq++
+	cap.Seq = c.seq
+	c.captures++
+	c.samples += uint64(parsed.Samples)
+	c.totalNs += parsed.TotalNanos
+	for k, ns := range parsed.ByLabel {
+		c.byLabel[k] += ns
+	}
+	for name, ns := range parsed.ByFunc {
+		c.byFunc[name] += ns
+	}
+	c.ring = append(c.ring, cap)
+	if len(c.ring) > c.opt.Keep {
+		c.ring = c.ring[len(c.ring)-c.opt.Keep:]
+	}
+	c.mu.Unlock()
+	return cap, nil
+}
+
+// Stats returns captor counters.
+func (c *Captor) Stats() CaptorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CaptorStats{
+		Captures: c.captures,
+		Skips:    c.skips,
+		RingLen:  len(c.ring),
+		CPUNanos: c.totalNs,
+		Samples:  c.samples,
+	}
+}
+
+// Captures returns a copy of the ring, oldest first.
+func (c *Captor) Captures() []Capture {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Capture, len(c.ring))
+	copy(out, c.ring)
+	return out
+}
+
+// WriteHotspots renders the hotspot digest: capture counters, the CPU
+// split by class/phase label, and the top-N leaf functions by self
+// time. The text is deterministic for a given captor state — fixed
+// section order, fixed float formatting, ties broken by name.
+func (c *Captor) WriteHotspots(w io.Writer) error {
+	c.mu.Lock()
+	stats := CaptorStats{
+		Captures: c.captures,
+		Skips:    c.skips,
+		RingLen:  len(c.ring),
+		CPUNanos: c.totalNs,
+		Samples:  c.samples,
+	}
+	labels := make([]labelNanos, 0, len(c.byLabel))
+	for k, ns := range c.byLabel {
+		labels = append(labels, labelNanos{k, ns})
+	}
+	funcs := make([]funcNanos, 0, len(c.byFunc))
+	for name, ns := range c.byFunc {
+		funcs = append(funcs, funcNanos{name, ns})
+	}
+	topN := c.opt.TopN
+	c.mu.Unlock()
+
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].ns != labels[j].ns {
+			return labels[i].ns > labels[j].ns
+		}
+		if labels[i].key.Class != labels[j].key.Class {
+			return labels[i].key.Class < labels[j].key.Class
+		}
+		return labels[i].key.Phase < labels[j].key.Phase
+	})
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].ns != funcs[j].ns {
+			return funcs[i].ns > funcs[j].ns
+		}
+		return funcs[i].name < funcs[j].name
+	})
+	if len(funcs) > topN {
+		funcs = funcs[:topN]
+	}
+
+	bw := &errWriter{w: w}
+	bw.printf("prof hotspots: captures=%d skips=%d ring=%d samples=%d cpu=%.3fms\n",
+		stats.Captures, stats.Skips, stats.RingLen, stats.Samples, float64(stats.CPUNanos)/1e6)
+	if len(labels) == 0 {
+		bw.printf("(no labeled cpu samples captured)\n")
+	} else {
+		bw.printf("by class/phase:\n")
+		for _, l := range labels {
+			bw.printf("  class=%-16s phase=%-12s cpu=%.3fms\n", l.key.Class, l.key.Phase, float64(l.ns)/1e6)
+		}
+	}
+	if len(funcs) > 0 {
+		bw.printf("top functions (self time):\n")
+		for i, f := range funcs {
+			bw.printf("  %2d. %10.3fms  %s\n", i+1, float64(f.ns)/1e6, f.name)
+		}
+	}
+	return bw.err
+}
+
+type labelNanos struct {
+	key LabelKey
+	ns  int64
+}
+
+type funcNanos struct {
+	name string
+	ns   int64
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

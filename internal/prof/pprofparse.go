@@ -1,0 +1,533 @@
+// Minimal pprof profile.proto reader. The Go toolchain writes CPU
+// profiles as gzipped protobuf; the stdlib offers no decoder, and this
+// repo takes no external dependencies, so the Captor carries its own —
+// a wire-format walker that understands exactly the Profile fields the
+// hotspot digest and label attribution need and skips everything else.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// LabelKey identifies one labeled attribution cell in a CPU profile.
+type LabelKey struct {
+	Class string
+	Phase string
+}
+
+// CPUProfile is the decoded summary of one CPU profile: total on-CPU
+// time, its split by blu_class/blu_phase label, and its split by leaf
+// function (the hotspot view).
+type CPUProfile struct {
+	// Samples is the number of sample records in the profile (each
+	// aggregates all ticks with one stack+label set).
+	Samples int
+	// TotalNanos is the summed CPU nanoseconds over all samples.
+	TotalNanos int64
+	// DurationNanos is the profile's own recorded capture duration.
+	DurationNanos int64
+	// ByLabel maps (blu_class, blu_phase) to CPU nanoseconds. Samples
+	// without those labels land under {Untagged, Untagged}.
+	ByLabel map[LabelKey]int64
+	// ByFunc maps the leaf function name of each sample's stack to CPU
+	// nanoseconds — the flat (self-time) hotspot account.
+	ByFunc map[string]int64
+}
+
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto).
+const (
+	fProfileSampleType    = 1
+	fProfileSample        = 2
+	fProfileLocation      = 4
+	fProfileFunction      = 5
+	fProfileStringTable   = 6
+	fProfileDurationNanos = 10
+
+	fValueTypeUnit = 2
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+	fSampleLabel      = 3
+
+	fLabelKey = 1
+	fLabelStr = 2
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ParseCPUProfile decodes a (possibly gzipped) pprof CPU profile.
+func ParseCPUProfile(data []byte) (*CPUProfile, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	return parseProfileProto(data)
+}
+
+// rawSample holds one Sample message before string/location resolution.
+type rawSample struct {
+	leafLoc uint64     // first location_id = leaf frame
+	values  []int64    // one per sample_type
+	labels  [][2]int64 // (key string idx, str string idx)
+}
+
+func parseProfileProto(data []byte) (*CPUProfile, error) {
+	var (
+		strtab     []string
+		unitIdxs   []int64 // sample_type unit string indexes, in order
+		samples    []rawSample
+		locLeafFn  = map[uint64]uint64{} // location id -> leaf line's function id
+		fnName     = map[uint64]int64{}  // function id -> name string idx
+		durationNs int64
+	)
+
+	d := decoder{b: data}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case fProfileStringTable:
+			s, err := d.bytesField(wire)
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		case fProfileSampleType:
+			msg, err := d.bytesField(wire)
+			if err != nil {
+				return nil, err
+			}
+			unit, err := parseValueTypeUnit(msg)
+			if err != nil {
+				return nil, err
+			}
+			unitIdxs = append(unitIdxs, unit)
+		case fProfileSample:
+			msg, err := d.bytesField(wire)
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case fProfileLocation:
+			msg, err := d.bytesField(wire)
+			if err != nil {
+				return nil, err
+			}
+			id, fn, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			locLeafFn[id] = fn
+		case fProfileFunction:
+			msg, err := d.bytesField(wire)
+			if err != nil {
+				return nil, err
+			}
+			id, name, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			fnName[id] = name
+		case fProfileDurationNanos:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			durationNs = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i <= 0 || int(i) >= len(strtab) {
+			return ""
+		}
+		return strtab[i]
+	}
+
+	// CPU profiles carry sample_type [samples/count, cpu/nanoseconds];
+	// pick the value column whose unit is nanoseconds, defaulting to the
+	// last column (pprof's own default sample type).
+	valueIdx := len(unitIdxs) - 1
+	for i, u := range unitIdxs {
+		if str(u) == "nanoseconds" {
+			valueIdx = i
+			break
+		}
+	}
+	if valueIdx < 0 {
+		return nil, errors.New("prof: profile has no sample types")
+	}
+
+	p := &CPUProfile{
+		DurationNanos: durationNs,
+		ByLabel:       map[LabelKey]int64{},
+		ByFunc:        map[string]int64{},
+	}
+	for _, s := range samples {
+		if valueIdx >= len(s.values) {
+			continue
+		}
+		ns := s.values[valueIdx]
+		p.Samples++
+		p.TotalNanos += ns
+
+		key := LabelKey{Untagged, Untagged}
+		for _, lb := range s.labels {
+			switch str(lb[0]) {
+			case LabelClass:
+				if key.Class == Untagged {
+					key.Class = str(lb[1])
+				}
+			case LabelPhase:
+				if key.Phase == Untagged {
+					key.Phase = str(lb[1])
+				}
+			}
+		}
+		p.ByLabel[key] += ns
+
+		name := "unknown"
+		if fid, ok := locLeafFn[s.leafLoc]; ok {
+			if n := str(fnName[fid]); n != "" {
+				name = n
+			}
+		}
+		p.ByFunc[name] += ns
+	}
+	return p, nil
+}
+
+func parseValueTypeUnit(msg []byte) (int64, error) {
+	var unit int64
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return 0, err
+		}
+		if num == fValueTypeUnit {
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, err
+			}
+			unit = int64(v)
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return unit, nil
+}
+
+func parseSample(msg []byte) (rawSample, error) {
+	var s rawSample
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case fSampleLocationID:
+			ids, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			if s.leafLoc == 0 && len(ids) > 0 {
+				s.leafLoc = ids[0] // first frame is the leaf
+			}
+		case fSampleValue:
+			vs, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vs {
+				s.values = append(s.values, int64(v))
+			}
+		case fSampleLabel:
+			lmsg, err := d.bytesField(wire)
+			if err != nil {
+				return s, err
+			}
+			key, strIdx, err := parseLabel(lmsg)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, [2]int64{key, strIdx})
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(msg []byte) (key, strIdx int64, err error) {
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case fLabelKey, fLabelStr:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			if num == fLabelKey {
+				key = int64(v)
+			} else {
+				strIdx = int64(v)
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return key, strIdx, nil
+}
+
+// parseLocation returns the location id and the function id of its
+// first Line (the innermost frame after inlining expansion).
+func parseLocation(msg []byte) (id, fn uint64, err error) {
+	d := decoder{b: msg}
+	haveFn := false
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case fLocationID:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			id = v
+		case fLocationLine:
+			lmsg, err := d.bytesField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !haveFn {
+				f, err := parseLineFunction(lmsg)
+				if err != nil {
+					return 0, 0, err
+				}
+				fn, haveFn = f, true
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, fn, nil
+}
+
+func parseLineFunction(msg []byte) (uint64, error) {
+	var fn uint64
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return 0, err
+		}
+		if num == fLineFunctionID {
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, err
+			}
+			fn = v
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fn, nil
+}
+
+func parseFunction(msg []byte) (id uint64, name int64, err error) {
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch num {
+		case fFunctionID:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			id = v
+		case fFunctionName:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			name = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, name, nil
+}
+
+// decoder walks protobuf wire format: varint (0), fixed64 (1),
+// length-delimited (2), fixed32 (5).
+type decoder struct {
+	b []byte
+	i int
+}
+
+var errTruncated = errors.New("prof: truncated profile")
+
+func (d *decoder) done() bool { return d.i >= len(d.b) }
+
+func (d *decoder) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.i >= len(d.b) {
+			return 0, errTruncated
+		}
+		c := d.b[d.i]
+		d.i++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("prof: varint overflow")
+		}
+	}
+}
+
+func (d *decoder) tag() (num int, wire int, err error) {
+	t, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(t >> 3), int(t & 7), nil
+}
+
+// bytesField returns a length-delimited field's payload.
+func (d *decoder) bytesField(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: expected length-delimited field, got wire type %d", wire)
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)-d.i) {
+		return nil, errTruncated
+	}
+	out := d.b[d.i : d.i+int(n)]
+	d.i += int(n)
+	return out, nil
+}
+
+// varintField returns a scalar varint field's value.
+func (d *decoder) varintField(wire int) (uint64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("prof: expected varint field, got wire type %d", wire)
+	}
+	return d.uvarint()
+}
+
+// packedVarints reads a repeated varint field in either encoding:
+// packed (one length-delimited blob) or a single unpacked element.
+func (d *decoder) packedVarints(wire int) ([]uint64, error) {
+	switch wire {
+	case 0:
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case 2:
+		blob, err := d.bytesField(wire)
+		if err != nil {
+			return nil, err
+		}
+		var out []uint64
+		p := decoder{b: blob}
+		for !p.done() {
+			v, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("prof: unexpected wire type %d for repeated varint", wire)
+	}
+}
+
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.uvarint()
+		return err
+	case 1:
+		if len(d.b)-d.i < 8 {
+			return errTruncated
+		}
+		d.i += 8
+		return nil
+	case 2:
+		_, err := d.bytesField(wire)
+		return err
+	case 5:
+		if len(d.b)-d.i < 4 {
+			return errTruncated
+		}
+		d.i += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unknown wire type %d", wire)
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"blugpu/internal/gpu"
+	"blugpu/internal/vtime"
+)
+
+// TestQueueDelays proves blocking placements record a per-device delay
+// sample: immediate grants observe ~0, a placement that had to wait for
+// a release observes the wait.
+func TestQueueDelays(t *testing.T) {
+	spec := vtime.Default().GPU
+	spec.DeviceMemory = 1 << 20
+	d := gpu.NewDevice(0, spec)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if qd := s.QueueDelays(); len(qd) != 0 {
+		t.Fatalf("fresh scheduler has delays: %+v", qd)
+	}
+
+	// Immediate grant: one ~0 sample.
+	p1, err := s.Place(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := s.QueueDelays()
+	if len(qd) != 1 || qd[0].Device != 0 || qd[0].Count != 1 {
+		t.Fatalf("after immediate grant: %+v", qd)
+	}
+
+	// Saturated device: the second Place blocks until p1 releases.
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		p1.Release()
+		close(release)
+	}()
+	p2, err := s.Place(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-release
+	defer p2.Release()
+
+	qd = s.QueueDelays()
+	if len(qd) != 1 || qd[0].Count != 2 {
+		t.Fatalf("after blocked grant: %+v", qd)
+	}
+	if qd[0].MaxSeconds < 0.015 {
+		t.Fatalf("max delay %.4fs, want >= the ~20ms block", qd[0].MaxSeconds)
+	}
+	if qd[0].SumSeconds < qd[0].MaxSeconds {
+		t.Fatalf("sum %.4f < max %.4f", qd[0].SumSeconds, qd[0].MaxSeconds)
+	}
+	if len(qd[0].Buckets) == 0 {
+		t.Fatal("no exported buckets")
+	}
+	last := qd[0].Buckets[len(qd[0].Buckets)-1]
+	if last.CumCount != 2 {
+		t.Fatalf("cumulative bucket count = %d, want 2", last.CumCount)
+	}
+}

@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"blugpu/internal/gpu"
+	"blugpu/internal/monitor"
 	"blugpu/internal/trace"
 	"blugpu/internal/vtime"
 )
@@ -93,6 +95,13 @@ type Scheduler struct {
 	// here.
 	placements uint64
 	placeFails uint64
+
+	// queueDelay is the per-device histogram of wall-clock time blocking
+	// Place/PlaceCtx callers spent waiting for a grant, keyed by the
+	// device that ultimately granted it. Immediate grants observe ~0, so
+	// the count is the placement count and the tail is the queue. Wall
+	// time, not virtual: this measures real scheduler back-pressure.
+	queueDelay map[int]*monitor.Hist
 }
 
 // New builds a scheduler over the given devices.
@@ -447,6 +456,7 @@ func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, e
 	if memNeed <= 0 {
 		return nil, fmt.Errorf("sched: invalid memory demand %d", memNeed)
 	}
+	waitStart := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -458,6 +468,7 @@ func (s *Scheduler) placeWait(ctx context.Context, memNeed int64) (*Placement, e
 		}
 		p, err := s.tryPlaceLocked(memNeed, nil, trace.Context{})
 		if err == nil {
+			s.observeQueueDelayLocked(p, time.Since(waitStart))
 			return p, nil
 		}
 		if errors.Is(err, ErrTooLarge) {
@@ -536,6 +547,49 @@ func (s *Scheduler) PlaceCounts() (ok, fail uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.placements, s.placeFails
+}
+
+// observeQueueDelayLocked records how long a blocking placement waited
+// before device p granted it. Caller holds s.mu.
+func (s *Scheduler) observeQueueDelayLocked(p *Placement, d time.Duration) {
+	id := p.res.Device().ID()
+	if s.queueDelay == nil {
+		s.queueDelay = make(map[int]*monitor.Hist)
+	}
+	h := s.queueDelay[id]
+	if h == nil {
+		h = &monitor.Hist{}
+		s.queueDelay[id] = h
+	}
+	h.Observe(vtime.Duration(d.Seconds()))
+}
+
+// QueueDelay is the exported per-device queue-delay distribution.
+type QueueDelay struct {
+	Device     int
+	Count      uint64
+	SumSeconds float64
+	MaxSeconds float64
+	Buckets    []monitor.HistBucket
+}
+
+// QueueDelays returns the wall-clock queue-delay histograms of blocking
+// placements, one per device that granted any, sorted by device id.
+func (s *Scheduler) QueueDelays() []QueueDelay {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueueDelay, 0, len(s.queueDelay))
+	for id, h := range s.queueDelay {
+		out = append(out, QueueDelay{
+			Device:     id,
+			Count:      h.Count(),
+			SumSeconds: h.Total().Seconds(),
+			MaxSeconds: h.Max().Seconds(),
+			Buckets:    h.Buckets(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
 }
 
 // Snapshot reports the fleet state for monitoring and tests.

@@ -474,6 +474,48 @@ func TestSaturationDifferential(t *testing.T) {
 					counts[qlog.OutcomeDrained] != snap.Drained {
 					t.Fatalf("query-log outcomes %v do not match the snapshot %+v", counts, snap)
 				}
+				// Per-class reconciliation: every (class, outcome) cell in
+				// the query log must match the server's per-class counters,
+				// and every refusal record must say why it was refused.
+				type classOutcome struct{ class, outcome string }
+				classCounts := map[classOutcome]uint64{}
+				for _, rec := range recs {
+					if rec.Event != qlog.EventQuery {
+						continue
+					}
+					if rec.RequestID == "" || rec.Class == "" {
+						t.Fatalf("query record missing identity: %+v", rec)
+					}
+					classCounts[classOutcome{rec.Class, rec.Outcome}]++
+					switch rec.Outcome {
+					case qlog.OutcomeShed, qlog.OutcomeDrained:
+						if rec.Reason == "" {
+							t.Fatalf("%s record without a reason: %+v", rec.Outcome, rec)
+						}
+					case qlog.OutcomeTimedOut:
+						// Caught queued → reason; caught mid-execution →
+						// the context error. One of the two must explain it.
+						if rec.Reason == "" && rec.Error == "" {
+							t.Fatalf("timed_out record without reason or error: %+v", rec)
+						}
+					}
+				}
+				for _, c := range snap.Classes {
+					for _, oc := range []struct {
+						outcome string
+						want    uint64
+					}{
+						{qlog.OutcomeOK, c.Admitted},
+						{qlog.OutcomeShed, c.Shed},
+						{qlog.OutcomeTimedOut, c.TimedOut},
+						{qlog.OutcomeDrained, c.Drained},
+					} {
+						if got := classCounts[classOutcome{c.Class, oc.outcome}]; got != oc.want {
+							t.Fatalf("query log has %d %s/%s records, counter says %d",
+								got, c.Class, oc.outcome, oc.want)
+						}
+					}
+				}
 			}
 
 			if inj != nil && inj.Counts().Total() == 0 && sc.name != "rate-0" {

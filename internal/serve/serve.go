@@ -34,6 +34,7 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/metrics"
 	"blugpu/internal/monitor"
+	"blugpu/internal/prof"
 	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
 	"blugpu/internal/trace"
@@ -92,6 +93,12 @@ type Config struct {
 	// Log receives one structured record per resolved submission (all
 	// five outcomes); nil disables query logging.
 	Log *qlog.Logger
+	// Prof receives per-class, per-phase resource attribution (wall
+	// time, pprof-labeled CPU samples, allocation deltas) for every
+	// admitted query; nil disables attribution. The accountant's wall
+	// columns reconcile exactly against the query log's phase fields —
+	// both are fed the same measured durations.
+	Prof *prof.Accountant
 	// TraceRingSize bounds the live trace ring of recent query traces
 	// (default 64).
 	TraceRingSize int
@@ -538,8 +545,12 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 	}
 	// The request ID rides the context into the engine: it lands on the
 	// query's root trace span and the EXPLAIN ANALYZE report, so the
-	// log, the trace ring, and the audit all join on one key.
+	// log, the trace ring, and the audit all join on one key. The prof
+	// labels ride the same context so every engine phase bills its CPU
+	// samples and allocation deltas to this class and request.
 	ctx = qlog.WithRequestID(ctx, reqID)
+	ctx = prof.WithRequest(ctx, s.cfg.Prof, string(class), reqID)
+	s.cfg.Prof.AddWall(string(class), "queue_wait", wait)
 	var execCtx context.Context
 	var cancel context.CancelFunc
 	if deadline > 0 {
@@ -561,18 +572,19 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 	// quarantined, give the fleet a bounded chance to re-close a breaker
 	// (virtual time advances as other queries execute) before running —
 	// the CPU fallback guarantees the query completes either way.
-	admStart := time.Now()
 	retries := 0
-	if sch := s.exec.Scheduler(); sch != nil {
-		backoff := s.cfg.PlaceBackoff
-		for retries < s.cfg.PlaceRetries &&
-			metrics.HealthStatus(sch) == metrics.HealthUnhealthy && execCtx.Err() == nil {
-			time.Sleep(backoff)
-			backoff *= 2
-			retries++
+	admission, _ := prof.Phase(execCtx, "admission", func(context.Context) error {
+		if sch := s.exec.Scheduler(); sch != nil {
+			backoff := s.cfg.PlaceBackoff
+			for retries < s.cfg.PlaceRetries &&
+				metrics.HealthStatus(sch) == metrics.HealthUnhealthy && execCtx.Err() == nil {
+				time.Sleep(backoff)
+				backoff *= 2
+				retries++
+			}
 		}
-	}
-	admission := time.Since(admStart)
+		return nil
+	})
 
 	name := req.Name
 	if name == "" {
@@ -636,30 +648,30 @@ func (s *Server) run(ctx context.Context, req Request, tk *ticket, class workloa
 	resultBytes := 0
 	var serErr error
 	if err == nil && req.Serialize != nil {
-		serStart := time.Now()
-		resultBytes, serErr = req.Serialize(resp)
-		serialize = time.Since(serStart)
+		serialize, serErr = prof.Phase(ctx, "serialize", func(context.Context) error {
+			var sErr error
+			resultBytes, sErr = req.Serialize(resp)
+			return sErr
+		})
 	}
 
-	// Phase attribution: exec_ms is the engine call minus its measured
-	// parse/plan front-end, so queue_wait + admission + parse + plan +
-	// exec + serialize sums to within a few percent of total_ms.
+	// Phase attribution: when the engine measured its own phases the log
+	// takes those exact durations (the prof accountant saw the same
+	// values, so the two ledgers reconcile to the microsecond); on the
+	// error path exec_ms falls back to the whole engine call.
 	var ph qlog.Phases
 	ph.QueueWaitMs = qlog.Ms(wait)
 	ph.AdmissionMs = qlog.Ms(admission)
-	execResidual := execWall
 	if res != nil {
 		ph.ParseMs = qlog.Ms(res.Wall.Parse)
 		ph.PlanMs = qlog.Ms(res.Wall.Plan)
-		execResidual = execWall - res.Wall.Parse - res.Wall.Plan
+		ph.ExecMs = qlog.Ms(res.Wall.Exec)
 		ph.ExecGPUMs = qlog.Ms(res.Wall.ExecGPU)
 		ph.ExecHostMs = qlog.Ms(res.Wall.ExecHost)
 		ph.ExecGatherMs = qlog.Ms(res.Wall.ExecGather)
+	} else {
+		ph.ExecMs = qlog.Ms(execWall)
 	}
-	if execResidual < 0 {
-		execResidual = 0
-	}
-	ph.ExecMs = qlog.Ms(execResidual)
 	ph.SerializeMs = qlog.Ms(serialize)
 	total := s.clock().Sub(submitStart)
 	slow := s.cfg.SlowQuery > 0 && total >= s.cfg.SlowQuery
