@@ -8,7 +8,7 @@
 //	benchdiff [-sf 0.02] [-seed N] [-devices 2] [-degree 24]
 //	          [-baseline BENCH_0.json] [-out FILE] [-threshold 0.05]
 //	          [-wall-threshold 0] [-wall-floor-ms 25] [-wall-repeats 1]
-//	          [-inflate 1.0]
+//	          [-trend-slope 0] [-inflate 1.0]
 //
 // Exit status: 0 when every gated metric is within threshold, 1 when a
 // regression is detected, 2 on operational errors. The default scale
@@ -25,6 +25,13 @@
 // times, asserts the modeled columns did not drift across runs, and
 // compares the median of the wall columns — one noisy run cannot trip
 // the gate.
+//
+// -trend-slope gates the sustained run's recorded trend series (queue
+// depth, shed rate, wall-latency quantiles, sampled by the embedded
+// obsd scraper): a least-squares slope above the ceiling — in units
+// per second — means the run drifted instead of holding steady state,
+// which the medians alone hide. Repeats median the slopes like the
+// wall columns. Baselines without series never gate.
 package main
 
 import (
@@ -47,6 +54,7 @@ func main() {
 	wallThreshold := flag.Float64("wall-threshold", 0, "allowed fractional growth of wall_ms_p50 (0 leaves it informational)")
 	wallFloorMs := flag.Float64("wall-floor-ms", 25, "baseline wall_ms_p50 below this floor never gates (noise)")
 	wallRepeats := flag.Int("wall-repeats", 1, "run the suite N times and compare median wall columns")
+	trendSlope := flag.Float64("trend-slope", 0, "max in-run trend-series slope, units per second (0 leaves slopes informational)")
 	inflate := flag.Float64("inflate", 1.0, "multiply the fresh snapshot's modeled columns (gate self-test)")
 	flag.Parse()
 
@@ -127,6 +135,7 @@ func main() {
 		Threshold:     *threshold,
 		WallThreshold: *wallThreshold,
 		WallFloorMs:   *wallFloorMs,
+		TrendSlopeMax: *trendSlope,
 	}
 	regs, err := bench.CompareGated(base, cur, opts)
 	if err != nil {
@@ -135,6 +144,9 @@ func main() {
 	gateDesc := fmt.Sprintf("modeled time within %+.0f%%", *threshold*100)
 	if *wallThreshold > 0 {
 		gateDesc += fmt.Sprintf(", wall p50 within %+.0f%% above %.0fms", *wallThreshold*100, *wallFloorMs)
+	}
+	if *trendSlope > 0 {
+		gateDesc += fmt.Sprintf(", trend slope <= %g/s", *trendSlope)
 	}
 	fmt.Printf("\ncomparison against %s (gate: %s):\n", *baseline, gateDesc)
 	bench.WriteDiffOpts(os.Stdout, base, cur, regs, opts)

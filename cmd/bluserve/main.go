@@ -16,16 +16,24 @@
 //	                  blu_prof_* per-class resource attribution and
 //	                  blu_device_* utilization
 //	/metrics.json     the same snapshot as structured JSON
-//	/healthz          scheduler device health + circuit-breaker state
+//	/healthz          scheduler device health + circuit-breaker state +
+//	                  firing alerts (a severity-page alert answers 503)
 //	/debug/queries    per-query latency rollups + recent requests
 //	/debug/explain    EXPLAIN ANALYZE decision audit for ?q=<sql>
+//	/debug/alerts     alert rule states + recent transitions (JSON)
+//	/debug/dash       self-contained HTML dashboard over the embedded
+//	                  time-series history (inline SVG sparklines)
+//	/api/v1/query_range  Prometheus-compatible range queries over the
+//	                     embedded history (also /api/v1/query)
 //	/debug/pprof/     live profiling (only with -pprof)
 //
 // Usage:
 //
 //	bluserve [-addr 127.0.0.1:9090] [-sf 0.02] [-seed N] [-devices 2]
 //	         [-degree 24] [-warmup 1] [-faults 0] [-queue 64]
-//	         [-drain-ms 5000] [-slow-ms 250] [-qlog FILE] [-pprof]
+//	         [-drain-ms 5000] [-slow-ms 250] [-qlog FILE]
+//	         [-qlog-max-bytes 0] [-qlog-keep 3] [-obs-step 5s]
+//	         [-obs-retention 15m] [-rules FILE] [-pprof]
 //	         [-loop] [-smoke] [-serve-smoke]
 //
 // On start it generates the dataset, runs -warmup passes over the BD
@@ -33,6 +41,12 @@
 // SIGTERM/SIGINT drain gracefully: in-flight queries finish (up to
 // -drain-ms), queued queries are refused, nothing new is admitted.
 // -loop keeps replaying the suite in the background so gauges move.
+// An embedded obsd store self-scrapes the registry every -obs-step into
+// bounded ring history and evaluates alert rules (-rules FILE, or the
+// built-in defaults derived from the SLO and breaker semantics); a
+// firing severity-page alert flips /healthz to 503 and halves admission
+// capacity. -qlog-max-bytes caps the query log file with keep-N
+// rotation (FILE -> FILE.1 -> ... -> FILE.<keep>).
 // -smoke binds an ephemeral port, scrapes every admin endpoint against
 // its own server (including /healthz in both its 200 and 503 states),
 // validates the exposition syntax, and exits — `make metrics-smoke`.
@@ -58,6 +72,7 @@ import (
 	"blugpu/internal/explain"
 	"blugpu/internal/fault"
 	"blugpu/internal/metrics"
+	"blugpu/internal/obsd"
 	"blugpu/internal/prof"
 	"blugpu/internal/qlog"
 	"blugpu/internal/sched"
@@ -78,6 +93,11 @@ func main() {
 	drainMs := flag.Int("drain-ms", 5000, "graceful-drain deadline on shutdown, in milliseconds")
 	slowMs := flag.Int("slow-ms", 0, "slow-query wall threshold in milliseconds (0 = default 250, negative disables)")
 	qlogPath := flag.String("qlog", "", `structured query log destination: a file path, or "stderr"`)
+	qlogMaxBytes := flag.Int64("qlog-max-bytes", 0, "rotate the qlog file when it would exceed this size (0 = never)")
+	qlogKeep := flag.Int("qlog-keep", 0, "rotated qlog generations to keep (0 = default 3)")
+	obsStep := flag.Duration("obs-step", 5*time.Second, "embedded time-series scrape interval")
+	obsRetention := flag.Duration("obs-retention", 15*time.Minute, "embedded time-series history retention")
+	rulesPath := flag.String("rules", "", "alert rules file (default: built-in rules derived from SLO/breaker semantics)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin surface")
 	loop := flag.Bool("loop", false, "keep replaying the workload in the background while serving")
 	smoke := flag.Bool("smoke", false, "self-scrape every admin endpoint, validate, and exit (CI smoke test)")
@@ -122,23 +142,40 @@ func main() {
 	captor.Start()
 	defer captor.Stop()
 
+	// The obsd store is built below (its Sources closure needs the
+	// server); serve and healthz key off it through late-bound hooks.
+	var obs *obsd.Store
+
 	serveCfg := serve.Config{
 		QueueCapacity: *queue,
 		DrainDeadline: time.Duration(*drainMs) * time.Millisecond,
 		SlowQuery:     time.Duration(*slowMs) * time.Millisecond,
 		Prof:          acct,
+		PagesFiring: func() int {
+			if obs == nil {
+				return 0
+			}
+			return obs.PagesFiring()
+		},
 	}
 	if *qlogPath != "" {
 		switch *qlogPath {
 		case "stderr", "-":
 			serveCfg.Log = qlog.New(os.Stderr)
 		default:
-			f, err := os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			// With a byte cap the destination is a rotating file
+			// (FILE -> FILE.1 -> ...); without one, a plain append.
+			var w io.WriteCloser
+			if *qlogMaxBytes > 0 {
+				w, err = qlog.OpenFile(*qlogPath, qlog.Config{MaxBytes: *qlogMaxBytes, Keep: *qlogKeep})
+			} else {
+				w, err = os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			}
 			if err != nil {
 				fail(err)
 			}
-			defer f.Close()
-			serveCfg.Log = qlog.New(f)
+			defer w.Close()
+			serveCfg.Log = qlog.New(w)
 		}
 	}
 	server, err := serve.New(h.Eng, serveCfg)
@@ -147,8 +184,8 @@ func main() {
 	}
 
 	// The admin surface rides the serve mux; every scrape carries the
-	// admission counters and a live Go runtime sample alongside the
-	// engine metrics.
+	// admission counters, a live Go runtime sample, and the obsd/alert
+	// self-accounting alongside the engine metrics.
 	engineSources := metrics.SourcesFromEngine(h.Eng)
 	sources := func() metrics.Sources {
 		src := engineSources()
@@ -156,9 +193,42 @@ func main() {
 		src.Runtime = metrics.SampleRuntime
 		src.Prof = acct
 		src.Captor = captor
+		if obs != nil {
+			src.Obs = obs.ObsSnapshot
+		}
 		return src
 	}
+
+	// Embedded observability: self-scrape the registry into ring history
+	// and evaluate alert rules on every scrape. Alert transitions land in
+	// the qlog, blu_alerts_*, /debug/alerts and the dash; a firing page
+	// flips /healthz and halves admission (the hooks wired above).
+	obs = obsd.New(obsd.Options{
+		Step:      *obsStep,
+		Retention: *obsRetention,
+		Sources:   sources,
+		Log:       serveCfg.Log,
+		Prof:      acct,
+	})
+	rules := obsd.DefaultRules(*obsStep)
+	if *rulesPath != "" {
+		data, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			fail(err)
+		}
+		if rules, err = obsd.ParseRules(data); err != nil {
+			fail(err)
+		}
+	}
+	if err := obs.SetRules(rules); err != nil {
+		fail(err)
+	}
+	obs.Scrape() // synchronous first sample so the surfaces answer immediately
+	obs.Start()
+	defer obs.Stop()
+
 	admin := metrics.AdminMux(sources)
+	obs.Mount(admin)
 	if *pprofFlag {
 		metrics.MountPprof(admin)
 	}
@@ -260,6 +330,8 @@ func smokeTest(base string, h *bench.Harness) error {
 		"blu_prof_captures_total",
 		"blu_device_busy_ratio",
 		"blu_device_reserved_bytes",
+		"blu_obsd_scrapes_total",
+		"blu_alerts_rules",
 	} {
 		if !contains(body, family) {
 			return fmt.Errorf("/metrics: family %s missing from scrape", family)
@@ -341,6 +413,35 @@ func smokeTest(base string, h *bench.Harness) error {
 		return fmt.Errorf("/debug/queries: HTTP %d: %.120s", code, body)
 	}
 	fmt.Printf("bluserve: /debug/queries ok (%d bytes)\n", len(body))
+
+	// The embedded observability surfaces: alert states as JSON, the
+	// self-contained dashboard, and a Prometheus-compatible range query
+	// over the scraped history.
+	body, code, err = get(base + "/debug/alerts")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !contains(body, `"rules"`) {
+		return fmt.Errorf("/debug/alerts: HTTP %d: %.120s", code, body)
+	}
+	fmt.Printf("bluserve: /debug/alerts ok (%d bytes)\n", len(body))
+	body, code, err = get(base + "/debug/dash")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !contains(body, "<svg") {
+		return fmt.Errorf("/debug/dash: HTTP %d: %.120s", code, body)
+	}
+	fmt.Printf("bluserve: /debug/dash ok (%d bytes)\n", len(body))
+	now := time.Now().Unix()
+	body, code, err = get(fmt.Sprintf("%s/api/v1/query_range?query=blu_serve_queue_depth&start=%d&end=%d&step=5", base, now-600, now))
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !contains(body, `"status":"success"`) {
+		return fmt.Errorf("/api/v1/query_range: HTTP %d: %.200s", code, body)
+	}
+	fmt.Printf("bluserve: /api/v1/query_range ok (%d bytes)\n", len(body))
 
 	sql := "SELECT ss_store_sk, SUM(ss_net_paid) AS total FROM store_sales GROUP BY ss_store_sk"
 	body, code, err = get(base + "/debug/explain?q=" + url.QueryEscape(sql))

@@ -1,0 +1,443 @@
+// Command dashcheck is the embedded-observability smoke test
+// (`make dash-smoke`). It boots the engine behind the serving layer
+// with an obsd store on an injected clock, posts queries, trips every
+// device circuit breaker, and proves the alert lifecycle end to end:
+//
+//   - the AllBreakersOpen page rule goes pending on the first scrape
+//     after the fault and fires within one `for:` hold-down window
+//   - while it fires, /healthz answers 503 with the alert attached;
+//     after the breakers recover the rule resolves and /healthz is 200
+//   - the full pending → firing → resolved lifecycle is visible on all
+//     four surfaces: /debug/alerts JSON, the blu_alerts_* metric
+//     family, the structured query log's alert events, and /debug/dash
+//   - a second identical run (same seed, same injected clock, same
+//     scrape sequence) produces byte-identical /debug/alerts JSON,
+//     blu_alerts_* exposition lines, and qlog alert records
+//   - the store's own scrape overhead, attributed via blu_prof to the
+//     (obsd, scrape) cell, stays under 1% of execution wall time (with
+//     a small absolute floor for sub-second smoke workloads)
+//
+// With -artifacts DIR the alert JSON, dash HTML, /metrics scrape and
+// query log are written into DIR for CI upload when the check fails.
+//
+// Usage:
+//
+//	dashcheck [-sf 0.002] [-seed 20160626] [-queries 6] [-artifacts DIR]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"blugpu/internal/bench"
+	"blugpu/internal/metrics"
+	"blugpu/internal/obsd"
+	"blugpu/internal/prof"
+	"blugpu/internal/qlog"
+	"blugpu/internal/sched"
+	"blugpu/internal/serve"
+	"blugpu/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "dataset scale factor")
+	seed := flag.Uint64("seed", 20160626, "generator seed")
+	nq := flag.Int("queries", 6, "queries to post before tripping the breakers")
+	artifacts := flag.String("artifacts", "", "directory to dump alert JSON, dash HTML, /metrics and the query log into")
+	flag.Parse()
+
+	c := &checker{artifacts: *artifacts}
+	if err := c.run(*sf, *seed, *nq); err != nil {
+		c.dump()
+		fmt.Fprintln(os.Stderr, "dashcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dashcheck: embedded observability ok")
+}
+
+// obsStep is the injected scrape interval: the default rules derive a
+// 2×step hold-down from it, so the firing deadline under test is two
+// scrapes after pending.
+const obsStep = time.Second
+
+type checker struct {
+	artifacts string
+	alerts    []byte
+	dash      []byte
+	metrics   []byte
+	qlogBytes []byte
+}
+
+// result captures one full run's deterministic surfaces for the
+// cross-run byte comparison.
+type result struct {
+	alerts        []byte // /debug/alerts JSON
+	alertMetrics  []byte // the blu_alerts_* lines of /metrics
+	qlogAlerts    []byte // the event:alert records of the query log
+	scrapesToFire int    // scrapes from fault injection to firing
+}
+
+func (c *checker) run(sf float64, seed uint64, nq int) error {
+	r1, err := c.runOnce(sf, seed, nq, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dashcheck: lifecycle ok (fired %d scrape(s) after fault, hold-down %s)\n",
+		r1.scrapesToFire, 2*obsStep)
+
+	// Determinism: an identical second run must reproduce the alert
+	// surfaces bit for bit — the injected clock, not wall time, stamps
+	// every transition.
+	r2, err := c.runOnce(sf, seed, nq, false)
+	if err != nil {
+		return fmt.Errorf("second run: %w", err)
+	}
+	if !bytes.Equal(r1.alerts, r2.alerts) {
+		return fmt.Errorf("/debug/alerts not byte-identical across identical runs")
+	}
+	if !bytes.Equal(r1.alertMetrics, r2.alertMetrics) {
+		return fmt.Errorf("blu_alerts_* exposition not byte-identical across identical runs:\n%s\nvs\n%s",
+			r1.alertMetrics, r2.alertMetrics)
+	}
+	if !bytes.Equal(r1.qlogAlerts, r2.qlogAlerts) {
+		return fmt.Errorf("qlog alert records not byte-identical across identical runs:\n%s\nvs\n%s",
+			r1.qlogAlerts, r2.qlogAlerts)
+	}
+	fmt.Println("dashcheck: alert surfaces byte-identical across runs")
+	return nil
+}
+
+// runOnce builds the whole stack, walks the breaker-alert lifecycle,
+// and verifies every surface. keep controls whether the captured bytes
+// land on the checker for artifact dumps (first run only).
+func (c *checker) runOnce(sf float64, seed uint64, nq int, keep bool) (*result, error) {
+	h, err := bench.NewHarness(bench.Config{SF: sf, Seed: seed, Devices: 2, Degree: 8})
+	if err != nil {
+		return nil, err
+	}
+	acct := prof.NewAccountant()
+
+	// Injected clock, shared by the store and the query log; it only
+	// moves when tick() says so, making every transition timestamp a
+	// pure function of the scrape sequence.
+	var clockMu sync.Mutex
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+
+	var qmu sync.Mutex
+	var qbuf bytes.Buffer
+	qlogger := qlog.New(writerFunc(func(p []byte) (int, error) {
+		qmu.Lock()
+		defer qmu.Unlock()
+		return qbuf.Write(p)
+	}), qlog.WithClock(clock))
+
+	var obs *obsd.Store
+	server, err := serve.New(h.Eng, serve.Config{
+		Log:  qlogger,
+		Prof: acct,
+		PagesFiring: func() int {
+			if obs == nil {
+				return 0
+			}
+			return obs.PagesFiring()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	engineSources := metrics.SourcesFromEngine(h.Eng)
+	sources := func() metrics.Sources {
+		src := engineSources()
+		src.Admission = server.AdmissionSnapshot
+		src.Runtime = nil // runtime telemetry is wall-clock noise this check does not need
+		src.Prof = acct
+		if obs != nil {
+			src.Obs = obs.ObsSnapshot
+		}
+		return src
+	}
+	obs = obsd.New(obsd.Options{
+		Step:      obsStep,
+		Retention: 2 * time.Minute,
+		Clock:     clock,
+		Sources:   sources,
+		Log:       qlogger,
+		Prof:      acct,
+	})
+	if err := obs.SetRules(obsd.DefaultRules(obsStep)); err != nil {
+		return nil, err
+	}
+	tick := func() {
+		clockMu.Lock()
+		now = now.Add(obsStep)
+		clockMu.Unlock()
+		obs.Scrape()
+	}
+
+	admin := metrics.AdminMux(sources)
+	obs.Mount(admin)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.NewMux(server, admin)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Traffic first, so the wall histograms and prof exec cells have
+	// content before any scrape retains them.
+	suite := workload.BDInsights()
+	for i := 0; i < nq; i++ {
+		q := suite[i%len(suite)]
+		body, _ := json.Marshal(map[string]any{"sql": q.SQL, "name": q.ID, "session": "dashcheck"})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("query %d (%s): HTTP %d", i, q.ID, resp.StatusCode)
+		}
+	}
+
+	// Healthy baseline: two scrapes, no pages firing, /healthz green.
+	tick()
+	tick()
+	if pf := obs.PagesFiring(); pf != 0 {
+		return nil, fmt.Errorf("healthy baseline: %d pages firing", pf)
+	}
+	if code := httpCode(base + "/healthz"); code != http.StatusOK {
+		return nil, fmt.Errorf("healthy /healthz: HTTP %d, want 200", code)
+	}
+
+	// Inject the fault: open every device breaker, then scrape. The
+	// AllBreakersOpen page rule must go pending immediately and fire
+	// within one hold-down window (For/step scrapes after pending).
+	sch := h.Eng.Scheduler()
+	for _, dev := range sch.Devices() {
+		for i := 0; i < sched.DefaultFailThreshold; i++ {
+			sch.ReportFailure(dev)
+		}
+	}
+	deadline := int(2*obsStep/obsStep) + 1 // pending scrape + For worth of holds
+	scrapes := 0
+	for obs.PagesFiring() == 0 {
+		if scrapes >= deadline {
+			return nil, fmt.Errorf("AllBreakersOpen did not fire within %d scrapes (one for: window)", deadline)
+		}
+		tick()
+		scrapes++
+	}
+	if code := httpCode(base + "/healthz"); code != http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("firing page alert: /healthz HTTP %d, want 503", code)
+	}
+
+	// Recover: past probation, one success per device closes the
+	// breakers; the next scrape resolves the alert.
+	sch.Advance(10 * 60)
+	for _, dev := range sch.Devices() {
+		sch.ReportSuccess(dev)
+	}
+	tick()
+	if pf := obs.PagesFiring(); pf != 0 {
+		return nil, fmt.Errorf("after recovery: %d pages still firing", pf)
+	}
+	if code := httpCode(base + "/healthz"); code != http.StatusOK {
+		return nil, fmt.Errorf("after recovery: /healthz HTTP %d, want 200", code)
+	}
+
+	// Surface 1: /debug/alerts carries the full lifecycle.
+	alerts, code, err := httpGet(base + "/debug/alerts")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("/debug/alerts: HTTP %d", code)
+	}
+	var snap metrics.AlertsSnapshot
+	if err := json.Unmarshal(alerts, &snap); err != nil {
+		return nil, fmt.Errorf("/debug/alerts: %w", err)
+	}
+	var lifecycle []string
+	for _, tr := range snap.Transitions {
+		if tr.Alert == "AllBreakersOpen" {
+			lifecycle = append(lifecycle, tr.To)
+		}
+	}
+	if strings.Join(lifecycle, ",") != "pending,firing,resolved" {
+		return nil, fmt.Errorf("/debug/alerts lifecycle = %v, want [pending firing resolved]", lifecycle)
+	}
+
+	// Surface 2: the blu_alerts_* family on /metrics records the same
+	// transitions, and the scrape still validates as exposition text.
+	metricsText, code, err := httpGet(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", code)
+	}
+	if err := metrics.ValidateExposition(metricsText); err != nil {
+		return nil, fmt.Errorf("/metrics: %w", err)
+	}
+	for _, needle := range []string{
+		"blu_obsd_scrapes_total",
+		`blu_alerts_transitions_total{alert="AllBreakersOpen",to="firing"} 1`,
+		`blu_alerts_transitions_total{alert="AllBreakersOpen",to="resolved"} 1`,
+	} {
+		if !bytes.Contains(metricsText, []byte(needle)) {
+			return nil, fmt.Errorf("/metrics: %q missing from scrape", needle)
+		}
+	}
+	var alertLines []string
+	for _, line := range strings.Split(string(metricsText), "\n") {
+		if strings.Contains(line, "blu_alerts") {
+			alertLines = append(alertLines, line)
+		}
+	}
+
+	// Surface 3: the query log carries one alert event per transition,
+	// stamped by the injected clock, and still validates as a whole.
+	qmu.Lock()
+	logBytes := append([]byte(nil), qbuf.Bytes()...)
+	qmu.Unlock()
+	if err := qlog.Validate(logBytes); err != nil {
+		return nil, fmt.Errorf("query log invalid: %w", err)
+	}
+	recs, err := qlog.Decode(logBytes)
+	if err != nil {
+		return nil, err
+	}
+	var qlogLifecycle []string
+	var qlogAlerts bytes.Buffer
+	for _, line := range bytes.Split(logBytes, []byte("\n")) {
+		if bytes.Contains(line, []byte(`"event":"alert"`)) {
+			qlogAlerts.Write(line)
+			qlogAlerts.WriteByte('\n')
+		}
+	}
+	for _, rec := range recs {
+		if rec.Event == qlog.EventAlert && rec.Alert == "AllBreakersOpen" {
+			qlogLifecycle = append(qlogLifecycle, rec.AlertState)
+		}
+	}
+	if strings.Join(qlogLifecycle, ",") != "pending,firing,resolved" {
+		return nil, fmt.Errorf("qlog lifecycle = %v, want [pending firing resolved]", qlogLifecycle)
+	}
+
+	// Surface 4: the dash renders the alert table (with the resolved
+	// state) and its sparkline panels.
+	dash, code, err := httpGet(base + "/debug/dash")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("/debug/dash: HTTP %d", code)
+	}
+	for _, needle := range []string{"AllBreakersOpen", "resolved", "<svg"} {
+		if !bytes.Contains(dash, []byte(needle)) {
+			return nil, fmt.Errorf("/debug/dash: %q missing", needle)
+		}
+	}
+
+	// Overhead: the store's scrape wall, attributed to the (obsd,
+	// scrape) prof cell, must be invisible next to execution — under 1%
+	// of exec wall, with an absolute floor because a smoke-sized
+	// workload executes for well under a second.
+	var obsdWall, execWall float64
+	for _, ps := range acct.Snapshot() {
+		switch {
+		case ps.Class == "obsd" && ps.Phase == "scrape":
+			obsdWall += ps.WallSeconds
+		case ps.Phase == "exec":
+			execWall += ps.WallSeconds
+		}
+	}
+	if obsdWall <= 0 {
+		return nil, fmt.Errorf("no (obsd, scrape) wall attributed — scrape overhead unaccounted")
+	}
+	if budget := max(0.01*execWall, 0.050); obsdWall > budget {
+		return nil, fmt.Errorf("obsd scrape wall %.1fms exceeds budget %.1fms (exec wall %.1fms)",
+			obsdWall*1e3, budget*1e3, execWall*1e3)
+	}
+	if keep {
+		c.alerts, c.dash, c.metrics, c.qlogBytes = alerts, dash, metricsText, logBytes
+		fmt.Printf("dashcheck: surfaces ok (alerts %dB, dash %dB, %d qlog records)\n",
+			len(alerts), len(dash), len(recs))
+		fmt.Printf("dashcheck: scrape overhead %.2fms over %d scrapes (exec wall %.1fms)\n",
+			obsdWall*1e3, 2+scrapes+1, execWall*1e3)
+	}
+	return &result{
+		alerts:        alerts,
+		alertMetrics:  []byte(strings.Join(alertLines, "\n")),
+		qlogAlerts:    qlogAlerts.Bytes(),
+		scrapesToFire: scrapes,
+	}, nil
+}
+
+// dump writes whatever the checker captured into the artifacts
+// directory so a CI failure ships the evidence.
+func (c *checker) dump() {
+	if c.artifacts == "" {
+		return
+	}
+	if err := os.MkdirAll(c.artifacts, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "dashcheck: artifacts:", err)
+		return
+	}
+	for name, data := range map[string][]byte{
+		"alerts.json": c.alerts,
+		"dash.html":   c.dash,
+		"metrics.txt": c.metrics,
+		"qlog.jsonl":  c.qlogBytes,
+	} {
+		if len(data) == 0 {
+			continue
+		}
+		path := filepath.Join(c.artifacts, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dashcheck: artifacts:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "dashcheck: wrote %s (%d bytes)\n", path, len(data))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func httpGet(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func httpCode(url string) int {
+	_, code, err := httpGet(url)
+	if err != nil {
+		return -1
+	}
+	return code
+}

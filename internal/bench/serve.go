@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"blugpu/internal/metrics"
+	"blugpu/internal/obsd"
 	"blugpu/internal/serve"
 	"blugpu/internal/workload"
 )
@@ -36,7 +38,115 @@ type SustainedResult struct {
 	PerClass       map[workload.Class][]float64 // per-class client latencies (ms)
 	Snapshot       *metrics.AdmissionSnapshot   // final server ledger
 	DrainRep       serve.DrainReport
-	perClassO      []workload.Class // class print order
+	// Series are the trend series an embedded obsd scraper recorded over
+	// the run: queue depth, shed rate, and wall-latency quantiles sampled
+	// every trendStep. Benchdiff gates on their slopes (steady state ≈ 0),
+	// not on the machine-dependent sample values.
+	Series    []SeriesSnap
+	perClassO []workload.Class // class print order
+}
+
+// trendStep is the embedded scraper's sample interval during sustained
+// runs: fine enough to see queue ramps inside a multi-second run, coarse
+// enough that scraping stays invisible next to query execution.
+const trendStep = 25 * time.Millisecond
+
+// trendMaxPoints bounds the samples kept per series in a snapshot: the
+// range query widens its step until the run fits, so BENCH_<n>.json
+// stays tidy no matter how long the run was.
+const trendMaxPoints = 64
+
+// trendExprs are the headline series extracted from the run's history.
+// The rate window and the quantile source are instant-vector reads of
+// the admission snapshot's counters/histograms; scale converts seconds
+// to the milliseconds the snapshot columns use. Only the steady-state
+// series gate (slope ceiling): the run-to-date wall quantiles ramp by
+// construction as early samples accumulate, so they stay informational.
+var trendExprs = []struct {
+	name  string
+	expr  string
+	scale float64
+	gated bool
+}{
+	{"queue_depth", "blu_serve_queue_depth", 1, true},
+	{"shed_per_s", `rate(blu_serve_queries_total{outcome="shed"}[100ms])`, 1, true},
+	{"p50_wall_ms", "histogram_quantile(0.5, blu_serve_wall_seconds_bucket)", 1e3, false},
+	{"p99_wall_ms", "histogram_quantile(0.99, blu_serve_wall_seconds_bucket)", 1e3, false},
+}
+
+// trendName renders a series identity for the snapshot: the headline
+// name plus any distinguishing labels (the wall quantiles split by user
+// class). Labels the expression's matcher pins are redundant and
+// dropped.
+func trendName(base string, labels []metrics.Label, pinned map[string]bool) string {
+	var parts []string
+	for _, l := range labels {
+		if pinned[l.Name] {
+			continue
+		}
+		parts = append(parts, l.Name+"="+l.Value)
+	}
+	if len(parts) == 0 {
+		return base
+	}
+	return base + "{" + strings.Join(parts, ",") + "}"
+}
+
+// slopePerSec fits a least-squares line through the points and returns
+// its slope in (scaled) units per second — the within-run drift the
+// trend gate judges.
+func slopePerSec(pts []obsd.RangePoint, scale float64) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	n := float64(len(pts))
+	t0 := pts[0].T
+	var st, sv, stt, stv float64
+	for _, p := range pts {
+		t := p.T - t0
+		v := p.V * scale
+		st += t
+		sv += v
+		stt += t * t
+		stv += t * v
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return 0
+	}
+	return (n*stv - st*sv) / den
+}
+
+// captureTrend extracts the headline series from the run's history.
+// Values are quantized like the modeled columns so snapshots stay tidy;
+// the slope is computed over the same downsampled points it ships with.
+func captureTrend(obs *obsd.Store, start, end time.Time) []SeriesSnap {
+	step := obs.Step()
+	if wall := end.Sub(start); wall > time.Duration(trendMaxPoints-1)*step {
+		step = wall / (trendMaxPoints - 1)
+	}
+	var out []SeriesSnap
+	for _, te := range trendExprs {
+		series, err := obs.QueryRange(te.expr, start, end, step)
+		if err != nil {
+			continue
+		}
+		pinned := map[string]bool{}
+		if e, err := obsd.ParseExpr(te.expr); err == nil {
+			for _, m := range e.Matchers {
+				pinned[m.Name] = true
+			}
+		}
+		for _, rs := range series {
+			snap := SeriesSnap{Name: trendName(te.name, rs.Labels, pinned), Gated: te.gated}
+			for _, p := range rs.Points {
+				snap.Samples = append(snap.Samples, roundMs(p.V*te.scale))
+			}
+			snap.Slope = roundMs(slopePerSec(rs.Points, te.scale))
+			out = append(out, snap)
+		}
+	}
+	return out
 }
 
 // countWriter counts bytes; the sustained bench serializes real JSON
@@ -63,6 +173,21 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 		return nil, err
 	}
 	streams := workload.BDInsightsStreams(mix)
+
+	// The embedded scraper samples the server's admission state into
+	// ring history over the run; captureTrend turns that history into
+	// the snapshot's trend series after drain. One synchronous scrape
+	// before and after the run guarantees at least two points even when
+	// the run is shorter than a tick.
+	obs := obsd.New(obsd.Options{
+		Step:      trendStep,
+		Retention: 5 * time.Minute,
+		Sources: func() metrics.Sources {
+			return metrics.Sources{Admission: s.AdmissionSnapshot}
+		},
+	})
+	obs.Scrape()
+	obs.Start()
 
 	var mu sync.Mutex
 	perClass := map[workload.Class][]float64{}
@@ -125,6 +250,8 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	obs.Stop()
+	obs.Scrape()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -157,6 +284,7 @@ func (h *Harness) RunSustained(mix workload.UserMix, scfg serve.Config) (*Sustai
 	res.QueueWaitP50Ms = quantileMs(waitMs, 0.50)
 	res.ExecWallP50Ms = quantileMs(execMs, 0.50)
 	res.SerializeP50Ms = quantileMs(serMs, 0.50)
+	res.Series = captureTrend(obs, start.Add(-trendStep), time.Now())
 	return res, nil
 }
 
@@ -203,5 +331,16 @@ func (h *Harness) Serve(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "ledger: admitted+shed+timed_out+drained = %d+%d+%d+%d = submitted %d\n",
 		snap.Admitted, snap.Shed, snap.TimedOut, snap.Drained, snap.Submitted)
+	if len(res.Series) > 0 {
+		fmt.Fprintf(w, "series: in-run trend (slope ≈ 0 means steady state; benchdiff -trend-slope gates it)\n")
+		fmt.Fprintf(w, "  %-34s %-6s %-10s %-10s %s\n", "name", "n", "first", "last", "slope(/s)")
+		for _, ss := range res.Series {
+			if len(ss.Samples) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-34s %-6d %-10.3f %-10.3f %+.4f\n",
+				ss.Name, len(ss.Samples), ss.Samples[0], ss.Samples[len(ss.Samples)-1], ss.Slope)
+		}
+	}
 	return nil
 }

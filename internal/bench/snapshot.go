@@ -75,6 +75,29 @@ type ExperimentSnap struct {
 	QueueWaitMsP50 float64 `json:"queue_wait_ms_p50,omitempty"`
 	ExecWallMsP50  float64 `json:"exec_wall_ms_p50,omitempty"`
 	SerializeMsP50 float64 `json:"serialize_ms_p50,omitempty"`
+	// Series are in-run trend series the embedded obsd scraper recorded
+	// during the sustained experiment (queue depth, shed rate, wall-
+	// latency quantiles). Sample values are wall-clock trend data, but a
+	// sustained run is supposed to be steady-state, so each series'
+	// least-squares slope should sit near zero regardless of machine —
+	// benchdiff gates on slope (GateOptions.TrendSlopeMax), not on the
+	// samples.
+	Series []SeriesSnap `json:"series,omitempty"`
+}
+
+// SeriesSnap is one trend series recorded over a sustained run: the
+// sampled values (downsampled to at most trendMaxPoints, quantized like
+// the modeled columns) plus their least-squares slope in units per
+// second. A drifting slope means the run never reached steady state —
+// queue depth climbing, latency inflating — which medians alone hide.
+// Gated marks series whose steady-state value is flat (queue depth,
+// shed rate) and may face the slope ceiling; run-to-date quantile
+// series ramp by construction early in a run and stay informational.
+type SeriesSnap struct {
+	Name    string    `json:"name"`
+	Samples []float64 `json:"samples"`
+	Slope   float64   `json:"slope"`
+	Gated   bool      `json:"gated,omitempty"`
 }
 
 // CounterSnap is the engine-wide counter state after the suite ran.
@@ -260,6 +283,7 @@ func TakeSnapshot(cfg Config) (*Snapshot, error) {
 		QueueWaitMsP50: sus.QueueWaitP50Ms,
 		ExecWallMsP50:  sus.ExecWallP50Ms,
 		SerializeMsP50: sus.SerializeP50Ms,
+		Series:         sus.Series,
 	}
 	snap.Experiments = append(snap.Experiments, sustained)
 
@@ -326,6 +350,16 @@ type GateOptions struct {
 	// noise and histogram bucket resolution, not by code under test.
 	// Defaults to 25ms when WallThreshold is set.
 	WallFloorMs float64
+	// TrendSlopeMax, when positive, gates the recorded trend-series
+	// slopes: a current slope above this ceiling (units per second —
+	// queue entries/s, ms of latency per second, …) fails the diff. A
+	// steady-state sustained run has slopes near zero on any machine, so
+	// the gate catches within-run drift (latency inflating, queue
+	// climbing, shed rate ramping) that medians average away. Only
+	// series the baseline carries AND marks Gated face the ceiling, so
+	// old baselines without series never fail and the run-to-date
+	// quantile series (which ramp by construction) stay informational.
+	TrendSlopeMax float64
 }
 
 func (o GateOptions) withDefaults() GateOptions {
@@ -414,6 +448,30 @@ func CompareGated(base, cur *Snapshot, opt GateOptions) ([]Regression, error) {
 				})
 			}
 		}
+		// Trend-slope gate: the current run's slope is judged against the
+		// absolute ceiling, not against the baseline slope — steady state
+		// means ~0 on every machine, so "did the baseline also drift?" is
+		// not a defense. Frac reports the fractional excess over the
+		// ceiling rather than over the base.
+		if opt.TrendSlopeMax > 0 && len(b.Series) > 0 {
+			curSeries := make(map[string]SeriesSnap, len(c.Series))
+			for _, s := range c.Series {
+				curSeries[s.Name] = s
+			}
+			for _, bs := range b.Series {
+				cs, ok := curSeries[bs.Name]
+				if !ok || !bs.Gated {
+					continue
+				}
+				if cs.Slope > opt.TrendSlopeMax {
+					regs = append(regs, Regression{
+						Experiment: b.Name, Metric: "slope(" + bs.Name + ")",
+						Base: bs.Slope, Current: cs.Slope,
+						Frac: cs.Slope/opt.TrendSlopeMax - 1,
+					})
+				}
+			}
+		}
 	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Experiment != regs[j].Experiment {
@@ -464,6 +522,24 @@ func MergeRepeats(snaps []*Snapshot) (*Snapshot, error) {
 		out.Experiments[ei].WallMs = median(wall)
 		out.Experiments[ei].WallMsP50 = median(p50)
 		out.Experiments[ei].WallMsP95 = median(p95)
+		// Trend slopes median by series name like the wall columns; the
+		// samples stay from the first run (their length varies with wall
+		// duration across repeats, so there is no per-sample pairing).
+		out.Experiments[ei].Series = append([]SeriesSnap(nil), out.Experiments[ei].Series...)
+		for si, bs := range out.Experiments[ei].Series {
+			var slopes []float64
+			for _, s := range snaps {
+				if ei >= len(s.Experiments) {
+					continue
+				}
+				for _, cs := range s.Experiments[ei].Series {
+					if cs.Name == bs.Name {
+						slopes = append(slopes, cs.Slope)
+					}
+				}
+			}
+			out.Experiments[ei].Series[si].Slope = median(slopes)
+		}
 	}
 	return &out, nil
 }
@@ -547,6 +623,16 @@ func WriteDiffOpts(w io.Writer, base, cur *Snapshot, regs []Regression, opt Gate
 			row("queue_wait_ms_p50", b.QueueWaitMsP50, c.QueueWaitMsP50, false)
 			row("exec_wall_ms_p50", b.ExecWallMsP50, c.ExecWallMsP50, false)
 			row("serialize_ms_p50", b.SerializeMsP50, c.SerializeMsP50, false)
+		}
+		if len(b.Series) > 0 {
+			curSeries := make(map[string]SeriesSnap, len(c.Series))
+			for _, s := range c.Series {
+				curSeries[s.Name] = s
+			}
+			for _, bs := range b.Series {
+				cs, ok := curSeries[bs.Name]
+				row("slope("+bs.Name+")", bs.Slope, cs.Slope, ok && bs.Gated && opt.TrendSlopeMax > 0)
+			}
 		}
 	}
 }

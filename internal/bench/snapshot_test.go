@@ -305,6 +305,139 @@ func TestMergeRepeats(t *testing.T) {
 	}
 }
 
+// TestTrendSeriesRecorded: the sustained experiment carries the trend
+// series the embedded obsd scraper recorded during the run — at minimum
+// queue depth with the before/after bracket samples.
+func TestTrendSeriesRecorded(t *testing.T) {
+	s := quickSnapshot(t)
+	sus := s.Experiments[len(s.Experiments)-1]
+	if sus.Name != "serve_sustained" {
+		t.Fatalf("last experiment = %q, want serve_sustained", sus.Name)
+	}
+	if len(sus.Series) == 0 {
+		t.Fatal("serve_sustained carries no trend series")
+	}
+	byName := map[string]SeriesSnap{}
+	for _, ss := range sus.Series {
+		byName[ss.Name] = ss
+		if len(ss.Samples) < 2 {
+			t.Errorf("%s: %d samples, want >= 2 (pre/post scrapes bracket the run)", ss.Name, len(ss.Samples))
+		}
+		if len(ss.Samples) > trendMaxPoints {
+			t.Errorf("%s: %d samples exceed the %d-point cap", ss.Name, len(ss.Samples), trendMaxPoints)
+		}
+		// Run-to-date quantile series ramp by construction; only the
+		// steady-state series may face the slope ceiling.
+		if strings.Contains(ss.Name, "wall_ms") && ss.Gated {
+			t.Errorf("%s: quantile series must not be slope-gated", ss.Name)
+		}
+	}
+	qd, ok := byName["queue_depth"]
+	if !ok {
+		t.Fatalf("queue_depth series missing; recorded: %v", keysOf(byName))
+	}
+	if !qd.Gated {
+		t.Error("queue_depth must be slope-gated")
+	}
+}
+
+func keysOf(m map[string]SeriesSnap) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTrendSlopeGate: the slope ceiling trips only when requested, only
+// on series the baseline carries, and judges the current slope against
+// the absolute ceiling (steady state ≈ 0), not the baseline's slope.
+func TestTrendSlopeGate(t *testing.T) {
+	base := quickSnapshot(t)
+	withSlope := func(slope float64) *Snapshot {
+		s := *base
+		s.Experiments = append([]ExperimentSnap(nil), base.Experiments...)
+		last := len(s.Experiments) - 1
+		s.Experiments[last].Series = []SeriesSnap{
+			{Name: "queue_depth", Samples: []float64{0, 1}, Slope: slope, Gated: true},
+			{Name: "p99_wall_ms", Samples: []float64{0, 1}, Slope: slope * 100},
+		}
+		return &s
+	}
+
+	// Drifting current slope fails once the gate is armed — and only on
+	// the Gated series: the ungated quantile series drifts 100x harder
+	// in the same snapshot without tripping.
+	regs, err := CompareGated(withSlope(0.01), withSlope(5), GateOptions{TrendSlopeMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "slope(queue_depth)" {
+		t.Fatalf("drifting slope must gate exactly the gated series: %v", regs)
+	}
+	if regs[0].Current != 5 || regs[0].Frac <= 0 {
+		t.Fatalf("regression records the offending slope: %+v", regs[0])
+	}
+
+	// Below the ceiling passes, even when worse than the baseline.
+	regs, err = CompareGated(withSlope(0.0), withSlope(0.4), GateOptions{TrendSlopeMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-ceiling slope must pass: %v", regs)
+	}
+
+	// Unarmed gate (TrendSlopeMax zero) never trips.
+	regs, err = CompareGated(withSlope(0.01), withSlope(100), GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unarmed slope gate must not trip: %v", regs)
+	}
+
+	// A baseline without series (pre-series snapshot) never gates.
+	noSeries := *base
+	noSeries.Experiments = append([]ExperimentSnap(nil), base.Experiments...)
+	noSeries.Experiments[len(noSeries.Experiments)-1].Series = nil
+	regs, err = CompareGated(&noSeries, withSlope(100), GateOptions{TrendSlopeMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if strings.HasPrefix(r.Metric, "slope(") {
+			t.Fatalf("series-less baseline must not slope-gate: %v", regs)
+		}
+	}
+
+	// The diff table marks the failed slope row.
+	bad, cur := withSlope(0.01), withSlope(5)
+	regs, err = CompareGated(bad, cur, GateOptions{TrendSlopeMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteDiffOpts(&sb, bad, cur, regs, GateOptions{TrendSlopeMax: 0.5})
+	if !strings.Contains(sb.String(), "slope(queue_depth)") || !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("diff table must render the failed slope row:\n%s", sb.String())
+	}
+
+	// MergeRepeats medians the slopes without touching the input.
+	r1, r2, r3 := withSlope(1), withSlope(9), withSlope(3)
+	merged, err := MergeRepeats([]*Snapshot{r1, r2, r3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(merged.Experiments) - 1
+	if got := merged.Experiments[last].Series[0].Slope; got != 3 {
+		t.Fatalf("median slope of {1,9,3} = %g, want 3", got)
+	}
+	if r1.Experiments[last].Series[0].Slope != 1 {
+		t.Fatal("MergeRepeats mutated its input snapshot")
+	}
+}
+
 func TestCompareMissingExperiment(t *testing.T) {
 	base := quickSnapshot(t)
 	cur := *base

@@ -1,0 +1,122 @@
+package metrics
+
+import "blugpu/internal/sched"
+
+// Alert states and severities, mirrored from internal/obsd's rule
+// engine. The types live here (like AdmissionSnapshot) so the collector
+// and /healthz consume alert state without importing obsd — obsd
+// already imports metrics for Collect and Sources.
+const (
+	AlertInactive = "inactive"
+	AlertPending  = "pending" // condition true, for: hold-down not yet served
+	AlertFiring   = "firing"
+
+	SeverityInfo = "info"
+	SeverityWarn = "warn"
+	SeverityPage = "page" // a firing page alert degrades /healthz and halves admission
+)
+
+// AlertState is one rule's current state.
+type AlertState struct {
+	Name     string  `json:"name"`
+	Severity string  `json:"severity"`
+	State    string  `json:"state"` // inactive | pending | firing
+	Since    string  `json:"since,omitempty"`
+	Value    float64 `json:"value,omitempty"` // expression value at last evaluation
+	Summary  string  `json:"summary,omitempty"`
+}
+
+// AlertTransition is one recorded state transition.
+type AlertTransition struct {
+	At       string  `json:"at"` // RFC3339Nano of the evaluation that transitioned
+	Alert    string  `json:"alert"`
+	Severity string  `json:"severity"`
+	To       string  `json:"to"` // pending | firing | resolved
+	Value    float64 `json:"value,omitempty"`
+}
+
+// AlertsSnapshot is the rule engine's point-in-time state: every rule's
+// status plus the recent transition ring.
+type AlertsSnapshot struct {
+	Rules       int               `json:"rules"`
+	Firing      int               `json:"firing"`
+	Pending     int               `json:"pending"`
+	PagesFiring int               `json:"pages_firing"` // firing rules with severity page
+	States      []AlertState      `json:"alerts,omitempty"`
+	Transitions []AlertTransition `json:"recent_transitions,omitempty"`
+	// TransitionCounts feed blu_alerts_transitions_total: lifetime
+	// transition counts by (alert, to), deterministically ordered.
+	TransitionCounts []AlertTransitionCount `json:"-"`
+}
+
+// AlertTransitionCount is one (alert, to) lifetime transition counter.
+type AlertTransitionCount struct {
+	Alert string
+	To    string
+	Count uint64
+}
+
+// ObsSnapshot is the embedded time-series store's self-accounting plus
+// its alert engine state — the Sources.Obs scrape input.
+type ObsSnapshot struct {
+	Scrapes           uint64  `json:"scrapes"`
+	Samples           uint64  `json:"samples"` // lifetime appended sample points
+	Series            int     `json:"series"`  // live ring series
+	DroppedSeries     uint64  `json:"dropped_series"`
+	ScrapeWallSeconds float64 `json:"scrape_wall_seconds"`
+	StepSeconds       float64 `json:"step_seconds"`
+	RetentionSeconds  float64 `json:"retention_seconds"`
+	LastScrape        string  `json:"last_scrape,omitempty"`
+
+	Alerts AlertsSnapshot `json:"alerts"`
+}
+
+// collectObs emits the blu_obsd_* self-accounting family and the
+// blu_alerts_* alert-state family from one snapshot.
+func collectObs(r *Registry, o *ObsSnapshot) {
+	r.Counter("blu_obsd_scrapes_total", "Self-scrapes the embedded time-series store has taken.").With().AddUint(o.Scrapes)
+	r.Counter("blu_obsd_samples_total", "Sample points appended into ring series.").With().AddUint(o.Samples)
+	r.Gauge("blu_obsd_series", "Live ring series held by the embedded store.").With().Set(float64(o.Series))
+	r.Counter("blu_obsd_dropped_series_total", "Series refused because the store hit its series bound.").With().AddUint(o.DroppedSeries)
+	r.Counter("blu_obsd_scrape_wall_seconds_total", "Wall time spent scraping and evaluating rules (the store's own overhead).").With().Add(o.ScrapeWallSeconds)
+	r.Gauge("blu_obsd_step_seconds", "Configured scrape step.").With().Set(o.StepSeconds)
+	r.Gauge("blu_obsd_retention_seconds", "Configured ring retention window.").With().Set(o.RetentionSeconds)
+
+	a := o.Alerts
+	r.Gauge("blu_alerts_rules", "Alert rules loaded into the embedded rule engine.").With().Set(float64(a.Rules))
+	if a.Rules == 0 {
+		return
+	}
+	firing := r.Gauge("blu_alerts_firing", "Whether the alert is firing (1) or not (0), by alert and severity.")
+	pending := r.Gauge("blu_alerts_pending", "Whether the alert is pending its for: hold-down (1) or not (0), by alert and severity.")
+	for _, st := range a.States {
+		lbls := []Label{L("alert", st.Name), L("severity", st.Severity)}
+		f, p := 0.0, 0.0
+		switch st.State {
+		case AlertFiring:
+			f = 1
+		case AlertPending:
+			p = 1
+		}
+		firing.With(lbls...).Set(f)
+		pending.With(lbls...).Set(p)
+	}
+	if len(a.TransitionCounts) > 0 {
+		tc := r.Counter("blu_alerts_transitions_total", "Alert state transitions by alert and destination state (pending, firing, resolved).")
+		for _, t := range a.TransitionCounts {
+			tc.With(L("alert", t.Alert), L("to", t.To)).AddUint(t.Count)
+		}
+	}
+}
+
+// HealthStatusWith combines breaker-fleet health with alert state: a
+// firing severity-page alert marks the process unhealthy, so /healthz
+// answers 503 and the admission shedder halves effective capacity —
+// exactly the degradation an all-breakers-open fleet already causes.
+// Everything else defers to HealthStatus.
+func HealthStatusWith(s *sched.Scheduler, pagesFiring int) string {
+	if pagesFiring > 0 {
+		return HealthUnhealthy
+	}
+	return HealthStatus(s)
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func obsSnap() *ObsSnapshot {
+	return &ObsSnapshot{
+		Scrapes:           12,
+		Samples:           480,
+		Series:            40,
+		DroppedSeries:     1,
+		ScrapeWallSeconds: 0.0042,
+		StepSeconds:       5,
+		RetentionSeconds:  900,
+		Alerts: AlertsSnapshot{
+			Rules:       3,
+			Firing:      1,
+			Pending:     1,
+			PagesFiring: 1,
+			States: []AlertState{
+				{Name: "AllBreakersOpen", Severity: SeverityPage, State: AlertFiring, Value: 2},
+				{Name: "HighSLOBurn", Severity: SeverityWarn, State: AlertPending, Value: 3.5},
+				{Name: "ShedSpike", Severity: SeverityInfo, State: AlertInactive},
+			},
+			TransitionCounts: []AlertTransitionCount{
+				{Alert: "AllBreakersOpen", To: "firing", Count: 1},
+				{Alert: "AllBreakersOpen", To: "pending", Count: 1},
+			},
+		},
+	}
+}
+
+func TestCollectObs(t *testing.T) {
+	snap := obsSnap()
+	r := Collect(Sources{Obs: func() *ObsSnapshot { return snap }})
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		`blu_obsd_scrapes_total 12`,
+		`blu_obsd_samples_total 480`,
+		`blu_obsd_series 40`,
+		`blu_obsd_dropped_series_total 1`,
+		`blu_obsd_step_seconds 5`,
+		`blu_obsd_retention_seconds 900`,
+		`blu_alerts_rules 3`,
+		`blu_alerts_firing{alert="AllBreakersOpen",severity="page"} 1`,
+		`blu_alerts_firing{alert="HighSLOBurn",severity="warn"} 0`,
+		`blu_alerts_pending{alert="HighSLOBurn",severity="warn"} 1`,
+		`blu_alerts_pending{alert="ShedSpike",severity="info"} 0`,
+		`blu_alerts_transitions_total{alert="AllBreakersOpen",to="firing"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestCollectObsNoRules(t *testing.T) {
+	snap := &ObsSnapshot{Scrapes: 1, StepSeconds: 5, RetentionSeconds: 900}
+	r := Collect(Sources{Obs: func() *ObsSnapshot { return snap }})
+	var b strings.Builder
+	r.WriteText(&b)
+	if strings.Contains(b.String(), "blu_alerts_firing") {
+		t.Fatalf("no-rules snapshot must not emit per-alert series")
+	}
+	if !strings.Contains(b.String(), "blu_alerts_rules 0") {
+		t.Fatalf("rules gauge should still report 0")
+	}
+}
+
+func TestHealthStatusWith(t *testing.T) {
+	// nil scheduler, no pages firing: ok (CPU path serves).
+	if got := HealthStatusWith(nil, 0); got != HealthOK {
+		t.Fatalf("got %q, want ok", got)
+	}
+	// any firing page alert forces unhealthy regardless of fleet state.
+	if got := HealthStatusWith(nil, 1); got != HealthUnhealthy {
+		t.Fatalf("got %q, want unhealthy", got)
+	}
+}

@@ -37,6 +37,10 @@ type Sources struct {
 	// Captor, when set, exposes the periodic profile captor's
 	// bookkeeping (windows, skips, ring depth, aggregate samples).
 	Captor *prof.Captor
+	// Obs, when set, snapshots the embedded time-series store and its
+	// alert engine (blu_obsd_* self-accounting, blu_alerts_* states).
+	// A firing severity-page alert also flips /healthz to unhealthy.
+	Obs func() *ObsSnapshot
 }
 
 // EngineLike is the slice of the engine API the metrics layer needs;
@@ -101,6 +105,11 @@ func Collect(src Sources) *Registry {
 	}
 	if src.Prof != nil || src.Captor != nil {
 		collectProf(r, src.Prof, src.Captor)
+	}
+	if src.Obs != nil {
+		if o := src.Obs(); o != nil {
+			collectObs(r, o)
+		}
 	}
 	enabled := 0.0
 	if src.GPUEnabled {

@@ -145,19 +145,44 @@ type deviceHealth struct {
 	ReopenAtSeconds     string `json:"reopen_at,omitempty"`
 }
 
+// healthAlerts summarizes the alert engine's contribution to /healthz.
+type healthAlerts struct {
+	Firing      int          `json:"firing"`
+	Pending     int          `json:"pending"`
+	PagesFiring int          `json:"pages_firing"`
+	FiringNames []AlertState `json:"firing_alerts,omitempty"`
+}
+
 // healthBody is the /healthz response.
 type healthBody struct {
 	Status     string         `json:"status"` // ok | degraded | unhealthy
 	GPUEnabled bool           `json:"gpu_enabled"`
 	Devices    []deviceHealth `json:"devices,omitempty"`
+	Alerts     *healthAlerts  `json:"alerts,omitempty"`
 }
 
 // writeHealth renders scheduler health. Status is "ok" with every
 // breaker closed (or no GPU fleet at all — the CPU path serves),
 // "degraded" with some devices quarantined, and "unhealthy" (HTTP 503)
-// only when every device is quarantined.
+// when every device is quarantined — or when the attached alert engine
+// has a severity-page alert firing, so probes and admission degrade on
+// the same signal an operator would page on.
 func writeHealth(w http.ResponseWriter, src Sources) {
-	body := healthBody{Status: HealthStatus(src.Sched), GPUEnabled: src.GPUEnabled}
+	pagesFiring := 0
+	var alerts *healthAlerts
+	if src.Obs != nil {
+		if o := src.Obs(); o != nil && o.Alerts.Rules > 0 {
+			a := o.Alerts
+			pagesFiring = a.PagesFiring
+			alerts = &healthAlerts{Firing: a.Firing, Pending: a.Pending, PagesFiring: a.PagesFiring}
+			for _, st := range a.States {
+				if st.State == AlertFiring {
+					alerts.FiringNames = append(alerts.FiringNames, st)
+				}
+			}
+		}
+	}
+	body := healthBody{Status: HealthStatusWith(src.Sched, pagesFiring), GPUEnabled: src.GPUEnabled, Alerts: alerts}
 	if src.Sched != nil {
 		for _, h := range src.Sched.Health() {
 			dh := deviceHealth{

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func sampleKey(s Sample) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteString("{")
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func TestSamplesFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "sorted after").With().Add(3)
+	r.Gauge("aa_first", "sorted before").With(L("b", "2"), L("a", "1")).Set(7)
+	h := r.Histogram("mid_hist", "a histogram").With(L("class", "simple"))
+	h.SetCumulative([]Bucket{{UpperBound: 0.1, CumCount: 2}, {UpperBound: 1, CumCount: 5}}, 2.5, 6)
+
+	got := r.Samples()
+	want := []struct {
+		key string
+		val float64
+	}{
+		{`aa_first{a="1",b="2"}`, 7},
+		{`mid_hist_bucket{class="simple",le="0.1"}`, 2},
+		{`mid_hist_bucket{class="simple",le="1"}`, 5},
+		{`mid_hist_bucket{class="simple",le="+Inf"}`, 6},
+		{`mid_hist_sum{class="simple"}`, 2.5},
+		{`mid_hist_count{class="simple"}`, 6},
+		{`zz_last{}`, 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if k := sampleKey(got[i]); k != w.key || got[i].Value != w.val {
+			t.Errorf("sample %d: got %s=%v, want %s=%v", i, k, got[i].Value, w.key, w.val)
+		}
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		for i := 0; i < 5; i++ {
+			r.Counter("c", "h").With(L("i", fmt.Sprint(i))).Add(float64(i))
+		}
+		return r
+	}
+	a, b := build().Samples(), build().Samples()
+	if len(a) != len(b) {
+		t.Fatalf("len mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if sampleKey(a[i]) != sampleKey(b[i]) || a[i].Value != b[i].Value {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Bucket samples must not alias the series' own label slice: mutating a
+// returned bucket label set must not leak into the sum/count samples.
+func TestSamplesNoLabelAliasing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help").With(L("k", "v"))
+	h.SetCumulative([]Bucket{{UpperBound: 1, CumCount: 1}}, 1, 1)
+	got := r.Samples()
+	// got[0] is h_bucket{k,le}; mutate its first label.
+	got[0].Labels[0] = L("k", "MUTATED")
+	again := r.Samples()
+	if again[2].Labels[0].Value != "v" || again[3].Labels[0].Value != "v" {
+		t.Fatalf("label mutation leaked into registry: %v", again)
+	}
+}

@@ -1,0 +1,265 @@
+package obsd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"blugpu/internal/metrics"
+)
+
+// goldenEnv drives a deterministic scenario: queue depth ramps, the
+// admitted counter climbs, the wall histogram fills, a threshold rule
+// goes pending → firing → resolved — all on the pinned clock.
+func goldenEnv(t *testing.T) *testEnv {
+	t.Helper()
+	e := newTestEnv(t, Options{Step: 5 * time.Second, Retention: 2 * time.Minute})
+	err := e.store.SetRules([]Rule{{
+		Name:     "DeepQueue",
+		Expr:     "blu_serve_queue_depth > 5",
+		For:      10 * time.Second,
+		Severity: metrics.SeverityPage,
+		Summary:  "admission queue too deep",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := []int{0, 2, 8, 9, 10, 10, 3, 1}
+	var admitted uint64
+	var cum uint64
+	for _, d := range depths {
+		admitted += 12
+		cum += 10
+		e.setAdmission(simpleAdmission(d, admitted, admitted/6, []uint64{cum / 2, cum - 2, cum - 1, cum}))
+		e.advance()
+	}
+	return e
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		os.MkdirAll("testdata", 0o755)
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func get(t *testing.T, mux *http.ServeMux, url string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+func TestQueryRangeGolden(t *testing.T) {
+	e := goldenEnv(t)
+	mux := http.NewServeMux()
+	e.store.Mount(mux)
+
+	start := baseTime.Unix()
+	end := e.clock().Unix()
+	for name, query := range map[string]string{
+		"query_range_depth.json":    "blu_serve_queue_depth",
+		"query_range_rate.json":     "rate(blu_serve_queries_total%7Boutcome%3D%22admitted%22%7D[20s])",
+		"query_range_quantile.json": "histogram_quantile(0.99,%20blu_serve_wall_seconds_bucket)",
+	} {
+		url := fmt.Sprintf("/api/v1/query_range?query=%s&start=%d&end=%d&step=5", query, start, end)
+		rr, body := get(t, mux, url)
+		if rr.Code != 200 {
+			t.Fatalf("%s: HTTP %d: %s", name, rr.Code, body)
+		}
+		checkGolden(t, name, body)
+	}
+
+	// Byte-identical across a rebuilt identical scenario.
+	e2 := goldenEnv(t)
+	mux2 := http.NewServeMux()
+	e2.store.Mount(mux2)
+	url := fmt.Sprintf("/api/v1/query_range?query=blu_serve_queue_depth&start=%d&end=%d&step=5", start, end)
+	_, b1 := get(t, mux, url)
+	_, b2 := get(t, mux2, url)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("query_range not byte-identical across identical runs")
+	}
+}
+
+func TestQueryRangeErrors(t *testing.T) {
+	e := goldenEnv(t)
+	mux := http.NewServeMux()
+	e.store.Mount(mux)
+	for _, url := range []string{
+		"/api/v1/query_range",                                    // missing query
+		"/api/v1/query_range?query=blu_x",                        // missing times
+		"/api/v1/query_range?query=blu_x&start=10&end=5&step=1",  // end < start
+		"/api/v1/query_range?query=blu_x&start=1&end=2&step=bad", // bad step
+		"/api/v1/query_range?query=bad%20name&start=1&end=2&step=1",
+		"/api/v1/query?query=bad%20name",
+	} {
+		rr, body := get(t, mux, url)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", url, rr.Code)
+		}
+		var env struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Status != "error" {
+			t.Errorf("%s: bad error envelope %s", url, body)
+		}
+	}
+}
+
+func TestQueryInstantHTTP(t *testing.T) {
+	e := goldenEnv(t)
+	mux := http.NewServeMux()
+	e.store.Mount(mux)
+	rr, body := get(t, mux, fmt.Sprintf("/api/v1/query?query=blu_serve_queue_depth&time=%d", e.clock().Unix()))
+	if rr.Code != 200 {
+		t.Fatalf("HTTP %d: %s", rr.Code, body)
+	}
+	var env struct {
+		Status string `json:"status"`
+		Data   struct {
+			ResultType string `json:"resultType"`
+			Result     []struct {
+				Metric map[string]string `json:"metric"`
+				Value  []any             `json:"value"`
+			} `json:"result"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != "success" || env.Data.ResultType != "vector" || len(env.Data.Result) != 1 {
+		t.Fatalf("instant query: %s", body)
+	}
+	if env.Data.Result[0].Metric["__name__"] != "blu_serve_queue_depth" {
+		t.Fatalf("metric name: %v", env.Data.Result[0].Metric)
+	}
+	if env.Data.Result[0].Value[1] != "1" {
+		t.Fatalf("last depth: %v", env.Data.Result[0].Value)
+	}
+}
+
+func TestAlertsGolden(t *testing.T) {
+	e := goldenEnv(t)
+	mux := http.NewServeMux()
+	e.store.Mount(mux)
+	rr, body := get(t, mux, "/debug/alerts")
+	if rr.Code != 200 {
+		t.Fatalf("HTTP %d", rr.Code)
+	}
+	checkGolden(t, "alerts.json", body)
+
+	// The scenario walked pending → firing → resolved.
+	var snap metrics.AlertsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var tos []string
+	for _, tr := range snap.Transitions {
+		tos = append(tos, tr.To)
+	}
+	want := []string{"pending", "firing", "resolved"}
+	if len(tos) != len(want) {
+		t.Fatalf("transitions %v, want %v", tos, want)
+	}
+	for i := range want {
+		if tos[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", tos, want)
+		}
+	}
+}
+
+func TestDashGolden(t *testing.T) {
+	e := goldenEnv(t)
+	mux := http.NewServeMux()
+	e.store.Mount(mux)
+	rr, body := get(t, mux, "/debug/dash")
+	if rr.Code != 200 {
+		t.Fatalf("HTTP %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	checkGolden(t, "dash.html", body)
+
+	// Byte-identical across identical runs.
+	e2 := goldenEnv(t)
+	mux2 := http.NewServeMux()
+	e2.store.Mount(mux2)
+	_, b2 := get(t, mux2, "/debug/dash")
+	if !bytes.Equal(body, b2) {
+		t.Fatal("dash not byte-identical across identical runs")
+	}
+}
+
+// /healthz flips 200 → 503 while a page alert fires and recovers after
+// it resolves (satellite: alert state unified with health).
+func TestHealthzAlertTransition(t *testing.T) {
+	e := newTestEnv(t, Options{Step: 5 * time.Second, Retention: time.Minute})
+	err := e.store.SetRules([]Rule{{
+		Name: "DeepQueue", Expr: "blu_serve_queue_depth > 5",
+		For: 5 * time.Second, Severity: metrics.SeverityPage,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := metrics.AdminMux(func() metrics.Sources {
+		return metrics.Sources{Obs: e.store.ObsSnapshot}
+	})
+	status := func() int {
+		rr, _ := get(t, admin, "/healthz")
+		return rr.Code
+	}
+
+	e.setAdmission(simpleAdmission(0, 1, 0, nil))
+	e.advance()
+	if got := status(); got != 200 {
+		t.Fatalf("healthy: HTTP %d, want 200", got)
+	}
+	e.setAdmission(simpleAdmission(10, 1, 0, nil))
+	e.advance() // pending
+	if got := status(); got != 200 {
+		t.Fatalf("pending must not degrade health: HTTP %d", got)
+	}
+	e.advance() // firing after 5s hold
+	rr, body := get(t, admin, "/healthz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("firing page alert: HTTP %d, want 503", rr.Code)
+	}
+	var hb struct {
+		Status string `json:"status"`
+		Alerts *struct {
+			PagesFiring int `json:"pages_firing"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Status != metrics.HealthUnhealthy || hb.Alerts == nil || hb.Alerts.PagesFiring != 1 {
+		t.Fatalf("healthz body: %s", body)
+	}
+	e.setAdmission(simpleAdmission(0, 1, 0, nil))
+	e.advance() // resolved
+	if got := status(); got != 200 {
+		t.Fatalf("resolved: HTTP %d, want 200", got)
+	}
+}

@@ -1,0 +1,116 @@
+package obsd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in       string
+		name     string
+		fn       string
+		win      time.Duration
+		quantile float64
+		hasQ     bool
+		cmp      string
+		val      float64
+		matchers int
+		err      bool
+	}{
+		{in: "blu_serve_queue_depth", name: "blu_serve_queue_depth"},
+		{in: `blu_serve_queries_total{outcome="shed"}`, name: "blu_serve_queries_total", matchers: 1},
+		{in: `blu_x{a="1",b="2"}`, name: "blu_x", matchers: 2},
+		{in: "rate(blu_serve_queries_total[20s])", name: "blu_serve_queries_total", fn: "rate", win: 20 * time.Second},
+		{in: `rate(blu_serve_queries_total{outcome="shed"}[1m]) > 5`, name: "blu_serve_queries_total", fn: "rate", win: time.Minute, matchers: 1, cmp: ">", val: 5},
+		{in: "delta(blu_serve_queue_depth[30s])", name: "blu_serve_queue_depth", fn: "delta", win: 30 * time.Second},
+		{in: "histogram_quantile(0.99, rate(blu_serve_wall_seconds_bucket[20s]))", name: "blu_serve_wall_seconds_bucket", fn: "rate", win: 20 * time.Second, hasQ: true, quantile: 0.99},
+		{in: "histogram_quantile(0.5, blu_serve_wall_seconds_bucket)", name: "blu_serve_wall_seconds_bucket", hasQ: true, quantile: 0.5},
+		{in: "blu_slo_burn_rate > 2", name: "blu_slo_burn_rate", cmp: ">", val: 2},
+		{in: "blu_slo_burn_rate >= 2.5", name: "blu_slo_burn_rate", cmp: ">=", val: 2.5},
+		{in: "blu_x != 0", name: "blu_x", cmp: "!=", val: 0},
+		{in: "", err: true},
+		{in: "bad name", err: true},
+		{in: "rate(blu_x)", err: true},                  // missing range
+		{in: "rate(blu_x[0s])", err: true},              // non-positive range
+		{in: "histogram_quantile(2, blu_x)", err: true}, // φ out of range
+		{in: `blu_x{a=1}`, err: true},                   // unquoted matcher
+		{in: "blu_x{", err: true},                       // unclosed braces
+		{in: "histogram_quantile(0.5, delta(blu_x[5s]))", err: true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q: expected error, got %+v", c.in, e)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if e.Name != c.name || e.Fn != c.fn || e.Window != c.win ||
+			e.HasQuant != c.hasQ || e.Quantile != c.quantile ||
+			e.CmpOp != c.cmp || e.CmpVal != c.val || len(e.Matchers) != c.matchers {
+			t.Errorf("%q: parsed %+v", c.in, e)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	data := []byte(`# fleet-wide breaker page
+alert: AllBreakersOpen
+expr: blu_device_quarantined
+kind: breaker
+mode: all
+for: 10s
+severity: page
+summary: every breaker open
+
+alert: HighBurn
+expr: blu_slo_burn_rate > 2
+for: 30s
+`)
+	rules, err := ParseRules(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "AllBreakersOpen" || r.Kind != "breaker" || r.Mode != "all" ||
+		r.For != 10*time.Second || r.Severity != "page" || r.Summary != "every breaker open" {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	if rules[1].Name != "HighBurn" || rules[1].For != 30*time.Second {
+		t.Fatalf("rule 1: %+v", rules[1])
+	}
+
+	for _, bad := range []string{
+		"",
+		"not a rule line",
+		"alert: X\nexpr: blu_y\nfor: nope",
+		"alert: X\nexpr: blu_y\nbogus: z",
+	} {
+		if _, err := ParseRules([]byte(bad)); err == nil {
+			t.Errorf("ParseRules(%q) should fail", bad)
+		}
+	}
+
+	// Semantic errors surface at SetRules.
+	s := New(Options{Step: time.Second})
+	if err := s.SetRules([]Rule{{Name: "X", Expr: "???"}}); err == nil {
+		t.Error("bad expr must fail SetRules")
+	}
+	if err := s.SetRules([]Rule{{Name: "X", Expr: "blu_y", Kind: "bogus"}}); err == nil {
+		t.Error("bad kind must fail SetRules")
+	}
+	if err := s.SetRules([]Rule{{Name: "X", Expr: "blu_y", Severity: "fatal"}}); err == nil {
+		t.Error("bad severity must fail SetRules")
+	}
+	if err := s.SetRules([]Rule{{Expr: "blu_y"}}); err == nil {
+		t.Error("missing name must fail SetRules")
+	}
+}

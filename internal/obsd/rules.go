@@ -1,0 +1,383 @@
+package obsd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blugpu/internal/metrics"
+	"blugpu/internal/qlog"
+)
+
+// Rule kinds.
+const (
+	KindThreshold = "threshold" // fires when the (filtered) vector is non-empty
+	KindAbsent    = "absent"    // fires when the selector matches nothing
+	KindBreaker   = "breaker"   // fires when any/all matching series are nonzero
+)
+
+// Rule is one declarative alert rule.
+type Rule struct {
+	Name     string        // alert name (required)
+	Expr     string        // query expression (required)
+	Kind     string        // threshold (default) | absent | breaker
+	Mode     string        // breaker only: any (default) | all
+	For      time.Duration // hold-down before pending becomes firing
+	Severity string        // info | warn | page (default warn)
+	Summary  string        // freeform operator text
+
+	parsed *Expr
+}
+
+// transitionRingCap bounds the recent-transitions ring in snapshots.
+const transitionRingCap = 64
+
+// ruleState is one rule's live state.
+type ruleState struct {
+	state string // metrics.AlertInactive | AlertPending | AlertFiring
+	since time.Time
+	value float64
+}
+
+// engine evaluates rules over the store on every scrape.
+type engine struct {
+	log *qlog.Logger
+
+	mu          sync.Mutex
+	rules       []Rule
+	states      []ruleState
+	transitions []metrics.AlertTransition // ring, newest last
+	counts      map[[2]string]uint64      // (alert, to) lifetime transitions
+}
+
+func newEngine(log *qlog.Logger) *engine {
+	return &engine{log: log, counts: make(map[[2]string]uint64)}
+}
+
+// setRules parses and installs a replacement rule set, resetting state.
+func (en *engine) setRules(rules []Rule) error {
+	parsed := make([]Rule, len(rules))
+	for i, r := range rules {
+		if r.Name == "" {
+			return fmt.Errorf("obsd: rule %d: missing alert name", i+1)
+		}
+		if r.Expr == "" {
+			return fmt.Errorf("obsd: rule %q: missing expr", r.Name)
+		}
+		if r.Kind == "" {
+			r.Kind = KindThreshold
+		}
+		switch r.Kind {
+		case KindThreshold, KindAbsent, KindBreaker:
+		default:
+			return fmt.Errorf("obsd: rule %q: unknown kind %q", r.Name, r.Kind)
+		}
+		if r.Mode == "" {
+			r.Mode = "any"
+		}
+		if r.Mode != "any" && r.Mode != "all" {
+			return fmt.Errorf("obsd: rule %q: unknown mode %q", r.Name, r.Mode)
+		}
+		if r.Severity == "" {
+			r.Severity = metrics.SeverityWarn
+		}
+		switch r.Severity {
+		case metrics.SeverityInfo, metrics.SeverityWarn, metrics.SeverityPage:
+		default:
+			return fmt.Errorf("obsd: rule %q: unknown severity %q", r.Name, r.Severity)
+		}
+		e, err := ParseExpr(r.Expr)
+		if err != nil {
+			return fmt.Errorf("obsd: rule %q: %w", r.Name, err)
+		}
+		r.parsed = e
+		parsed[i] = r
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.rules = parsed
+	en.states = make([]ruleState, len(parsed))
+	for i := range en.states {
+		en.states[i].state = metrics.AlertInactive
+	}
+	return nil
+}
+
+// evaluate runs every rule at now, in load order, applying the state
+// machine: inactive → pending on a true condition (or straight to
+// firing with no for:), pending → firing once the hold-down elapses,
+// pending → inactive silently on a false condition (flap suppression),
+// firing → inactive with a "resolved" transition. Transitions are
+// recorded in the ring, counted, and logged as qlog alert events.
+func (en *engine) evaluate(s *Store, now time.Time) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	for i := range en.rules {
+		r := &en.rules[i]
+		cond, value := evalCondition(s, r, now)
+		st := &en.states[i]
+		st.value = value
+		switch st.state {
+		case metrics.AlertInactive:
+			if cond {
+				st.since = now
+				if r.For <= 0 {
+					st.state = metrics.AlertFiring
+					en.recordLocked(r, "firing", value, now)
+				} else {
+					st.state = metrics.AlertPending
+					en.recordLocked(r, "pending", value, now)
+				}
+			}
+		case metrics.AlertPending:
+			switch {
+			case !cond:
+				// Flap suppression: a pending rule that stops being
+				// true goes quietly back to inactive.
+				st.state = metrics.AlertInactive
+				st.since = time.Time{}
+			case now.Sub(st.since) >= r.For:
+				st.state = metrics.AlertFiring
+				en.recordLocked(r, "firing", value, now)
+			}
+		case metrics.AlertFiring:
+			if !cond {
+				st.state = metrics.AlertInactive
+				st.since = time.Time{}
+				en.recordLocked(r, "resolved", value, now)
+			}
+		}
+	}
+}
+
+// evalCondition evaluates one rule's condition and representative value.
+func evalCondition(s *Store, r *Rule, now time.Time) (bool, float64) {
+	pts := s.evalInstant(r.parsed, now.UnixMilli())
+	switch r.Kind {
+	case KindAbsent:
+		return len(pts) == 0, 0
+	case KindBreaker:
+		nonzero := 0
+		for _, p := range pts {
+			if p.v != 0 {
+				nonzero++
+			}
+		}
+		if r.Mode == "all" {
+			return len(pts) > 0 && nonzero == len(pts), float64(nonzero)
+		}
+		return nonzero > 0, float64(nonzero)
+	default: // threshold
+		max := 0.0
+		for i, p := range pts {
+			if i == 0 || p.v > max {
+				max = p.v
+			}
+		}
+		return len(pts) > 0, max
+	}
+}
+
+// recordLocked appends a transition to the ring, bumps the lifetime
+// count, and emits the qlog alert event.
+func (en *engine) recordLocked(r *Rule, to string, value float64, now time.Time) {
+	tr := metrics.AlertTransition{
+		At:       now.UTC().Format(time.RFC3339Nano),
+		Alert:    r.Name,
+		Severity: r.Severity,
+		To:       to,
+		Value:    value,
+	}
+	en.transitions = append(en.transitions, tr)
+	if len(en.transitions) > transitionRingCap {
+		en.transitions = en.transitions[len(en.transitions)-transitionRingCap:]
+	}
+	en.counts[[2]string{r.Name, to}]++
+	en.log.Log(qlog.Record{
+		Event:         qlog.EventAlert,
+		Alert:         r.Name,
+		AlertState:    to,
+		AlertSeverity: r.Severity,
+		AlertValue:    value,
+	})
+}
+
+// pagesFiring counts firing severity-page rules.
+func (en *engine) pagesFiring() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	n := 0
+	for i := range en.rules {
+		if en.rules[i].Severity == metrics.SeverityPage && en.states[i].state == metrics.AlertFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot renders the engine state deterministically: states in rule
+// load order, transition counts sorted by (alert, to).
+func (en *engine) snapshot() metrics.AlertsSnapshot {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	out := metrics.AlertsSnapshot{Rules: len(en.rules)}
+	for i := range en.rules {
+		r := &en.rules[i]
+		st := &en.states[i]
+		as := metrics.AlertState{
+			Name:     r.Name,
+			Severity: r.Severity,
+			State:    st.state,
+			Value:    st.value,
+			Summary:  r.Summary,
+		}
+		if !st.since.IsZero() {
+			as.Since = st.since.UTC().Format(time.RFC3339Nano)
+		}
+		switch st.state {
+		case metrics.AlertFiring:
+			out.Firing++
+			if r.Severity == metrics.SeverityPage {
+				out.PagesFiring++
+			}
+		case metrics.AlertPending:
+			out.Pending++
+		}
+		out.States = append(out.States, as)
+	}
+	out.Transitions = append(out.Transitions, en.transitions...)
+	for k, v := range en.counts {
+		out.TransitionCounts = append(out.TransitionCounts, metrics.AlertTransitionCount{Alert: k[0], To: k[1], Count: v})
+	}
+	sort.Slice(out.TransitionCounts, func(i, j int) bool {
+		a, b := out.TransitionCounts[i], out.TransitionCounts[j]
+		if a.Alert != b.Alert {
+			return a.Alert < b.Alert
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// ParseRules parses a rules file: blank-line-separated blocks of
+// "key: value" lines, # comments. Keys: alert, expr, kind, mode, for,
+// severity, summary.
+//
+//	# page when the whole GPU fleet is quarantined
+//	alert: AllBreakersOpen
+//	expr: blu_device_quarantined
+//	kind: breaker
+//	mode: all
+//	for: 10s
+//	severity: page
+//	summary: every device breaker is open; serving on CPU fallback only
+func ParseRules(data []byte) ([]Rule, error) {
+	var rules []Rule
+	var cur *Rule
+	flush := func() {
+		if cur != nil {
+			rules = append(rules, *cur)
+			cur = nil
+		}
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("obsd: rules line %d: want \"key: value\", got %q", ln+1, line)
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		if cur == nil {
+			cur = &Rule{}
+		}
+		switch key {
+		case "alert":
+			cur.Name = val
+		case "expr":
+			cur.Expr = val
+		case "kind":
+			cur.Kind = val
+		case "mode":
+			cur.Mode = val
+		case "for":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("obsd: rules line %d: bad for: %w", ln+1, err)
+			}
+			cur.For = d
+		case "severity":
+			cur.Severity = val
+		case "summary":
+			cur.Summary = val
+		default:
+			return nil, fmt.Errorf("obsd: rules line %d: unknown key %q", ln+1, key)
+		}
+	}
+	flush()
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("obsd: empty rules file")
+	}
+	return rules, nil
+}
+
+// DefaultRules derives a rule set from the repo's existing SLO
+// objectives and breaker semantics, scaled to the scrape step: breaker
+// alerts hold for 2 steps, rate windows span 4.
+func DefaultRules(step time.Duration) []Rule {
+	hold := 2 * step
+	window := 4 * step
+	return []Rule{
+		{
+			Name:     "AllBreakersOpen",
+			Expr:     "blu_device_quarantined",
+			Kind:     KindBreaker,
+			Mode:     "all",
+			For:      hold,
+			Severity: metrics.SeverityPage,
+			Summary:  "every device circuit breaker is open; all queries run on CPU fallback",
+		},
+		{
+			Name:     "BreakerOpen",
+			Expr:     "blu_device_quarantined",
+			Kind:     KindBreaker,
+			Mode:     "any",
+			For:      hold,
+			Severity: metrics.SeverityWarn,
+			Summary:  "at least one device circuit breaker is open",
+		},
+		{
+			Name:     "HighSLOBurn",
+			Expr:     "blu_slo_burn_rate > 2",
+			Kind:     KindThreshold,
+			For:      hold,
+			Severity: metrics.SeverityWarn,
+			Summary:  "a query class is burning SLO error budget at more than twice the sustainable rate",
+		},
+		{
+			Name:     "ShedSpike",
+			Expr:     fmt.Sprintf(`rate(blu_serve_queries_total{outcome="shed"}[%s]) > 5`, window),
+			Kind:     KindThreshold,
+			For:      hold,
+			Severity: metrics.SeverityWarn,
+			Summary:  "admission control is shedding more than 5 queries/second",
+		},
+		{
+			Name:     "AdmissionMetricsAbsent",
+			Expr:     "blu_serve_queue_depth",
+			Kind:     KindAbsent,
+			For:      hold,
+			Severity: metrics.SeverityInfo,
+			Summary:  "the serving layer is not reporting admission metrics",
+		},
+	}
+}

@@ -27,10 +27,11 @@ import (
 // Schema versions the record layout. Consumers reject unknown schemas.
 const Schema = 1
 
-// Event names the two record kinds.
+// Event names the record kinds.
 const (
 	EventQuery = "query"      // one per resolved submission
 	EventSlow  = "slow_query" // additionally emitted over the slow threshold
+	EventAlert = "alert"      // one per alert-rule state transition
 )
 
 // Outcomes mirror the serving layer's double-entry ledger, plus "error"
@@ -48,7 +49,10 @@ var validOutcomes = map[string]bool{
 	OutcomeTimedOut: true, OutcomeDrained: true,
 }
 
-var validEvents = map[string]bool{EventQuery: true, EventSlow: true}
+var validEvents = map[string]bool{EventQuery: true, EventSlow: true, EventAlert: true}
+
+// Alert transition destinations carried by EventAlert records.
+var validAlertStates = map[string]bool{"pending": true, "firing": true, "resolved": true}
 
 // Phases is the wall-clock phase breakdown of one query, in
 // milliseconds. QueueWait covers enqueue→admit; Admission the
@@ -104,6 +108,14 @@ type Record struct {
 
 	Phases  Phases  `json:"phases"`
 	TotalMs float64 `json:"total_ms"` // submit→resolve wall time
+
+	// Alert fields, set only on EventAlert records (obsd rule-engine
+	// state transitions). Appended at the end per the field-order
+	// contract above.
+	Alert         string  `json:"alert,omitempty"`
+	AlertState    string  `json:"alert_state,omitempty"` // pending | firing | resolved
+	AlertSeverity string  `json:"alert_severity,omitempty"`
+	AlertValue    float64 `json:"alert_value,omitempty"`
 }
 
 // Ms converts a duration to milliseconds rounded to 1 µs resolution,
@@ -203,12 +215,25 @@ func Validate(data []byte) error {
 			return fmt.Errorf("qlog: line %d: schema %d, want %d", line, rec.Schema, Schema)
 		case !validEvents[rec.Event]:
 			return fmt.Errorf("qlog: line %d: unknown event %q", line, rec.Event)
-		case rec.RequestID == "":
-			return fmt.Errorf("qlog: line %d: missing request_id", line)
-		case !validOutcomes[rec.Outcome]:
-			return fmt.Errorf("qlog: line %d: unknown outcome %q", line, rec.Outcome)
 		case rec.TotalMs < 0:
 			return fmt.Errorf("qlog: line %d: negative total_ms", line)
+		}
+		if rec.Event == EventAlert {
+			// Alert transitions carry no request or outcome; they must
+			// name the rule and a known destination state instead.
+			switch {
+			case rec.Alert == "":
+				return fmt.Errorf("qlog: line %d: alert event missing alert name", line)
+			case !validAlertStates[rec.AlertState]:
+				return fmt.Errorf("qlog: line %d: unknown alert_state %q", line, rec.AlertState)
+			}
+		} else {
+			switch {
+			case rec.RequestID == "":
+				return fmt.Errorf("qlog: line %d: missing request_id", line)
+			case !validOutcomes[rec.Outcome]:
+				return fmt.Errorf("qlog: line %d: unknown outcome %q", line, rec.Outcome)
+			}
 		}
 		if _, err := time.Parse(time.RFC3339Nano, rec.TS); err != nil {
 			return fmt.Errorf("qlog: line %d: bad ts: %w", line, err)

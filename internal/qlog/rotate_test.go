@@ -1,0 +1,176 @@
+package qlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Rotation must happen only at whole-record boundaries: every
+// generation independently validates and decodes, and no record is ever
+// split across files.
+func TestRotateBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qlog.jsonl")
+	f, err := OpenFile(path, Config{MaxBytes: 600, Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := New(f, WithClock(fixedClock()))
+
+	total := 20
+	for i := 0; i < total; i++ {
+		if err := l.Log(Record{RequestID: "req-1", Outcome: OutcomeOK, Query: "q1", TotalMs: 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Rotations() == 0 {
+		t.Fatal("expected at least one rotation at 600-byte cap")
+	}
+
+	decoded := 0
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		if err := Validate(data); err != nil {
+			t.Fatalf("%s: post-rotate validate: %v", filepath.Base(p), err)
+		}
+		recs, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: post-rotate decode: %v", filepath.Base(p), err)
+		}
+		decoded += len(recs)
+		if st, _ := os.Stat(p); p != path && st.Size() > 600 {
+			t.Errorf("%s: generation over cap: %d bytes", filepath.Base(p), st.Size())
+		}
+	}
+	// Keep=2 bounds retention; with 20 records at ~175B each against a
+	// 600-byte cap, older generations were dropped — but live + kept
+	// generations must hold only whole records.
+	if decoded == 0 || decoded > total {
+		t.Fatalf("decoded %d records across generations, want 1..%d", decoded, total)
+	}
+}
+
+// A record larger than MaxBytes must still write whole.
+func TestRotateOversizeRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qlog.jsonl")
+	f, err := OpenFile(path, Config{MaxBytes: 64, Keep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := New(f, WithClock(fixedClock()))
+	big := make([]byte, 200)
+	for i := range big {
+		big[i] = 'x'
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Log(Record{RequestID: "r", Outcome: OutcomeOK, SQL: string(big)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("live file invalid after oversize writes: %v", err)
+	}
+}
+
+// Reopening an existing file must account its size, so the cap holds
+// across process restarts.
+func TestRotateReopenAccountsSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qlog.jsonl")
+	if err := os.WriteFile(path, make([]byte, 500), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path, Config{MaxBytes: 600, Keep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1 (500+200 > 600)", f.Rotations())
+	}
+}
+
+// Zero config means unbounded append — the pre-rotation behavior.
+func TestNoRotationWithoutCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qlog.jsonl")
+	f, err := OpenFile(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := f.Write(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Rotations() != 0 {
+		t.Fatalf("unexpected rotation with zero config")
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("unexpected rotated generation")
+	}
+}
+
+// Alert events validate without request_id/outcome but require an alert
+// name and known state.
+func TestValidateAlertEvents(t *testing.T) {
+	var buf testBuffer
+	l := New(&buf, WithClock(fixedClock()))
+	if err := l.Log(Record{Event: EventAlert, Alert: "AllBreakersOpen", AlertState: "firing", AlertSeverity: "page", AlertValue: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(Record{Event: EventAlert, Alert: "AllBreakersOpen", AlertState: "resolved", AlertSeverity: "page"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.data); err != nil {
+		t.Fatalf("alert events must validate: %v", err)
+	}
+	recs, err := Decode(buf.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].AlertState != "firing" || recs[1].AlertState != "resolved" {
+		t.Fatalf("decoded alert records wrong: %+v", recs)
+	}
+
+	var bad testBuffer
+	lb := New(&bad, WithClock(fixedClock()))
+	lb.Log(Record{Event: EventAlert, AlertState: "firing"}) // no alert name
+	if err := Validate(bad.data); err == nil {
+		t.Fatal("alert event without name must fail validation")
+	}
+	var bad2 testBuffer
+	lb2 := New(&bad2, WithClock(fixedClock()))
+	lb2.Log(Record{Event: EventAlert, Alert: "X", AlertState: "exploded"})
+	if err := Validate(bad2.data); err == nil {
+		t.Fatal("alert event with unknown state must fail validation")
+	}
+}
+
+type testBuffer struct{ data []byte }
+
+func (b *testBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// A firing severity-page alert must halve effective admission capacity
+// exactly as the all-breakers-open unhealthy state does, and flip the
+// shed reason to queue_full_unhealthy.
+func TestPagesFiringHalvesCapacity(t *testing.T) {
+	var pages atomic.Int64
+	exec := &stubExec{}
+	s, err := New(exec, Config{
+		QueueCapacity: 8,
+		PagesFiring:   func() int { return int(pages.Load()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	cap0 := s.effectiveCapLocked()
+	s.mu.Unlock()
+	if cap0 != 8 {
+		t.Fatalf("healthy capacity = %d, want 8", cap0)
+	}
+
+	pages.Store(1)
+	s.mu.Lock()
+	cap1 := s.effectiveCapLocked()
+	reasonHealth := s.healthLocked()
+	s.mu.Unlock()
+	if cap1 != 4 {
+		t.Fatalf("firing-page capacity = %d, want 4", cap1)
+	}
+	if reasonHealth != "unhealthy" {
+		t.Fatalf("health with firing page = %q, want unhealthy", reasonHealth)
+	}
+
+	pages.Store(0)
+	s.mu.Lock()
+	cap2 := s.effectiveCapLocked()
+	s.mu.Unlock()
+	if cap2 != 8 {
+		t.Fatalf("resolved capacity = %d, want 8", cap2)
+	}
+	reconcile(t, s)
+}

@@ -111,6 +111,14 @@ type Config struct {
 	// clocks must be safe for concurrent use. Execution-phase timings
 	// always use the real clock.
 	Clock func() time.Time
+	// PagesFiring, when set, reports how many severity-page alert rules
+	// are currently firing (the obsd rule engine's hook). Any firing
+	// page alert halves effective admission capacity exactly as the
+	// all-breakers-open unhealthy state does, so operator-declared
+	// alerts and built-in breaker health shed on the same signal. Must
+	// be safe for concurrent use and must not call back into the
+	// server.
+	PagesFiring func() int
 }
 
 func (c Config) withDefaults() Config {
@@ -363,16 +371,27 @@ func (s *Server) activeTotalLocked() int {
 }
 
 // effectiveCapLocked is the live queue bound: the configured capacity,
-// halved (min 1) while every device breaker is open — the same
-// degradation signal /healthz serves to load balancers.
+// halved (min 1) while the process is unhealthy — every device breaker
+// open, or a severity-page alert firing. It is the same degradation
+// signal /healthz serves to load balancers.
 func (s *Server) effectiveCapLocked() int {
 	cap := s.cfg.QueueCapacity
-	if metrics.HealthStatus(s.exec.Scheduler()) == metrics.HealthUnhealthy {
+	if s.healthLocked() == metrics.HealthUnhealthy {
 		if cap /= 2; cap < 1 {
 			cap = 1
 		}
 	}
 	return cap
+}
+
+// healthLocked combines breaker-fleet health with the alert engine's
+// firing page count (when wired).
+func (s *Server) healthLocked() string {
+	pages := 0
+	if s.cfg.PagesFiring != nil {
+		pages = s.cfg.PagesFiring()
+	}
+	return metrics.HealthStatusWith(s.exec.Scheduler(), pages)
 }
 
 func (s *Server) touchSessionLocked(id string, class workload.Class) *SessionInfo {
@@ -477,7 +496,7 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		s.shed++
 		s.classCounts[class].shed++
 		reason := "queue_full"
-		if metrics.HealthStatus(s.exec.Scheduler()) == metrics.HealthUnhealthy {
+		if s.healthLocked() == metrics.HealthUnhealthy {
 			reason = "queue_full_unhealthy"
 		}
 		retry := s.retryAfterLocked()
